@@ -1,0 +1,326 @@
+// Root benchmark suite: one benchmark per experiment in DESIGN.md §4.
+// Each bench regenerates (a reduced-duration version of) the corresponding
+// EXPERIMENTS.md table and reports its headline metric, so
+//
+//	go test -bench=. -benchmem
+//
+// reproduces every figure/claim of the paper in one run. The full tables
+// print via `go run ./cmd/metaclass`.
+package metaclass
+
+import (
+	"testing"
+	"time"
+
+	"metaclass/classroom"
+	"metaclass/internal/experiments"
+	"metaclass/internal/fusion"
+	"metaclass/internal/mathx"
+	"metaclass/internal/netsim"
+	"metaclass/internal/pose"
+	"metaclass/internal/protocol"
+	"metaclass/internal/render"
+	"metaclass/internal/sensors"
+	"metaclass/internal/sickness"
+	"metaclass/internal/trace"
+	"metaclass/internal/vclock"
+	"metaclass/internal/video"
+)
+
+// benchSeed keeps benchmark workloads deterministic run to run.
+const benchSeed = 42
+
+// BenchmarkE1UnitCase replays the Fig. 2 deployment (2 campuses + cloud +
+// remote learners) for one simulated second per iteration.
+func BenchmarkE1UnitCase(b *testing.B) {
+	d, gz := buildBenchDeployment(b, 10, 5)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := d.Run(time.Second); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	visible := len(gz.Edge().VisibleParticipants())
+	b.ReportMetric(float64(visible), "participants-visible")
+}
+
+// BenchmarkE2PipelineBudget measures the simulated capture-to-apply latency
+// across the Fig. 3 pipeline.
+func BenchmarkE2PipelineBudget(b *testing.B) {
+	d, _ := buildBenchDeployment(b, 10, 5)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := d.Run(time.Second); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	var worst time.Duration
+	for _, v := range d.Clients() {
+		if p := v.Metrics().Histogram("pose.age").P95(); p > worst {
+			worst = p
+		}
+	}
+	b.ReportMetric(float64(worst)/1e6, "p95-pose-age-ms")
+}
+
+// BenchmarkE3LatencySweep runs one latency point of the C1 sweep per
+// iteration pair (alternating below/above the 100 ms threshold).
+func BenchmarkE3LatencySweep(b *testing.B) {
+	lats := []time.Duration{25 * time.Millisecond, 150 * time.Millisecond}
+	for i := 0; i < b.N; i++ {
+		runLatencyBenchPoint(b, lats[i%2])
+	}
+}
+
+func runLatencyBenchPoint(b *testing.B, oneWay time.Duration) {
+	b.Helper()
+	d, err := classroom.NewDeployment(classroom.Config{Seed: benchSeed})
+	if err != nil {
+		b.Fatal(err)
+	}
+	gz, err := d.AddCampus("gz", 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := gz.AddEducator("prof", trace.Lecturer{
+		Left: mathx.V3(-3, 0, 0), Right: mathx.V3(3, 0, 0)}); err != nil {
+		b.Fatal(err)
+	}
+	if _, _, err := d.AddRemoteLearner("u", trace.Seated{},
+		netsim.ResidentialBroadband(oneWay)); err != nil {
+		b.Fatal(err)
+	}
+	if err := d.Run(2 * time.Second); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// BenchmarkE4Scale measures cloud fan-out cost per simulated second at 100
+// interest-managed remote users.
+func BenchmarkE4Scale(b *testing.B) {
+	d, err := classroom.NewDeployment(classroom.Config{Seed: benchSeed, EnableInterest: true})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		if _, _, err := d.AddRemoteLearner("u", trace.Seated{
+			Anchor: mathx.V3(float64(i%25)*1.2, 0, float64(i/25)*1.2), Phase: float64(i),
+		}, netsim.ResidentialBroadband(25*time.Millisecond)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := d.Run(time.Second); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	egress := float64(d.Cloud().Metrics().Counter("sync.bytes.sent").Value()) /
+		d.Now().Seconds() / 1024
+	b.ReportMetric(egress, "cloud-egress-KB/s")
+}
+
+// BenchmarkE5Regional runs the poorly-peered client through a regional
+// relay (the C2 remedy) for one simulated second per iteration.
+func BenchmarkE5Regional(b *testing.B) {
+	d, err := classroom.NewDeployment(classroom.Config{Seed: benchSeed})
+	if err != nil {
+		b.Fatal(err)
+	}
+	gz, err := d.AddCampus("gz", 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := gz.AddEducator("prof", trace.Lecturer{
+		Left: mathx.V3(-3, 0, 0), Right: mathx.V3(3, 0, 0)}); err != nil {
+		b.Fatal(err)
+	}
+	relay, err := d.AddRelay("remote-region", netsim.LinkConfig{
+		Latency: 170 * time.Millisecond, Jitter: 2 * time.Millisecond, Bandwidth: 10e9})
+	if err != nil {
+		b.Fatal(err)
+	}
+	cl, _, err := d.AddRemoteLearnerVia(relay, "u", trace.Seated{},
+		netsim.ResidentialBroadband(8*time.Millisecond))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := d.Run(time.Second); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(cl.Metrics().Histogram("pose.age").P95())/1e6, "p95-pose-age-ms")
+}
+
+// BenchmarkE6Render evaluates the full C3 plan/device/complexity grid.
+func BenchmarkE6Render(b *testing.B) {
+	cfg := render.PipelineConfig{RTT: 40 * time.Millisecond}
+	var holds int
+	for i := 0; i < b.N; i++ {
+		holds = 0
+		for _, n := range []int64{10, 30, 60} {
+			for _, plan := range render.Plans() {
+				rep := render.Evaluate(plan, render.DeviceStandalone, n*500_000, n*5_000, cfg, 0.6)
+				if rep.LocalFrameTime <= time.Second/72 {
+					holds++
+				}
+			}
+		}
+	}
+	b.ReportMetric(float64(holds), "configs-holding-72Hz")
+}
+
+// BenchmarkE7Video streams one simulated second of FEC-protected lecture
+// video over a 3%-loss link per iteration.
+func BenchmarkE7Video(b *testing.B) {
+	table := experiments.E7Video // ensure the full table stays reachable
+	_ = table
+	for i := 0; i < b.N; i++ {
+		benchVideoSecond(b)
+	}
+}
+
+func benchVideoSecond(b *testing.B) {
+	b.Helper()
+	sim, net := newBenchNet(b)
+	cfg := video.StreamConfig{Strategy: video.StrategyFEC, K: 8, R: 3}
+	var receiver *video.Receiver
+	sender := video.NewSender(sim, cfg, func(c *protocol.VideoChunk) {
+		if frame, err := protocol.Encode(c); err == nil {
+			_ = net.Send("tx", "rx", frame)
+		}
+	})
+	receiver = video.NewReceiver(sim, cfg, nil)
+	_ = net.Bind("rx", netsim.HandlerFunc(func(_ netsim.Addr, payload []byte) {
+		if msg, _, err := protocol.Decode(payload); err == nil {
+			if c, ok := msg.(*protocol.VideoChunk); ok {
+				receiver.HandleChunk(c)
+			}
+		}
+	}))
+	sender.Start()
+	if err := sim.Run(time.Second); err != nil {
+		b.Fatal(err)
+	}
+	sender.Stop()
+}
+
+func newBenchNet(b *testing.B) (*vclock.Sim, *netsim.Network) {
+	b.Helper()
+	sim := vclock.New(benchSeed)
+	net := netsim.New(sim)
+	if err := net.AddHost("tx", nil); err != nil {
+		b.Fatal(err)
+	}
+	if err := net.AddHost("rx", nil); err != nil {
+		b.Fatal(err)
+	}
+	if err := net.ConnectBoth("tx", "rx", netsim.LinkConfig{
+		Latency: 20 * time.Millisecond, LossRate: 0.03}); err != nil {
+		b.Fatal(err)
+	}
+	return sim, net
+}
+
+// BenchmarkE8Sickness evaluates the fuzzy predictor over the full C5 grid.
+func BenchmarkE8Sickness(b *testing.B) {
+	profile := sickness.DefaultProfile()
+	var sum float64
+	for i := 0; i < b.N; i++ {
+		for _, lat := range []time.Duration{20, 80, 150, 250} {
+			for _, fps := range []float64{90, 45, 20} {
+				sum += sickness.Predict(sickness.Conditions{
+					MotionToPhoton: lat * time.Millisecond,
+					FrameRateHz:    fps, FOVDegrees: 100, NavSpeed: 1.5,
+				}, profile)
+			}
+		}
+	}
+	b.ReportMetric(sum/float64(b.N)/12, "mean-sickness-score")
+}
+
+// BenchmarkE9DeadReckoning reconstructs 30 s of walker motion from 10 Hz
+// updates with linear dead reckoning per iteration.
+func BenchmarkE9DeadReckoning(b *testing.B) {
+	script := trace.Walker{Waypoints: []mathx.Vec3{{}, {X: 6}, {X: 6, Z: 4}, {Z: 4}}, Speed: 1.4}
+	for i := 0; i < b.N; i++ {
+		buf := pose.NewInterpBuffer(0, 64, pose.Linear{})
+		next := time.Duration(0)
+		for at := time.Duration(0); at < 30*time.Second; at += 10 * time.Millisecond {
+			for next <= at {
+				buf.Push(script.PoseAt(next))
+				next += 100 * time.Millisecond
+			}
+			if _, ok := buf.Sample(at); !ok {
+				b.Fatal("no sample")
+			}
+		}
+	}
+}
+
+// BenchmarkE10Fusion runs one second of 2-source sensor fusion per
+// iteration.
+func BenchmarkE10Fusion(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		sim := vclock.New(benchSeed)
+		script := trace.Seated{Anchor: mathx.V3(1, 0, 2)}
+		f := fusion.New(fusion.Config{})
+		sink := func(o sensors.Observation) { f.Observe(o) }
+		h := sensors.NewHeadset("p", sim, script, sensors.HeadsetConfig{}, sink)
+		arr := sensors.NewArray(3, 10, 8, sim, sensors.RoomSensorConfig{}, sink)
+		arr.Track("p", script)
+		h.Start()
+		arr.Start()
+		if err := sim.Run(time.Second); err != nil {
+			b.Fatal(err)
+		}
+		if _, ok := f.Estimate(sim.Now()); !ok {
+			b.Fatal("fusion produced no estimate")
+		}
+	}
+}
+
+func buildBenchDeployment(b *testing.B, localsPerCampus, remotes int) (*classroom.Deployment, *classroom.Campus) {
+	b.Helper()
+	d, err := classroom.NewDeployment(classroom.Config{Seed: benchSeed})
+	if err != nil {
+		b.Fatal(err)
+	}
+	gz, err := d.AddCampus("gz", 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cwb, err := d.AddCampus("cwb", 2)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := d.ConnectCampuses(gz, cwb); err != nil {
+		b.Fatal(err)
+	}
+	if _, err := gz.AddEducator("prof", trace.Lecturer{
+		Left: mathx.V3(-3, 0, 0), Right: mathx.V3(3, 0, 0)}); err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < localsPerCampus; i++ {
+		anchor := mathx.V3(float64(i%8)-3.5, 0, 2+float64(i/8)*1.2)
+		if _, err := gz.AddLearner("s", trace.Seated{Anchor: anchor, Phase: float64(i)}); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := cwb.AddLearner("s", trace.Seated{Anchor: anchor, Phase: float64(i) + 0.4}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	for i := 0; i < remotes; i++ {
+		if _, _, err := d.AddRemoteLearner("r", trace.Seated{Phase: float64(i)},
+			netsim.ResidentialBroadband(30*time.Millisecond)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	return d, gz
+}

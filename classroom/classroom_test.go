@@ -1,0 +1,337 @@
+package classroom
+
+import (
+	"testing"
+	"time"
+
+	"metaclass/internal/mathx"
+	"metaclass/internal/netsim"
+	"metaclass/internal/trace"
+)
+
+// buildUnitCase assembles the paper's Fig. 2 deployment: GZ and CWB
+// campuses, a lecturer and learners at each, plus remote VR learners.
+func buildUnitCase(t *testing.T, seed int64) (d *Deployment, teacher ParticipantID,
+	gz, cwb *Campus, remotes []ParticipantID) {
+	t.Helper()
+	var err error
+	d, err = NewDeployment(Config{Seed: seed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gz, err = d.AddCampus("gz", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cwb, err = d.AddCampus("cwb", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.ConnectCampuses(gz, cwb); err != nil {
+		t.Fatal(err)
+	}
+	teacher, err = gz.AddEducator("prof-wang", trace.Lecturer{
+		Left: mathx.V3(-3, 0, 0), Right: mathx.V3(3, 0, 0),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		if _, err := gz.AddLearner("gz-student", trace.Seated{
+			Anchor: mathx.V3(float64(i)-2, 0, 3), Phase: float64(i),
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 5; i++ {
+		if _, err := cwb.AddLearner("cwb-student", trace.Seated{
+			Anchor: mathx.V3(float64(i)-2, 0, 3), Phase: float64(i) + 0.5,
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 3; i++ {
+		_, id, err := d.AddRemoteLearner("kaist-student", trace.Seated{
+			Anchor: mathx.V3(float64(i), 0, 1), Phase: float64(i) * 1.3,
+		}, netsim.ResidentialBroadband(30*time.Millisecond))
+		if err != nil {
+			t.Fatal(err)
+		}
+		remotes = append(remotes, id)
+	}
+	return d, teacher, gz, cwb, remotes
+}
+
+func TestUnitCaseEveryoneVisibleEverywhere(t *testing.T) {
+	d, teacher, gz, cwb, remotes := buildUnitCase(t, 1)
+	if err := d.Run(10 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	total := 1 + 5 + 5 + 3 // teacher + gz + cwb + remote
+
+	// The cloud's world must contain everyone.
+	if got := d.Cloud().World().Len(); got != total {
+		t.Errorf("cloud world = %d entities, want %d", got, total)
+	}
+
+	// Each campus display must see everyone (its locals + the other campus
+	// via the inter-campus link + remote users via the cloud).
+	for _, campus := range []*Campus{gz, cwb} {
+		vis := campus.Edge().VisibleParticipants()
+		if len(vis) != total {
+			t.Errorf("campus %s sees %d participants, want %d: %v",
+				campus.Name(), len(vis), total, vis)
+		}
+	}
+
+	// Each remote client must see everyone except themselves.
+	for id, v := range d.Clients() {
+		vis := v.VisibleParticipants()
+		if len(vis) != total-1 {
+			t.Errorf("client %d sees %d participants, want %d", id, len(vis), total-1)
+		}
+		for _, other := range vis {
+			if other == id {
+				t.Errorf("client %d replicated itself", id)
+			}
+		}
+	}
+
+	// The teacher specifically is visible to every remote learner with a
+	// recent, sane pose.
+	now := d.Now()
+	for _, rid := range remotes {
+		v := d.Clients()[rid]
+		p, ok := v.DisplayedPose(teacher, now)
+		if !ok {
+			t.Errorf("remote %d cannot see the teacher", rid)
+			continue
+		}
+		if !p.IsFinite() {
+			t.Errorf("remote %d sees non-finite teacher pose", rid)
+		}
+		// Teacher paces within |x| <= 3 (+ small gesture margin).
+		if p.Position.X < -4 || p.Position.X > 4 {
+			t.Errorf("teacher rendered at %v, outside the lecture stage", p.Position)
+		}
+	}
+}
+
+func TestUnitCaseLatencyBudget(t *testing.T) {
+	d, _, gz, cwb, _ := buildUnitCase(t, 2)
+	if err := d.Run(10 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	// Inter-campus pose age: one-way 8 ms link + tick batching (33 ms) +
+	// sensing; p95 must stay well under the paper's 100 ms threshold.
+	for _, campus := range []*Campus{gz, cwb} {
+		h := campus.Edge().Metrics().Histogram("remote.pose.age")
+		if h.Count() == 0 {
+			t.Fatalf("campus %s recorded no remote pose ages", campus.Name())
+		}
+		if p95 := h.P95(); p95 > 100*time.Millisecond {
+			t.Errorf("campus %s p95 pose age %v exceeds 100ms", campus.Name(), p95)
+		}
+	}
+	// Remote clients ride a 30 ms access link + edge->cloud; p95 under 200ms.
+	for id, v := range d.Clients() {
+		h := v.Metrics().Histogram("pose.age")
+		if h.Count() == 0 {
+			t.Fatalf("client %d recorded no pose ages", id)
+		}
+		if p95 := h.P95(); p95 > 200*time.Millisecond {
+			t.Errorf("client %d p95 pose age %v exceeds 200ms", id, p95)
+		}
+	}
+}
+
+func TestUnitCaseRemoteAvatarsSeated(t *testing.T) {
+	d, _, gz, cwb, _ := buildUnitCase(t, 3)
+	if err := d.Run(5 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	// Each campus hosts 6 locals (teacher only at GZ) and must have seated
+	// visiting avatars: 5 or 6 from the other campus + 3 VR users.
+	for _, campus := range []*Campus{gz, cwb} {
+		assigned := campus.Edge().Metrics().Counter("seats.assigned").Value()
+		if assigned < 8 {
+			t.Errorf("campus %s assigned %d visitor seats, want >= 8", campus.Name(), assigned)
+		}
+	}
+	// VR classroom seats every participant it hosts.
+	if got := d.Cloud().Metrics().Counter("seats.assigned").Value(); got < 3 {
+		t.Errorf("cloud assigned %d VR seats, want >= 3", got)
+	}
+}
+
+func TestUnitCaseDisplayTracksTruth(t *testing.T) {
+	d, teacher, gz, cwb, _ := buildUnitCase(t, 4)
+	if err := d.Run(10 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	script, ok := gz.ScriptOf(teacher)
+	if !ok {
+		t.Fatal("no teacher script")
+	}
+	// CWB renders the GZ teacher seat-corrected, so positions differ by a
+	// rigid transform — but motion magnitude must match. Compare displayed
+	// speed against true speed over a window.
+	now := d.Now()
+	var dispDist, trueDist float64
+	var prevDisp, prevTrue mathx.Vec3
+	for i := 0; i <= 20; i++ {
+		at := now - time.Duration(20-i)*50*time.Millisecond
+		p, ok := cwb.Edge().DisplayPose(teacher, at)
+		if !ok {
+			t.Fatal("teacher not displayable at CWB")
+		}
+		tp := script.PoseAt(at)
+		if i > 0 {
+			dispDist += p.Position.Dist(prevDisp)
+			trueDist += tp.Position.Dist(prevTrue)
+		}
+		prevDisp, prevTrue = p.Position, tp.Position
+	}
+	if trueDist == 0 {
+		t.Fatal("teacher did not move in truth")
+	}
+	ratio := dispDist / trueDist
+	if ratio < 0.5 || ratio > 1.5 {
+		t.Errorf("displayed motion %.2f m vs true %.2f m (ratio %.2f), want ~1",
+			dispDist, trueDist, ratio)
+	}
+}
+
+func TestParticipantDeparture(t *testing.T) {
+	d, _, gz, cwb, _ := buildUnitCase(t, 5)
+	if err := d.Run(3 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	// Add then remove a student mid-session.
+	id, err := gz.AddLearner("transient", trace.Seated{Anchor: mathx.V3(2, 0, 4)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The new participant's headset must start (deployment already running).
+	if err := d.Run(3 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := d.Cloud().World().Get(id); !ok {
+		t.Fatal("late joiner never reached the cloud")
+	}
+	if err := gz.RemoveLocal(id); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Run(3 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := d.Cloud().World().Get(id); ok {
+		t.Error("departed participant still in cloud world")
+	}
+	vis := cwb.Edge().VisibleParticipants()
+	for _, v := range vis {
+		if v == id {
+			t.Error("departed participant still visible at CWB")
+		}
+	}
+}
+
+func TestRelayPathDelivers(t *testing.T) {
+	d, teacher, _, _, _ := buildUnitCase(t, 6)
+	relay, err := d.AddRelay("us-east", netsim.LinkConfig{
+		Latency: 100 * time.Millisecond, Jitter: 5 * time.Millisecond, Bandwidth: 1e9,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, rid, err := d.AddRemoteLearnerVia(relay, "mit-student", trace.Seated{},
+		netsim.ResidentialBroadband(10*time.Millisecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Run(10 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if relay.ClientCount() != 1 {
+		t.Errorf("relay clients = %d", relay.ClientCount())
+	}
+	p, ok := v.DisplayedPose(teacher, d.Now())
+	if !ok {
+		t.Fatal("relay-served client cannot see the teacher")
+	}
+	if !p.IsFinite() {
+		t.Error("non-finite teacher pose via relay")
+	}
+	// The relay client publishes poses that must reach the cloud world.
+	if _, ok := d.Cloud().World().Get(rid); !ok {
+		t.Error("relay client's own pose never reached the cloud")
+	}
+}
+
+func TestDeterministicDeployment(t *testing.T) {
+	run := func() uint64 {
+		d, _, gz, _, _ := buildUnitCase(t, 42)
+		if err := d.Run(5 * time.Second); err != nil {
+			t.Fatal(err)
+		}
+		return gz.Edge().Metrics().Counter("sync.bytes.sent").Value()
+	}
+	a, b := run(), run()
+	if a != b {
+		t.Errorf("runs diverged: %d vs %d bytes", a, b)
+	}
+	if a == 0 {
+		t.Error("no sync traffic at all")
+	}
+}
+
+func TestDuplicateCampusRejected(t *testing.T) {
+	d, err := NewDeployment(Config{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.AddCampus("a", 1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.AddCampus("b", 1); err == nil {
+		t.Error("duplicate classroom ID accepted")
+	}
+}
+
+func TestLinkDegradationSurvived(t *testing.T) {
+	d, teacher, gz, cwb, _ := buildUnitCase(t, 7)
+	if err := d.Run(3 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	// Degrade the inter-campus link to 10% loss for a while.
+	cfg, err := d.Network().LinkConfigOf(gz.Edge().Addr(), cwb.Edge().Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Network().SetLink(gz.Edge().Addr(), cwb.Edge().Addr(),
+		netsim.Degraded(cfg, 3, 200)); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Run(5 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	// Restore and let the protocol recover.
+	if err := d.Network().SetLink(gz.Edge().Addr(), cwb.Edge().Addr(), cfg); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Run(5 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	p, ok := cwb.Edge().DisplayPose(teacher, d.Now())
+	if !ok || !p.IsFinite() {
+		t.Error("teacher lost at CWB after link degradation and recovery")
+	}
+	// Pose age must have recovered to something recent.
+	rep, ok := cwb.Edge().ReplicaOf(gz.Edge().Addr())
+	if !ok {
+		t.Fatal("no replica of GZ at CWB")
+	}
+	if rep.Store().Len() == 0 {
+		t.Error("GZ replica empty after recovery")
+	}
+}

@@ -1,0 +1,143 @@
+// Command loadgen drives a classroomd server with a swarm of real TCP
+// clients: each publishes a scripted pose stream and measures how stale the
+// other participants' avatars arrive — the paper's C1 metric measured over a
+// real network stack.
+//
+// Usage:
+//
+//	loadgen -addr 127.0.0.1:7480 -clients 50 -duration 30s -rate 20
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"metaclass/internal/mathx"
+	"metaclass/internal/metrics"
+	"metaclass/internal/protocol"
+	"metaclass/internal/trace"
+	"metaclass/internal/transport"
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", "127.0.0.1:7480", "classroomd address")
+		clients  = flag.Int("clients", 10, "number of concurrent clients")
+		duration = flag.Duration("duration", 30*time.Second, "test duration")
+		rate     = flag.Float64("rate", 20, "pose publish rate per client (Hz)")
+	)
+	flag.Parse()
+	if err := run(*addr, *clients, *duration, *rate); err != nil {
+		fmt.Fprintln(os.Stderr, "loadgen:", err)
+		os.Exit(1)
+	}
+}
+
+func run(addr string, clients int, duration time.Duration, rate float64) error {
+	fmt.Printf("loadgen: %d clients -> %s for %v at %.0f Hz\n", clients, addr, duration, rate)
+	var (
+		age      metrics.SafeHistogram
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		received atomic.Uint64
+		errs     int
+	)
+	start := time.Now()
+	deadline := start.Add(duration)
+	for i := 0; i < clients; i++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			if err := runClient(addr, protocol.ParticipantID(id+1), rate, start, deadline, &age, &received); err != nil {
+				mu.Lock()
+				errs++
+				mu.Unlock()
+			}
+		}(i)
+	}
+	wg.Wait()
+	snap := age.Snapshot()
+	fmt.Printf("done: updates=%d errors=%d\n", received.Load(), errs)
+	if snap.Count() > 0 {
+		fmt.Printf("avatar age: p50=%v p95=%v p99=%v max=%v (paper threshold: 100ms)\n",
+			snap.P50().Round(time.Millisecond), snap.P95().Round(time.Millisecond),
+			snap.P99().Round(time.Millisecond), snap.Max().Round(time.Millisecond))
+	}
+	return nil
+}
+
+func runClient(addr string, id protocol.ParticipantID, rate float64,
+	start, deadline time.Time, age *metrics.SafeHistogram, received *atomic.Uint64) error {
+	conn, err := transport.Dial(addr)
+	if err != nil {
+		return err
+	}
+	defer conn.Close()
+	if err := conn.WriteMessage(&protocol.Hello{
+		Participant: id, Role: protocol.RoleLearner, Name: fmt.Sprintf("load-%d", id),
+	}); err != nil {
+		return err
+	}
+
+	script := trace.Seated{
+		Anchor: mathx.V3(float64(id%16)*1.2, 0, float64(id/16)*1.2),
+		Phase:  rand.New(rand.NewSource(int64(id))).Float64() * 6,
+	}
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	// Publisher.
+	go func() {
+		defer wg.Done()
+		ticker := time.NewTicker(time.Duration(float64(time.Second) / rate))
+		defer ticker.Stop()
+		seq := uint32(0)
+		for now := range ticker.C {
+			if now.After(deadline) {
+				_ = conn.WriteMessage(&protocol.Leave{Participant: id})
+				_ = conn.Close()
+				return
+			}
+			seq++
+			elapsed := now.Sub(start)
+			p := script.PoseAt(elapsed)
+			_ = conn.WriteMessage(&protocol.PoseUpdate{
+				Participant: id, Seq: seq, CapturedAt: elapsed,
+				Pose: protocol.QuantizePose(p.Position, p.Rotation),
+				VelMMS: [3]int64{
+					int64(p.Velocity.X * 1000), int64(p.Velocity.Y * 1000), int64(p.Velocity.Z * 1000),
+				},
+			})
+		}
+	}()
+
+	// Receiver: measure entity freshness and ack replication.
+	for {
+		msg, err := conn.ReadMessage()
+		if err != nil {
+			break
+		}
+		elapsed := time.Since(start)
+		switch m := msg.(type) {
+		case *protocol.Snapshot:
+			for _, e := range m.Entities {
+				age.Observe(elapsed - e.CapturedAt)
+				received.Add(1)
+			}
+			_ = conn.WriteMessage(&protocol.Ack{Participant: id, Tick: m.Tick})
+		case *protocol.Delta:
+			for _, e := range m.Changed {
+				age.Observe(elapsed - e.CapturedAt)
+				received.Add(1)
+			}
+			_ = conn.WriteMessage(&protocol.Ack{Participant: id, Tick: m.Tick})
+		}
+	}
+	wg.Wait()
+	return nil
+}

@@ -1,0 +1,182 @@
+// Package avatar models the digital twins that represent class participants
+// across classrooms: their identity registry, geometric level-of-detail
+// (LoD) ladder, and the complexity accounting the split-rendering decision
+// (paper challenge C3: avatars "may be too complex to render with WebGL and
+// lightweight VR headsets") is based on.
+package avatar
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"metaclass/internal/protocol"
+)
+
+// LoD is a level of detail; lower is coarser.
+type LoD uint8
+
+// LoD ladder. Triangle counts follow common avatar pipelines: a billboard
+// imposter, a mobile-grade mesh, a desktop mesh, and a photorealistic scan
+// of the kind the paper expects from "pervasive sensing capabilities".
+const (
+	LoDImpostor LoD = iota
+	LoDLow
+	LoDMedium
+	LoDHigh
+	LoDPhotoreal
+	lodCount
+)
+
+var lodSpecs = [lodCount]struct {
+	name      string
+	triangles int
+	textureKB int
+}{
+	{"impostor", 2, 64},
+	{"low", 5_000, 512},
+	{"medium", 25_000, 2048},
+	{"high", 100_000, 8192},
+	{"photoreal", 500_000, 32768},
+}
+
+// String implements fmt.Stringer.
+func (l LoD) String() string {
+	if l < lodCount {
+		return lodSpecs[l].name
+	}
+	return fmt.Sprintf("LoD(%d)", uint8(l))
+}
+
+// Valid reports whether l is on the ladder.
+func (l LoD) Valid() bool { return l < lodCount }
+
+// Triangles returns the mesh complexity at this LoD.
+func (l LoD) Triangles() int {
+	if !l.Valid() {
+		return 0
+	}
+	return lodSpecs[l].triangles
+}
+
+// TextureKB returns the texture memory footprint at this LoD.
+func (l LoD) TextureKB() int {
+	if !l.Valid() {
+		return 0
+	}
+	return lodSpecs[l].textureKB
+}
+
+// MaxLoD is the finest level.
+const MaxLoD = LoDPhotoreal
+
+// LoDs returns every level, coarse to fine.
+func LoDs() []LoD {
+	out := make([]LoD, lodCount)
+	for i := range out {
+		out[i] = LoD(i)
+	}
+	return out
+}
+
+// LoDForDistance picks a level by viewer distance (meters) — the standard
+// distance-banded ladder receivers use when composing a classroom scene.
+func LoDForDistance(d float64) LoD {
+	switch {
+	case d < 2:
+		return LoDHigh
+	case d < 5:
+		return LoDMedium
+	case d < 12:
+		return LoDLow
+	default:
+		return LoDImpostor
+	}
+}
+
+// Avatar is one participant's digital twin.
+type Avatar struct {
+	Participant protocol.ParticipantID
+	Name        string
+	Role        protocol.Role
+	// Preferred is the finest LoD the participant's scan supports.
+	Preferred LoD
+	// Home is the classroom the participant is physically in (0 = remote).
+	Home protocol.ClassroomID
+}
+
+// Registry tracks the avatars present in a deployment. Not safe for
+// concurrent use; servers own one each on their simulation goroutine.
+type Registry struct {
+	avatars map[protocol.ParticipantID]*Avatar
+}
+
+// Registry errors.
+var (
+	ErrDuplicate = errors.New("avatar: participant already registered")
+	ErrNotFound  = errors.New("avatar: participant not found")
+)
+
+// NewRegistry creates an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{avatars: make(map[protocol.ParticipantID]*Avatar)}
+}
+
+// Add registers an avatar.
+func (r *Registry) Add(a Avatar) error {
+	if !a.Preferred.Valid() {
+		return fmt.Errorf("avatar: invalid LoD %d", a.Preferred)
+	}
+	if _, ok := r.avatars[a.Participant]; ok {
+		return fmt.Errorf("%w: %d", ErrDuplicate, a.Participant)
+	}
+	cp := a
+	r.avatars[a.Participant] = &cp
+	return nil
+}
+
+// Remove deletes an avatar.
+func (r *Registry) Remove(id protocol.ParticipantID) error {
+	if _, ok := r.avatars[id]; !ok {
+		return fmt.Errorf("%w: %d", ErrNotFound, id)
+	}
+	delete(r.avatars, id)
+	return nil
+}
+
+// Get looks up an avatar.
+func (r *Registry) Get(id protocol.ParticipantID) (Avatar, bool) {
+	a, ok := r.avatars[id]
+	if !ok {
+		return Avatar{}, false
+	}
+	return *a, true
+}
+
+// Len returns the number of registered avatars.
+func (r *Registry) Len() int { return len(r.avatars) }
+
+// All returns every avatar sorted by participant ID (stable for iteration
+// in deterministic simulations).
+func (r *Registry) All() []Avatar {
+	out := make([]Avatar, 0, len(r.avatars))
+	for _, a := range r.avatars {
+		out = append(out, *a)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Participant < out[j].Participant })
+	return out
+}
+
+// SceneTriangles sums mesh complexity for rendering all avatars at the
+// given per-avatar LoD choice function.
+func (r *Registry) SceneTriangles(pick func(Avatar) LoD) int64 {
+	var sum int64
+	for _, a := range r.avatars {
+		l := pick(*a)
+		if l > a.Preferred {
+			l = a.Preferred // cannot render finer than the scan provides
+		}
+		sum += int64(l.Triangles())
+	}
+	return sum
+}

@@ -1,0 +1,213 @@
+// Package client implements the simulated end-user devices of the paper's
+// architecture: the remote VR learner (Fig. 2's "Digital Metaverse
+// Classroom Online in VR") who publishes their own pose stream and renders
+// the replicated classroom, and the measurement harness for perceived lag
+// and interaction error that experiment E3 sweeps against the paper's
+// 100 ms latency threshold.
+package client
+
+import (
+	"errors"
+	"time"
+
+	"metaclass/internal/core"
+	"metaclass/internal/expression"
+	"metaclass/internal/metrics"
+	"metaclass/internal/netsim"
+	"metaclass/internal/pose"
+	"metaclass/internal/protocol"
+	"metaclass/internal/trace"
+	"metaclass/internal/vclock"
+)
+
+// VRConfig parameterizes a remote VR client.
+type VRConfig struct {
+	// Participant is the learner's ID.
+	Participant protocol.ParticipantID
+	// Addr is the client's network address.
+	Addr netsim.Addr
+	// Server is where pose updates go and replication comes from (the
+	// cloud, or a regional relay).
+	Server netsim.Addr
+	// PublishHz is the own-pose upload rate (default 20).
+	PublishHz float64
+	// PingEvery is the RTT probe interval (default 2s; <0 disables).
+	PingEvery time.Duration
+	// InterpDelay is the remote-entity playout delay (default 100 ms).
+	InterpDelay time.Duration
+	// Extrap is the dead-reckoning strategy (default Linear).
+	Extrap pose.Extrapolator
+	// Script drives the user's own motion (default Seated at origin).
+	Script trace.MotionScript
+	// Expressions, when non-nil, samples a facial expression each publish.
+	Expressions func(time.Duration) expression.Expression
+}
+
+func (c *VRConfig) applyDefaults() {
+	if c.PublishHz <= 0 {
+		c.PublishHz = 20
+	}
+	if c.PingEvery == 0 {
+		c.PingEvery = 2 * time.Second
+	}
+	if c.InterpDelay <= 0 {
+		c.InterpDelay = 100 * time.Millisecond
+	}
+	if c.Extrap == nil {
+		c.Extrap = pose.Linear{}
+	}
+	if c.Script == nil {
+		c.Script = trace.Seated{}
+	}
+}
+
+// VR is a remote learner's client endpoint.
+type VR struct {
+	cfg        VRConfig
+	sim        *vclock.Sim
+	net        *netsim.Network
+	replica    *core.Replica
+	reg        *metrics.Registry
+	seq        uint32
+	exprSeq    uint32
+	nonce      uint64
+	cancel     func()
+	cancelPing func()
+}
+
+// NewVR creates a client and registers it on the network.
+func NewVR(sim *vclock.Sim, net *netsim.Network, cfg VRConfig) (*VR, error) {
+	cfg.applyDefaults()
+	if cfg.Participant == 0 {
+		return nil, errors.New("client: participant ID must be nonzero")
+	}
+	v := &VR{
+		cfg:     cfg,
+		sim:     sim,
+		net:     net,
+		replica: core.NewReplica(cfg.InterpDelay, cfg.Extrap),
+		reg:     metrics.NewRegistry(string(cfg.Addr)),
+	}
+	v.replica.Latency = v.reg.Histogram("pose.age")
+	if !net.HasHost(cfg.Addr) {
+		if err := net.AddHost(cfg.Addr, v); err != nil {
+			return nil, err
+		}
+	} else if err := net.Bind(cfg.Addr, v); err != nil {
+		return nil, err
+	}
+	return v, nil
+}
+
+// Addr returns the client's address.
+func (v *VR) Addr() netsim.Addr { return v.cfg.Addr }
+
+// Metrics exposes the client's registry. The "pose.age" histogram is the
+// capture-to-apply staleness of remote entities — the quantity the paper's
+// 100 ms budget constrains.
+func (v *VR) Metrics() *metrics.Registry { return v.reg }
+
+// Start begins publishing the client's own pose.
+func (v *VR) Start() error {
+	if v.cancel != nil {
+		return errors.New("client: already started")
+	}
+	interval := time.Duration(float64(time.Second) / v.cfg.PublishHz)
+	v.cancel = v.sim.Ticker(interval, v.publish)
+	if v.cfg.PingEvery > 0 {
+		v.cancelPing = v.sim.Ticker(v.cfg.PingEvery, v.ping)
+	}
+	return nil
+}
+
+func (v *VR) ping() {
+	v.nonce++
+	msg := &protocol.Ping{Nonce: v.nonce, SentAt: v.sim.Now()}
+	if frame, err := protocol.Encode(msg); err == nil {
+		_ = v.net.Send(v.cfg.Addr, v.cfg.Server, frame)
+	}
+}
+
+// Stop halts publishing.
+func (v *VR) Stop() {
+	if v.cancel != nil {
+		v.cancel()
+		v.cancel = nil
+	}
+	if v.cancelPing != nil {
+		v.cancelPing()
+		v.cancelPing = nil
+	}
+}
+
+func (v *VR) publish() {
+	now := v.sim.Now()
+	p := v.cfg.Script.PoseAt(now)
+	v.seq++
+	msg := &protocol.PoseUpdate{
+		Participant: v.cfg.Participant,
+		Seq:         v.seq,
+		CapturedAt:  now,
+		Pose:        protocol.QuantizePose(p.Position, p.Rotation),
+		VelMMS: [3]int64{
+			int64(p.Velocity.X * 1000), int64(p.Velocity.Y * 1000), int64(p.Velocity.Z * 1000),
+		},
+	}
+	if frame, err := protocol.Encode(msg); err == nil {
+		v.reg.Counter("publish.poses").Inc()
+		_ = v.net.Send(v.cfg.Addr, v.cfg.Server, frame)
+	}
+	if v.cfg.Expressions != nil {
+		v.exprSeq++
+		e := &protocol.ExpressionUpdate{
+			Participant: v.cfg.Participant,
+			Seq:         v.exprSeq,
+			Weights:     v.cfg.Expressions(now).Quantize(),
+		}
+		if frame, err := protocol.Encode(e); err == nil {
+			_ = v.net.Send(v.cfg.Addr, v.cfg.Server, frame)
+		}
+	}
+}
+
+// HandleMessage implements netsim.Handler: replication ingest + ack.
+func (v *VR) HandleMessage(from netsim.Addr, payload []byte) {
+	msg, _, err := protocol.Decode(payload)
+	if err != nil {
+		v.reg.Counter("decode.errors").Inc()
+		return
+	}
+	switch m := msg.(type) {
+	case *protocol.Pong:
+		v.reg.Histogram("rtt").Observe(v.sim.Now() - m.SentAt)
+	case *protocol.Snapshot, *protocol.Delta:
+		ackTick, applied := v.replica.Apply(msg, v.sim.Now())
+		if !applied {
+			v.reg.Counter("recv.gaps").Inc()
+			return
+		}
+		v.reg.Counter("recv.updates").Inc()
+		if frame, err := protocol.Encode(&protocol.Ack{Participant: v.cfg.Participant, Tick: ackTick}); err == nil {
+			_ = v.net.Send(v.cfg.Addr, from, frame)
+		}
+	default:
+		v.reg.Counter("recv.unhandled").Inc()
+	}
+}
+
+// DisplayedPose returns how the client's display renders participant id at
+// display time.
+func (v *VR) DisplayedPose(id protocol.ParticipantID, at time.Duration) (pose.Pose, bool) {
+	return v.replica.Pose(id, at)
+}
+
+// VisibleParticipants lists entities the client currently replicates.
+func (v *VR) VisibleParticipants() []protocol.ParticipantID {
+	return v.replica.Participants()
+}
+
+// OwnPose returns the client's locally-predicted own pose — rendered with
+// zero latency, which is why clients exclude themselves from replication.
+func (v *VR) OwnPose(at time.Duration) pose.Pose {
+	return v.cfg.Script.PoseAt(at)
+}

@@ -1,0 +1,259 @@
+package client
+
+import (
+	"testing"
+	"time"
+
+	"metaclass/internal/core"
+	"metaclass/internal/expression"
+	"metaclass/internal/mathx"
+	"metaclass/internal/netsim"
+	"metaclass/internal/protocol"
+	"metaclass/internal/trace"
+	"metaclass/internal/vclock"
+)
+
+// fakeServer captures client uplink and can push replication down.
+type fakeServer struct {
+	sim   *vclock.Sim
+	net   *netsim.Network
+	poses []*protocol.PoseUpdate
+	exprs []*protocol.ExpressionUpdate
+	acks  []*protocol.Ack
+}
+
+func newFakeServer(t *testing.T, sim *vclock.Sim, net *netsim.Network) *fakeServer {
+	t.Helper()
+	fs := &fakeServer{sim: sim, net: net}
+	if err := net.AddHost("srv", netsim.HandlerFunc(func(_ netsim.Addr, payload []byte) {
+		msg, _, err := protocol.Decode(payload)
+		if err != nil {
+			t.Fatalf("server decode: %v", err)
+		}
+		switch m := msg.(type) {
+		case *protocol.PoseUpdate:
+			fs.poses = append(fs.poses, m)
+		case *protocol.ExpressionUpdate:
+			fs.exprs = append(fs.exprs, m)
+		case *protocol.Ack:
+			fs.acks = append(fs.acks, m)
+		}
+	})); err != nil {
+		t.Fatal(err)
+	}
+	return fs
+}
+
+func (fs *fakeServer) push(t *testing.T, msg protocol.Message) {
+	t.Helper()
+	frame, err := protocol.Encode(msg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.net.Send("srv", "vr", frame); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func newVRUnderTest(t *testing.T, sim *vclock.Sim, net *netsim.Network, cfg VRConfig) *VR {
+	t.Helper()
+	cfg.Participant = 7
+	cfg.Addr = "vr"
+	cfg.Server = "srv"
+	v, err := NewVR(sim, net, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := net.ConnectBoth("vr", "srv", netsim.LinkConfig{Latency: 10 * time.Millisecond}); err != nil {
+		t.Fatal(err)
+	}
+	return v
+}
+
+func TestVRPublishesPoses(t *testing.T) {
+	sim := vclock.New(1)
+	net := netsim.New(sim)
+	fs := newFakeServer(t, sim, net)
+	v := newVRUnderTest(t, sim, net, VRConfig{
+		PublishHz: 20,
+		Script:    trace.Seated{Anchor: mathx.V3(1, 0, 1)},
+		Expressions: func(time.Duration) expression.Expression {
+			return expression.PresetSmile.Make()
+		},
+	})
+	if err := v.Start(); err != nil {
+		t.Fatal(err)
+	}
+	if err := v.Start(); err == nil {
+		t.Error("double start accepted")
+	}
+	// Publishes fire at 50..1000 ms; allow the 10 ms link to deliver the last.
+	_ = sim.Run(time.Second + 20*time.Millisecond)
+	v.Stop()
+	if got := len(fs.poses); got != 20 {
+		t.Errorf("poses = %d, want 20", got)
+	}
+	if got := len(fs.exprs); got != 20 {
+		t.Errorf("expressions = %d, want 20", got)
+	}
+	// Sequence numbers increase; capture stamps are sane.
+	for i := 1; i < len(fs.poses); i++ {
+		if fs.poses[i].Seq != fs.poses[i-1].Seq+1 {
+			t.Fatal("pose sequence gap")
+		}
+		if fs.poses[i].CapturedAt <= fs.poses[i-1].CapturedAt {
+			t.Fatal("capture stamps not increasing")
+		}
+	}
+	if fs.poses[0].Participant != 7 {
+		t.Error("wrong participant id")
+	}
+}
+
+func TestVRAppliesReplicationAndAcks(t *testing.T) {
+	sim := vclock.New(2)
+	net := netsim.New(sim)
+	fs := newFakeServer(t, sim, net)
+	v := newVRUnderTest(t, sim, net, VRConfig{})
+
+	// Push a snapshot with two entities.
+	snapStore := core.NewStore()
+	snapStore.BeginTick()
+	for _, id := range []protocol.ParticipantID{1, 2} {
+		snapStore.Upsert(protocol.EntityState{
+			Participant: id, CapturedAt: 0,
+			Pose: protocol.QuantizePose(mathx.V3(float64(id), 1, 0), mathx.QuatIdentity()),
+		})
+	}
+	fs.push(t, snapStore.Snapshot(nil))
+	_ = sim.RunAll()
+
+	if len(fs.acks) != 1 || fs.acks[0].Tick != 1 {
+		t.Fatalf("acks = %+v", fs.acks)
+	}
+	vis := v.VisibleParticipants()
+	if len(vis) != 2 {
+		t.Fatalf("visible = %v", vis)
+	}
+	p, ok := v.DisplayedPose(1, sim.Now())
+	if !ok || !p.IsFinite() {
+		t.Fatal("entity 1 not displayable")
+	}
+
+	// A delta with a gap (base beyond applied tick) must not be acked.
+	gap := &protocol.Delta{BaseTick: 99, Tick: 100}
+	fs.push(t, gap)
+	_ = sim.RunAll()
+	if len(fs.acks) != 1 {
+		t.Errorf("gap delta was acked: %+v", fs.acks)
+	}
+	if v.Metrics().Counter("recv.gaps").Value() != 1 {
+		t.Error("gap not counted")
+	}
+}
+
+func TestVRPoseAgeMeasured(t *testing.T) {
+	sim := vclock.New(3)
+	net := netsim.New(sim)
+	fs := newFakeServer(t, sim, net)
+	v := newVRUnderTest(t, sim, net, VRConfig{})
+	// Entity captured at t=0, pushed at t=50ms, link 10ms: age 60ms.
+	sim.After(50*time.Millisecond, func() {
+		st := core.NewStore()
+		st.BeginTick()
+		st.Upsert(protocol.EntityState{Participant: 1, CapturedAt: 0,
+			Pose: protocol.QuantizePose(mathx.V3(0, 1, 0), mathx.QuatIdentity())})
+		fs.push(t, st.Snapshot(nil))
+	})
+	_ = sim.RunAll()
+	h := v.Metrics().Histogram("pose.age")
+	if h.Count() != 1 {
+		t.Fatalf("age samples = %d", h.Count())
+	}
+	if h.Max() < 55*time.Millisecond || h.Max() > 70*time.Millisecond {
+		t.Errorf("age = %v, want ~60ms", h.Max())
+	}
+}
+
+func TestVROwnPoseIsLive(t *testing.T) {
+	sim := vclock.New(4)
+	net := netsim.New(sim)
+	newFakeServer(t, sim, net)
+	script := trace.Seated{Anchor: mathx.V3(2, 0, 3), Phase: 1}
+	v := newVRUnderTest(t, sim, net, VRConfig{Script: script})
+	_ = sim.Run(time.Second)
+	own := v.OwnPose(sim.Now())
+	truth := script.PoseAt(sim.Now())
+	if own.PositionError(truth) != 0 {
+		t.Error("own pose not rendered live (zero latency)")
+	}
+}
+
+func TestVRRejectsZeroParticipant(t *testing.T) {
+	sim := vclock.New(5)
+	net := netsim.New(sim)
+	if _, err := NewVR(sim, net, VRConfig{Addr: "x", Server: "y"}); err == nil {
+		t.Error("zero participant accepted")
+	}
+}
+
+func TestVRIgnoresGarbage(t *testing.T) {
+	sim := vclock.New(6)
+	net := netsim.New(sim)
+	fs := newFakeServer(t, sim, net)
+	v := newVRUnderTest(t, sim, net, VRConfig{})
+	_ = fs
+	if err := net.Send("srv", "vr", []byte{0xde, 0xad}); err != nil {
+		t.Fatal(err)
+	}
+	_ = sim.RunAll()
+	if v.Metrics().Counter("decode.errors").Value() != 1 {
+		t.Error("garbage not counted")
+	}
+}
+
+func TestVRPingMeasuresRTT(t *testing.T) {
+	sim := vclock.New(7)
+	net := netsim.New(sim)
+	// Server that answers pings.
+	if err := net.AddHost("srv", netsim.HandlerFunc(func(from netsim.Addr, payload []byte) {
+		msg, _, err := protocol.Decode(payload)
+		if err != nil {
+			return
+		}
+		if ping, ok := msg.(*protocol.Ping); ok {
+			if frame, err := protocol.Encode(&protocol.Pong{Nonce: ping.Nonce, SentAt: ping.SentAt}); err == nil {
+				_ = net.Send("srv", from, frame)
+			}
+		}
+	})); err != nil {
+		t.Fatal(err)
+	}
+	v := newVRUnderTest(t, sim, net, VRConfig{PingEvery: 500 * time.Millisecond})
+	if err := v.Start(); err != nil {
+		t.Fatal(err)
+	}
+	_ = sim.Run(3 * time.Second)
+	h := v.Metrics().Histogram("rtt")
+	if h.Count() < 4 {
+		t.Fatalf("rtt samples = %d, want >= 4", h.Count())
+	}
+	// 10 ms each way: RTT ~20 ms.
+	if h.P50() < 18*time.Millisecond || h.P50() > 25*time.Millisecond {
+		t.Errorf("rtt p50 = %v, want ~20ms", h.P50())
+	}
+}
+
+func TestVRPingDisabled(t *testing.T) {
+	sim := vclock.New(8)
+	net := netsim.New(sim)
+	newFakeServer(t, sim, net)
+	v := newVRUnderTest(t, sim, net, VRConfig{PingEvery: -1})
+	if err := v.Start(); err != nil {
+		t.Fatal(err)
+	}
+	_ = sim.Run(3 * time.Second)
+	if v.Metrics().Histogram("rtt").Count() != 0 {
+		t.Error("pings sent despite PingEvery < 0")
+	}
+}

@@ -1,0 +1,412 @@
+// Package cloud implements the cloud server hosting the Digital Metaverse
+// Classroom of the paper's Fig. 2/3: it "arranges the avatars of all users
+// within an entirely virtual VR classroom and transmits the results back to
+// the remote users".
+//
+// The Server ingests (a) replicated state from every campus edge server and
+// (b) pose streams from remote VR learners (its own "local" participants),
+// merges them into one world state, arranges remote users into VR seats,
+// and fans the merged world out — interest-managed — to every remote
+// client, either directly or through regional Relays (the paper's
+// "regional servers" remedy for poorly interconnected users).
+package cloud
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+	"time"
+
+	"metaclass/internal/core"
+	"metaclass/internal/interest"
+	"metaclass/internal/mathx"
+	"metaclass/internal/metrics"
+	"metaclass/internal/netsim"
+	"metaclass/internal/pose"
+	"metaclass/internal/protocol"
+	"metaclass/internal/seat"
+	"metaclass/internal/vclock"
+)
+
+// Cloud server errors.
+var (
+	ErrClientExists = errors.New("cloud: client already registered")
+	ErrPeerExists   = errors.New("cloud: peer already connected")
+)
+
+// Config parameterizes the cloud VR server.
+type Config struct {
+	// Addr is the server's network address.
+	Addr netsim.Addr
+	// TickHz is the fan-out tick rate (default 30).
+	TickHz float64
+	// VRRows/VRCols/VRPitch shape the virtual classroom's seating
+	// (defaults 40 x 25 at 1.2 m — a thousand-seat virtual auditorium).
+	VRRows, VRCols int
+	VRPitch        float64
+	// InterpDelay is the playout delay for edge replicas (default 100 ms).
+	InterpDelay time.Duration
+	// Interest is the fan-out policy; nil disables interest management
+	// (broadcast — the E4 ablation baseline).
+	Interest *interest.Policy
+	// Repl tunes the replicator.
+	Repl core.ReplConfig
+}
+
+func (c *Config) applyDefaults() {
+	if c.TickHz <= 0 {
+		c.TickHz = 30
+	}
+	if c.VRRows <= 0 {
+		c.VRRows = 40
+	}
+	if c.VRCols <= 0 {
+		c.VRCols = 25
+	}
+	if c.VRPitch <= 0 {
+		c.VRPitch = 1.2
+	}
+	if c.InterpDelay <= 0 {
+		c.InterpDelay = 100 * time.Millisecond
+	}
+}
+
+type edgePeer struct {
+	addr    netsim.Addr
+	replica *core.Replica
+}
+
+type vrClient struct {
+	id         protocol.ParticipantID
+	addr       netsim.Addr
+	correction mathx.Transform
+	seated     bool
+}
+
+// Server is the cloud VR classroom host.
+type Server struct {
+	cfg Config
+	sim *vclock.Sim
+	net *netsim.Network
+
+	world   *core.Store
+	repl    *core.Replicator
+	edges   map[netsim.Addr]*edgePeer
+	relays  map[netsim.Addr]bool
+	clients map[protocol.ParticipantID]*vrClient
+	byAddr  map[netsim.Addr]*vrClient
+	seats   *seat.Map
+	grid    *interest.Grid
+	reg     *metrics.Registry
+
+	cancel func()
+}
+
+// New creates a cloud server and registers it on the network.
+func New(sim *vclock.Sim, net *netsim.Network, cfg Config) (*Server, error) {
+	cfg.applyDefaults()
+	s := &Server{
+		cfg:     cfg,
+		sim:     sim,
+		net:     net,
+		world:   core.NewStore(),
+		edges:   make(map[netsim.Addr]*edgePeer),
+		relays:  make(map[netsim.Addr]bool),
+		clients: make(map[protocol.ParticipantID]*vrClient),
+		byAddr:  make(map[netsim.Addr]*vrClient),
+		seats:   seat.NewGrid(0, cfg.VRRows, cfg.VRCols, cfg.VRPitch),
+		grid:    interest.NewGrid(4),
+		reg:     metrics.NewRegistry(string(cfg.Addr)),
+	}
+	s.repl = core.NewReplicator(s.world, cfg.Repl)
+	if !net.HasHost(cfg.Addr) {
+		if err := net.AddHost(cfg.Addr, s); err != nil {
+			return nil, err
+		}
+	} else if err := net.Bind(cfg.Addr, s); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// Addr returns the server's address.
+func (s *Server) Addr() netsim.Addr { return s.cfg.Addr }
+
+// Metrics exposes the metrics registry.
+func (s *Server) Metrics() *metrics.Registry { return s.reg }
+
+// World exposes the merged world state (tests and experiments).
+func (s *Server) World() *core.Store { return s.world }
+
+// ConnectEdge links a campus edge server. The cloud replicates back only
+// entities the edge does not already author (cloud-authored VR users and
+// other campuses' participants arrive at edges via their own links).
+func (s *Server) ConnectEdge(addr netsim.Addr, classroom protocol.ClassroomID) error {
+	if _, ok := s.edges[addr]; ok {
+		return fmt.Errorf("%w: %s", ErrPeerExists, addr)
+	}
+	ep := &edgePeer{
+		addr:    addr,
+		replica: core.NewReplica(s.cfg.InterpDelay, pose.Linear{}),
+	}
+	ep.replica.Latency = s.reg.Histogram("edge.pose.age")
+	s.edges[addr] = ep
+	// The edge receives only VR-user entities (Home == 0) from the cloud.
+	return s.repl.AddPeer(string(addr), func(id protocol.ParticipantID, _ uint64) bool {
+		e, ok := s.world.Get(id)
+		return ok && e.Home == 0
+	})
+}
+
+// AddRelay links a regional relay, which receives the full world.
+func (s *Server) AddRelay(addr netsim.Addr) error {
+	if s.relays[addr] {
+		return fmt.Errorf("%w: %s", ErrPeerExists, addr)
+	}
+	s.relays[addr] = true
+	return s.repl.AddPeer(string(addr), nil)
+}
+
+// AddClient registers a remote VR learner served directly by this cloud.
+// via is the address replication should be sent to — the client itself, or
+// nothing extra is needed for relay-served clients (their relay replicates
+// to them).
+func (s *Server) AddClient(id protocol.ParticipantID, addr netsim.Addr) error {
+	if _, ok := s.clients[id]; ok {
+		return fmt.Errorf("%w: %d", ErrClientExists, id)
+	}
+	c := &vrClient{id: id, addr: addr}
+	s.clients[id] = c
+	s.byAddr[addr] = c
+	return s.repl.AddPeer(string(addr), s.clientFilter(id))
+}
+
+// RegisterRelayClient records a client whose pose updates will arrive via a
+// relay; the cloud seats and authors it but does not replicate to it
+// directly (its relay does).
+func (s *Server) RegisterRelayClient(id protocol.ParticipantID, relay netsim.Addr) error {
+	if _, ok := s.clients[id]; ok {
+		return fmt.Errorf("%w: %d", ErrClientExists, id)
+	}
+	c := &vrClient{id: id, addr: relay}
+	s.clients[id] = c
+	return nil
+}
+
+// RemoveClient drops a remote learner, releasing their VR seat.
+func (s *Server) RemoveClient(id protocol.ParticipantID) error {
+	c, ok := s.clients[id]
+	if !ok {
+		return fmt.Errorf("cloud: unknown client %d", id)
+	}
+	delete(s.clients, id)
+	delete(s.byAddr, c.addr)
+	_ = s.seats.Release(id)
+	if s.repl.HasPeer(string(c.addr)) {
+		_ = s.repl.RemovePeer(string(c.addr))
+	}
+	s.grid.Remove(id)
+	s.world.BeginTick()
+	s.world.Remove(id)
+	return nil
+}
+
+// clientFilter builds the interest-management gate for one client.
+func (s *Server) clientFilter(clientID protocol.ParticipantID) core.FilterFunc {
+	return func(id protocol.ParticipantID, tick uint64) bool {
+		if id == clientID {
+			return false // clients predict themselves locally
+		}
+		if s.cfg.Interest == nil {
+			return true // broadcast mode
+		}
+		recvPos, ok := s.grid.Position(clientID)
+		if !ok {
+			return true // not yet seated: send everything until placed
+		}
+		srcPos, ok := s.grid.Position(id)
+		if !ok {
+			return true
+		}
+		dx, dz := srcPos.X-recvPos.X, srcPos.Z-recvPos.Z
+		dist := math.Sqrt(dx*dx + dz*dz)
+		return interest.ShouldSend(s.cfg.Interest.Classify(id, dist), tick)
+	}
+}
+
+// PinFocus marks a participant (the educator, the current speaker) as
+// always-replicated to every client regardless of distance.
+func (s *Server) PinFocus(id protocol.ParticipantID) {
+	if s.cfg.Interest != nil {
+		s.cfg.Interest.Pin(id)
+	}
+}
+
+// Start begins the fan-out tick loop.
+func (s *Server) Start() error {
+	if s.cancel != nil {
+		return errors.New("cloud: already started")
+	}
+	interval := time.Duration(float64(time.Second) / s.cfg.TickHz)
+	s.cancel = s.sim.Ticker(interval, s.tick)
+	return nil
+}
+
+// Stop halts the tick loop.
+func (s *Server) Stop() {
+	if s.cancel != nil {
+		s.cancel()
+		s.cancel = nil
+	}
+}
+
+func (s *Server) tick() {
+	s.world.BeginTick()
+
+	// Mirror edge-authored entities into the world.
+	live := make(map[protocol.ParticipantID]bool)
+	for _, addr := range s.edgeAddrs() {
+		ep := s.edges[addr]
+		st := ep.replica.Store()
+		for _, id := range st.IDs() {
+			e, _ := st.Get(id)
+			live[id] = true
+			if s.world.UpsertIfChanged(e) {
+				pos, _ := e.Pose.Dequantize()
+				s.grid.Update(id, pos)
+			}
+		}
+	}
+	// Propagate edge-side departures: any edge-authored world entity no
+	// longer present in its replica has left the classroom.
+	for _, id := range s.world.IDs() {
+		if live[id] {
+			continue
+		}
+		if e, ok := s.world.Get(id); ok && e.Home != 0 {
+			s.world.Remove(id)
+			s.grid.Remove(id)
+		}
+	}
+
+	// Fan out.
+	for _, pm := range s.repl.PlanTick() {
+		frame, err := protocol.Encode(pm.Msg)
+		if err != nil {
+			s.reg.Counter("encode.errors").Inc()
+			continue
+		}
+		s.reg.Counter("sync.msgs.sent").Inc()
+		s.reg.Counter("sync.bytes.sent").Add(uint64(len(frame)))
+		if err := s.net.Send(s.cfg.Addr, netsim.Addr(pm.Peer), frame); err != nil {
+			s.reg.Counter("send.errors").Inc()
+		}
+	}
+}
+
+func (s *Server) edgeAddrs() []netsim.Addr {
+	out := make([]netsim.Addr, 0, len(s.edges))
+	for a := range s.edges {
+		out = append(out, a)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// HandleMessage implements netsim.Handler.
+func (s *Server) HandleMessage(from netsim.Addr, payload []byte) {
+	msg, _, err := protocol.Decode(payload)
+	if err != nil {
+		s.reg.Counter("decode.errors").Inc()
+		return
+	}
+	s.reg.Counter("sync.msgs.recv").Inc()
+	switch m := msg.(type) {
+	case *protocol.Snapshot, *protocol.Delta:
+		ep, ok := s.edges[from]
+		if !ok {
+			s.reg.Counter("recv.unknown_peer").Inc()
+			return
+		}
+		ackTick, applied := ep.replica.Apply(msg, s.sim.Now())
+		if !applied {
+			s.reg.Counter("recv.gaps").Inc()
+			return
+		}
+		if frame, err := protocol.Encode(&protocol.Ack{Tick: ackTick}); err == nil {
+			_ = s.net.Send(s.cfg.Addr, from, frame)
+		}
+	case *protocol.Ack:
+		if err := s.repl.Ack(string(from), m.Tick); err != nil {
+			s.reg.Counter("recv.unknown_peer").Inc()
+		}
+	case *protocol.PoseUpdate:
+		s.ingestClientPose(m)
+	case *protocol.ExpressionUpdate:
+		s.ingestClientExpression(m)
+	case *protocol.Ping:
+		if frame, err := protocol.Encode(&protocol.Pong{Nonce: m.Nonce, SentAt: m.SentAt}); err == nil {
+			_ = s.net.Send(s.cfg.Addr, from, frame)
+		}
+	default:
+		s.reg.Counter("recv.unhandled").Inc()
+	}
+}
+
+// ingestClientPose authors a remote VR learner's pose into the world,
+// seating them on first contact ("the cloud server arranges the avatars of
+// all users within an entirely virtual VR classroom").
+func (s *Server) ingestClientPose(m *protocol.PoseUpdate) {
+	c, ok := s.clients[m.Participant]
+	if !ok {
+		s.reg.Counter("recv.unknown_client").Inc()
+		return
+	}
+	pos, rot := m.Pose.Dequantize()
+	if !c.seated {
+		anchor := mathx.V3(pos.X, 0, pos.Z)
+		asg, err := s.seats.AssignVacant(m.Participant, anchor, rot.Yaw(), mathx.Vec3{})
+		if err != nil {
+			s.reg.Counter("seats.exhausted").Inc()
+			c.correction = mathx.TransformIdentity()
+		} else {
+			c.correction = asg.Correction
+			s.reg.Counter("seats.assigned").Inc()
+		}
+		c.seated = true
+	}
+	p := pose.Pose{
+		Time:     m.CapturedAt,
+		Position: pos,
+		Rotation: rot,
+		Velocity: mathx.V3(float64(m.VelMMS[0])/1000, float64(m.VelMMS[1])/1000, float64(m.VelMMS[2])/1000),
+	}
+	p = seat.ApplyCorrection(c.correction, p)
+	seatIdx, _ := s.seats.SeatOf(m.Participant)
+	s.world.Upsert(protocol.EntityState{
+		Participant: m.Participant,
+		Home:        0,
+		CapturedAt:  m.CapturedAt,
+		Pose:        protocol.QuantizePose(p.Position, p.Rotation),
+		VelMMS: [3]int64{
+			int64(p.Velocity.X * 1000), int64(p.Velocity.Y * 1000), int64(p.Velocity.Z * 1000),
+		},
+		Seat: seatIdx,
+	})
+	s.grid.Update(m.Participant, p.Position)
+	s.reg.Counter("client.poses").Inc()
+	s.reg.Histogram("client.pose.age").Observe(s.sim.Now() - m.CapturedAt)
+}
+
+func (s *Server) ingestClientExpression(m *protocol.ExpressionUpdate) {
+	e, ok := s.world.Get(m.Participant)
+	if !ok {
+		return
+	}
+	e.Expression = m.Weights
+	s.world.Upsert(e)
+}
+
+// ClientCount returns the number of registered remote learners.
+func (s *Server) ClientCount() int { return len(s.clients) }

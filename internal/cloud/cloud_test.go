@@ -1,0 +1,351 @@
+package cloud
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"metaclass/internal/core"
+	"metaclass/internal/interest"
+	"metaclass/internal/mathx"
+	"metaclass/internal/netsim"
+	"metaclass/internal/protocol"
+	"metaclass/internal/vclock"
+)
+
+func newCloud(t *testing.T, sim *vclock.Sim, net *netsim.Network, pol *interest.Policy) *Server {
+	t.Helper()
+	s, err := New(sim, net, Config{Addr: "cloud", Interest: pol})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func addClientHost(t *testing.T, net *netsim.Network, addr netsim.Addr, h netsim.Handler) {
+	t.Helper()
+	if err := net.AddHost(addr, h); err != nil {
+		t.Fatal(err)
+	}
+	if err := net.ConnectBoth(addr, "cloud", netsim.ResidentialBroadband(20*time.Millisecond)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func clientPose(id protocol.ParticipantID, seq uint32, at time.Duration, x float64) []byte {
+	frame, err := protocol.Encode(&protocol.PoseUpdate{
+		Participant: id, Seq: seq, CapturedAt: at,
+		Pose: protocol.QuantizePose(mathx.V3(x, 1.2, 0), mathx.QuatIdentity()),
+	})
+	if err != nil {
+		panic(err)
+	}
+	return frame
+}
+
+func TestCloudSeatsAndAuthorsClients(t *testing.T) {
+	sim := vclock.New(1)
+	net := netsim.New(sim)
+	s := newCloud(t, sim, net, nil)
+	addClientHost(t, net, "c1", nil)
+	if err := s.AddClient(7, "c1"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.AddClient(7, "c1"); !errors.Is(err, ErrClientExists) {
+		t.Errorf("dup client err = %v", err)
+	}
+	if err := s.Start(); err != nil {
+		t.Fatal(err)
+	}
+	_ = net.Send("c1", "cloud", clientPose(7, 1, 0, 0.5))
+	_ = sim.Run(time.Second)
+	e, ok := s.World().Get(7)
+	if !ok {
+		t.Fatal("client not authored into world")
+	}
+	if e.Home != 0 {
+		t.Errorf("client home = %d, want 0", e.Home)
+	}
+	if e.Seat == 0 && s.Metrics().Counter("seats.assigned").Value() == 0 {
+		t.Error("client not seated")
+	}
+	// The authored pose is seat-corrected: it must sit near the assigned
+	// VR seat, not at the client's living-room origin.
+	seat, err := s.seats.SeatAt(e.Seat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pos, _ := e.Pose.Dequantize()
+	if pos.Dist(seat.Position) > 2.5 {
+		t.Errorf("authored pose %v far from VR seat %v", pos, seat.Position)
+	}
+	if s.ClientCount() != 1 {
+		t.Errorf("ClientCount = %d", s.ClientCount())
+	}
+}
+
+func TestCloudUnknownClientPoseDropped(t *testing.T) {
+	sim := vclock.New(2)
+	net := netsim.New(sim)
+	s := newCloud(t, sim, net, nil)
+	addClientHost(t, net, "c1", nil)
+	_ = s.Start()
+	_ = net.Send("c1", "cloud", clientPose(99, 1, 0, 0))
+	_ = sim.Run(time.Second)
+	if _, ok := s.World().Get(99); ok {
+		t.Error("unregistered client authored")
+	}
+	if s.Metrics().Counter("recv.unknown_client").Value() == 0 {
+		t.Error("unknown client not counted")
+	}
+}
+
+func TestCloudRemoveClient(t *testing.T) {
+	sim := vclock.New(3)
+	net := netsim.New(sim)
+	s := newCloud(t, sim, net, nil)
+	addClientHost(t, net, "c1", nil)
+	if err := s.AddClient(7, "c1"); err != nil {
+		t.Fatal(err)
+	}
+	_ = s.Start()
+	_ = net.Send("c1", "cloud", clientPose(7, 1, 0, 0))
+	_ = sim.Run(time.Second)
+	if err := s.RemoveClient(7); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.RemoveClient(7); err == nil {
+		t.Error("double remove accepted")
+	}
+	if _, ok := s.World().Get(7); ok {
+		t.Error("removed client still in world")
+	}
+	if s.seats.Vacant() != s.seats.Total() {
+		t.Error("seat not released")
+	}
+}
+
+func TestCloudInterestFilterReducesTraffic(t *testing.T) {
+	run := func(pol *interest.Policy) uint64 {
+		sim := vclock.New(4)
+		net := netsim.New(sim)
+		s := newCloud(t, sim, net, pol)
+		// 20 clients spread far apart so distance tiers engage.
+		for i := 0; i < 20; i++ {
+			id := protocol.ParticipantID(i + 1)
+			addr := netsim.Addr(rune('A' + i))
+			addClientHost(t, net, addr, nil)
+			if err := s.AddClient(id, addr); err != nil {
+				t.Fatal(err)
+			}
+		}
+		_ = s.Start()
+		// Clients publish from scattered anchors.
+		for i := 0; i < 20; i++ {
+			id := protocol.ParticipantID(i + 1)
+			addr := netsim.Addr(rune('A' + i))
+			i := i
+			seq := uint32(0)
+			sim.Ticker(50*time.Millisecond, func() {
+				seq++
+				_ = net.Send(addr, "cloud", clientPose(id, seq, sim.Now(), float64(i*40)))
+			})
+		}
+		_ = sim.Run(3 * time.Second)
+		return s.Metrics().Counter("sync.bytes.sent").Value()
+	}
+	broadcast := run(nil)
+	filtered := run(interest.NewPolicy())
+	if filtered >= broadcast {
+		t.Errorf("interest bytes %d >= broadcast %d", filtered, broadcast)
+	}
+}
+
+func TestRelayMirrorsAndServes(t *testing.T) {
+	sim := vclock.New(5)
+	net := netsim.New(sim)
+	s := newCloud(t, sim, net, nil)
+
+	r, err := NewRelay(sim, net, RelayConfig{Addr: "relay", Upstream: "cloud"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := net.ConnectBoth("relay", "cloud", netsim.LinkConfig{Latency: 50 * time.Millisecond, Bandwidth: 1e9}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.AddRelay("relay"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.AddRelay("relay"); !errors.Is(err, ErrPeerExists) {
+		t.Errorf("dup relay err = %v", err)
+	}
+
+	// One publisher direct to the cloud, one subscriber behind the relay.
+	addClientHost(t, net, "pub", nil)
+	if err := s.AddClient(1, "pub"); err != nil {
+		t.Fatal(err)
+	}
+	var got []protocol.Message
+	if err := net.AddHost("sub", netsim.HandlerFunc(func(_ netsim.Addr, payload []byte) {
+		if m, _, err := protocol.Decode(payload); err == nil {
+			got = append(got, m)
+		}
+	})); err != nil {
+		t.Fatal(err)
+	}
+	if err := net.ConnectBoth("sub", "relay", netsim.ResidentialBroadband(10*time.Millisecond)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.RegisterRelayClient(2, "relay"); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.AddClient(2, "sub"); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.AddClient(2, "sub"); !errors.Is(err, ErrClientExists) {
+		t.Errorf("dup relay client err = %v", err)
+	}
+	_ = s.Start()
+	if err := r.Start(); err != nil {
+		t.Fatal(err)
+	}
+	seq := uint32(0)
+	sim.Ticker(50*time.Millisecond, func() {
+		seq++
+		_ = net.Send("pub", "cloud", clientPose(1, seq, sim.Now(), 1))
+	})
+	_ = sim.Run(3 * time.Second)
+
+	// The subscriber must have received entity 1 through the relay chain.
+	found := false
+	for _, m := range got {
+		switch msg := m.(type) {
+		case *protocol.Snapshot:
+			for _, e := range msg.Entities {
+				if e.Participant == 1 {
+					found = true
+				}
+			}
+		case *protocol.Delta:
+			for _, e := range msg.Changed {
+				if e.Participant == 1 {
+					found = true
+				}
+			}
+		}
+	}
+	if !found {
+		t.Fatal("entity never reached the relay-served client")
+	}
+	if r.ClientCount() != 1 {
+		t.Errorf("relay ClientCount = %d", r.ClientCount())
+	}
+}
+
+func TestRelayForwardsClientPosesUpstream(t *testing.T) {
+	sim := vclock.New(6)
+	net := netsim.New(sim)
+	s := newCloud(t, sim, net, nil)
+	r, err := NewRelay(sim, net, RelayConfig{Addr: "relay", Upstream: "cloud"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = r
+	if err := net.ConnectBoth("relay", "cloud", netsim.LinkConfig{Latency: 30 * time.Millisecond, Bandwidth: 1e9}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.AddRelay("relay"); err != nil {
+		t.Fatal(err)
+	}
+	if err := net.AddHost("sub", nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := net.ConnectBoth("sub", "relay", netsim.LinkConfig{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.RegisterRelayClient(2, "relay"); err != nil {
+		t.Fatal(err)
+	}
+	_ = s.Start()
+	_ = r.Start()
+	_ = net.Send("sub", "relay", clientPose(2, 1, 0, 3))
+	_ = sim.Run(time.Second)
+	if _, ok := s.World().Get(2); !ok {
+		t.Fatal("relay did not forward the client pose upstream")
+	}
+	if r.Metrics().Counter("forwarded.up").Value() == 0 {
+		t.Error("forwarding not counted")
+	}
+}
+
+func TestCloudEdgeFilterOnlySendsVRUsers(t *testing.T) {
+	sim := vclock.New(7)
+	net := netsim.New(sim)
+	s := newCloud(t, sim, net, nil)
+
+	// Fake edge: capture what the cloud sends it.
+	var got []protocol.Message
+	if err := net.AddHost("edge", netsim.HandlerFunc(func(_ netsim.Addr, payload []byte) {
+		if m, _, err := protocol.Decode(payload); err == nil {
+			got = append(got, m)
+		}
+	})); err != nil {
+		t.Fatal(err)
+	}
+	if err := net.ConnectBoth("edge", "cloud", netsim.EdgeToCloud()); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.ConnectEdge("edge", 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.ConnectEdge("edge", 1); !errors.Is(err, ErrPeerExists) {
+		t.Errorf("dup edge err = %v", err)
+	}
+
+	// The edge replicates one of its own participants up to the cloud.
+	edgeStore := core.NewStore()
+	edgeStore.BeginTick()
+	edgeStore.Upsert(protocol.EntityState{Participant: 50, Home: 1,
+		Pose: protocol.QuantizePose(mathx.V3(1, 1, 1), mathx.QuatIdentity())})
+	snap, err := protocol.Encode(edgeStore.Snapshot(nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = net.Send("edge", "cloud", snap)
+
+	// And a VR client publishes directly.
+	addClientHost(t, net, "c1", nil)
+	if err := s.AddClient(7, "c1"); err != nil {
+		t.Fatal(err)
+	}
+	_ = s.Start()
+	_ = net.Send("c1", "cloud", clientPose(7, 1, 0, 0))
+	_ = sim.Run(2 * time.Second)
+
+	// The cloud's replication to the edge must contain VR user 7 and never
+	// echo back the edge's own participant 50.
+	saw7, saw50 := false, false
+	for _, m := range got {
+		var ents []protocol.EntityState
+		switch msg := m.(type) {
+		case *protocol.Snapshot:
+			ents = msg.Entities
+		case *protocol.Delta:
+			ents = msg.Changed
+		}
+		for _, e := range ents {
+			if e.Participant == 7 {
+				saw7 = true
+			}
+			if e.Participant == 50 {
+				saw50 = true
+			}
+		}
+	}
+	if !saw7 {
+		t.Error("VR user never replicated to the edge")
+	}
+	if saw50 {
+		t.Error("cloud echoed the edge's own participant back (loop!)")
+	}
+}

@@ -1,0 +1,225 @@
+package cloud
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"time"
+
+	"metaclass/internal/core"
+	"metaclass/internal/interest"
+	"metaclass/internal/metrics"
+	"metaclass/internal/netsim"
+	"metaclass/internal/pose"
+	"metaclass/internal/protocol"
+	"metaclass/internal/vclock"
+)
+
+// Relay is a regional fan-out server (the paper's "regional servers"
+// remedy): it mirrors the cloud's world state once per region and serves
+// nearby clients locally, so a lecture crossing the Pacific once instead of
+// per-client. Client pose updates are forwarded upstream unchanged.
+type RelayConfig struct {
+	// Addr is the relay's network address.
+	Addr netsim.Addr
+	// Upstream is the cloud server's address.
+	Upstream netsim.Addr
+	// TickHz is the local fan-out rate (default 30).
+	TickHz float64
+	// InterpDelay is the playout delay of the upstream replica (default
+	// 100 ms).
+	InterpDelay time.Duration
+	// Interest is the local fan-out policy (nil = broadcast).
+	Interest *interest.Policy
+	// Repl tunes the client replicator.
+	Repl core.ReplConfig
+}
+
+func (c *RelayConfig) applyDefaults() {
+	if c.TickHz <= 0 {
+		c.TickHz = 30
+	}
+	if c.InterpDelay <= 0 {
+		c.InterpDelay = 100 * time.Millisecond
+	}
+}
+
+// Relay mirrors the cloud world for one region.
+type Relay struct {
+	cfg RelayConfig
+	sim *vclock.Sim
+	net *netsim.Network
+
+	upstream *core.Replica
+	mirror   *core.Store
+	repl     *core.Replicator
+	clients  map[protocol.ParticipantID]netsim.Addr
+	byAddr   map[netsim.Addr]protocol.ParticipantID
+	grid     *interest.Grid
+	reg      *metrics.Registry
+	cancel   func()
+}
+
+// NewRelay creates a relay and registers it on the network.
+func NewRelay(sim *vclock.Sim, net *netsim.Network, cfg RelayConfig) (*Relay, error) {
+	cfg.applyDefaults()
+	r := &Relay{
+		cfg:      cfg,
+		sim:      sim,
+		net:      net,
+		upstream: core.NewReplica(cfg.InterpDelay, pose.Linear{}),
+		mirror:   core.NewStore(),
+		clients:  make(map[protocol.ParticipantID]netsim.Addr),
+		byAddr:   make(map[netsim.Addr]protocol.ParticipantID),
+		grid:     interest.NewGrid(4),
+		reg:      metrics.NewRegistry(string(cfg.Addr)),
+	}
+	r.repl = core.NewReplicator(r.mirror, cfg.Repl)
+	r.upstream.Latency = r.reg.Histogram("upstream.pose.age")
+	if !net.HasHost(cfg.Addr) {
+		if err := net.AddHost(cfg.Addr, r); err != nil {
+			return nil, err
+		}
+	} else if err := net.Bind(cfg.Addr, r); err != nil {
+		return nil, err
+	}
+	return r, nil
+}
+
+// Addr returns the relay's address.
+func (r *Relay) Addr() netsim.Addr { return r.cfg.Addr }
+
+// Metrics exposes the relay's registry.
+func (r *Relay) Metrics() *metrics.Registry { return r.reg }
+
+// AddClient registers a client served by this relay.
+func (r *Relay) AddClient(id protocol.ParticipantID, addr netsim.Addr) error {
+	if _, ok := r.clients[id]; ok {
+		return fmt.Errorf("%w: %d", ErrClientExists, id)
+	}
+	r.clients[id] = addr
+	r.byAddr[addr] = id
+	return r.repl.AddPeer(string(addr), r.clientFilter(id))
+}
+
+func (r *Relay) clientFilter(clientID protocol.ParticipantID) core.FilterFunc {
+	return func(id protocol.ParticipantID, tick uint64) bool {
+		if id == clientID {
+			return false
+		}
+		if r.cfg.Interest == nil {
+			return true
+		}
+		recvPos, ok := r.grid.Position(clientID)
+		if !ok {
+			return true
+		}
+		srcPos, ok := r.grid.Position(id)
+		if !ok {
+			return true
+		}
+		dx, dz := srcPos.X-recvPos.X, srcPos.Z-recvPos.Z
+		dist := math.Sqrt(dx*dx + dz*dz)
+		return interest.ShouldSend(r.cfg.Interest.Classify(id, dist), tick)
+	}
+}
+
+// Start begins the local fan-out loop.
+func (r *Relay) Start() error {
+	if r.cancel != nil {
+		return errors.New("cloud: relay already started")
+	}
+	interval := time.Duration(float64(time.Second) / r.cfg.TickHz)
+	r.cancel = r.sim.Ticker(interval, r.tick)
+	return nil
+}
+
+// Stop halts the loop.
+func (r *Relay) Stop() {
+	if r.cancel != nil {
+		r.cancel()
+		r.cancel = nil
+	}
+}
+
+func (r *Relay) tick() {
+	r.mirror.BeginTick()
+	st := r.upstream.Store()
+	live := make(map[protocol.ParticipantID]bool)
+	for _, id := range st.IDs() {
+		e, _ := st.Get(id)
+		live[id] = true
+		if r.mirror.UpsertIfChanged(e) {
+			pos, _ := e.Pose.Dequantize()
+			r.grid.Update(id, pos)
+		}
+	}
+	// Propagate upstream removals into the mirror.
+	for _, id := range r.mirror.IDs() {
+		if !live[id] {
+			r.mirror.Remove(id)
+			r.grid.Remove(id)
+		}
+	}
+	for _, pm := range r.repl.PlanTick() {
+		frame, err := protocol.Encode(pm.Msg)
+		if err != nil {
+			r.reg.Counter("encode.errors").Inc()
+			continue
+		}
+		r.reg.Counter("sync.msgs.sent").Inc()
+		r.reg.Counter("sync.bytes.sent").Add(uint64(len(frame)))
+		if err := r.net.Send(r.cfg.Addr, netsim.Addr(pm.Peer), frame); err != nil {
+			r.reg.Counter("send.errors").Inc()
+		}
+	}
+}
+
+// HandleMessage implements netsim.Handler.
+func (r *Relay) HandleMessage(from netsim.Addr, payload []byte) {
+	if from == r.cfg.Upstream {
+		msg, _, err := protocol.Decode(payload)
+		if err != nil {
+			r.reg.Counter("decode.errors").Inc()
+			return
+		}
+		switch msg.(type) {
+		case *protocol.Snapshot, *protocol.Delta:
+			ackTick, applied := r.upstream.Apply(msg, r.sim.Now())
+			if !applied {
+				r.reg.Counter("recv.gaps").Inc()
+				return
+			}
+			if frame, err := protocol.Encode(&protocol.Ack{Tick: ackTick}); err == nil {
+				_ = r.net.Send(r.cfg.Addr, from, frame)
+			}
+		default:
+			r.reg.Counter("recv.unhandled").Inc()
+		}
+		return
+	}
+	// From a client: acks terminate here; everything else (pose/expression
+	// streams) forwards upstream unchanged.
+	msg, _, err := protocol.Decode(payload)
+	if err != nil {
+		r.reg.Counter("decode.errors").Inc()
+		return
+	}
+	if ack, ok := msg.(*protocol.Ack); ok {
+		if err := r.repl.Ack(string(from), ack.Tick); err != nil {
+			r.reg.Counter("recv.unknown_peer").Inc()
+		}
+		return
+	}
+	if ping, ok := msg.(*protocol.Ping); ok {
+		if frame, err := protocol.Encode(&protocol.Pong{Nonce: ping.Nonce, SentAt: ping.SentAt}); err == nil {
+			_ = r.net.Send(r.cfg.Addr, from, frame)
+		}
+		return
+	}
+	r.reg.Counter("forwarded.up").Inc()
+	_ = r.net.Send(r.cfg.Addr, r.cfg.Upstream, payload)
+}
+
+// ClientCount returns the number of clients served locally.
+func (r *Relay) ClientCount() int { return len(r.clients) }

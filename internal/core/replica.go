@@ -1,0 +1,164 @@
+package core
+
+import (
+	"time"
+
+	"metaclass/internal/mathx"
+	"metaclass/internal/metrics"
+	"metaclass/internal/pose"
+	"metaclass/internal/protocol"
+)
+
+// Replica is the receiver side of the sync engine: it applies Snapshot and
+// Delta messages from one upstream peer into a local Store and maintains a
+// playout (interpolation) buffer per remote participant so displays render
+// smooth motion between network updates.
+type Replica struct {
+	store        *Store
+	buffers      map[protocol.ParticipantID]*pose.InterpBuffer
+	lastCaptured map[protocol.ParticipantID]time.Duration
+	delay        time.Duration
+	extrap       pose.Extrapolator
+
+	// OnNew fires when a participant first appears (seat assignment hook).
+	OnNew func(e protocol.EntityState)
+	// OnRemove fires when a participant is removed.
+	OnRemove func(id protocol.ParticipantID)
+	// Latency, if set, records capture-to-apply age of every entity update.
+	Latency *metrics.Histogram
+
+	applied   uint64
+	rejected  uint64
+	snapshots uint64
+}
+
+// NewReplica creates a replica whose playout buffers render delay behind
+// live using extrap beyond the newest sample (nil = linear dead reckoning).
+func NewReplica(delay time.Duration, extrap pose.Extrapolator) *Replica {
+	if extrap == nil {
+		extrap = pose.Linear{}
+	}
+	return &Replica{
+		store:        NewStore(),
+		buffers:      make(map[protocol.ParticipantID]*pose.InterpBuffer),
+		lastCaptured: make(map[protocol.ParticipantID]time.Duration),
+		delay:        delay,
+		extrap:       extrap,
+	}
+}
+
+// Store exposes the replica's current entity state.
+func (r *Replica) Store() *Store { return r.store }
+
+// Apply ingests a replication message at virtual time now. It returns the
+// tick to acknowledge and whether the message was applied (false means a
+// delta gap: do not ack; the sender will fall back to a snapshot).
+func (r *Replica) Apply(msg protocol.Message, now time.Duration) (uint64, bool) {
+	switch m := msg.(type) {
+	case *protocol.Snapshot:
+		known := make(map[protocol.ParticipantID]bool, len(m.Entities))
+		for i := range m.Entities {
+			known[m.Entities[i].Participant] = true
+		}
+		// Entities absent from the snapshot are gone.
+		for _, id := range r.store.IDs() {
+			if !known[id] {
+				r.dropEntity(id)
+			}
+		}
+		for i := range m.Entities {
+			r.noteEntity(m.Entities[i], now)
+		}
+		r.store.ApplySnapshot(m)
+		r.snapshots++
+		r.applied++
+		return m.Tick, true
+	case *protocol.Delta:
+		if m.Tick <= r.store.Tick() {
+			// Stale duplicate: ack our current position, apply nothing.
+			r.applied++
+			return r.store.Tick(), true
+		}
+		if !r.store.ApplyDelta(m) {
+			r.rejected++
+			return 0, false
+		}
+		for i := range m.Changed {
+			r.noteEntity(m.Changed[i], now)
+		}
+		for _, id := range m.Removed {
+			r.dropEntity(id)
+		}
+		r.applied++
+		return m.Tick, true
+	default:
+		r.rejected++
+		return 0, false
+	}
+}
+
+func (r *Replica) noteEntity(e protocol.EntityState, now time.Duration) {
+	buf, ok := r.buffers[e.Participant]
+	if !ok {
+		buf = pose.NewInterpBuffer(r.delay, 64, r.extrap)
+		r.buffers[e.Participant] = buf
+		if r.OnNew != nil {
+			r.OnNew(e)
+		}
+	}
+	pos, rot := e.Pose.Dequantize()
+	p := pose.Pose{
+		Time:     e.CapturedAt,
+		Position: pos,
+		Rotation: rot,
+		Velocity: mathx.V3(
+			float64(e.VelMMS[0])/1000, float64(e.VelMMS[1])/1000, float64(e.VelMMS[2])/1000,
+		),
+	}
+	buf.Push(p)
+	// Latency accounting covers fresh information only: redelivery of an
+	// entity whose capture stamp has not advanced (snapshot keyframes,
+	// mirror re-sends) says nothing about pipeline freshness.
+	if last, ok := r.lastCaptured[e.Participant]; !ok || e.CapturedAt > last {
+		r.lastCaptured[e.Participant] = e.CapturedAt
+		if r.Latency != nil {
+			r.Latency.Observe(now - e.CapturedAt)
+		}
+	}
+}
+
+func (r *Replica) dropEntity(id protocol.ParticipantID) {
+	if _, ok := r.buffers[id]; !ok {
+		return
+	}
+	delete(r.buffers, id)
+	delete(r.lastCaptured, id)
+	if r.OnRemove != nil {
+		r.OnRemove(id)
+	}
+}
+
+// Pose samples the replicated participant's pose for display at time at
+// (in the entity's source frame; callers apply seat corrections).
+func (r *Replica) Pose(id protocol.ParticipantID, at time.Duration) (pose.Pose, bool) {
+	buf, ok := r.buffers[id]
+	if !ok {
+		return pose.Pose{}, false
+	}
+	return buf.Sample(at)
+}
+
+// Participants lists replicated participant IDs, ascending.
+func (r *Replica) Participants() []protocol.ParticipantID { return r.store.IDs() }
+
+// ReplicaStats reports apply accounting.
+type ReplicaStats struct {
+	Applied   uint64
+	Rejected  uint64
+	Snapshots uint64
+}
+
+// Stats returns counters.
+func (r *Replica) Stats() ReplicaStats {
+	return ReplicaStats{Applied: r.applied, Rejected: r.rejected, Snapshots: r.snapshots}
+}

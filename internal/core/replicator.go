@@ -1,0 +1,193 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"metaclass/internal/protocol"
+)
+
+// Replicator errors.
+var (
+	ErrPeerExists  = errors.New("core: peer already registered")
+	ErrUnknownPeer = errors.New("core: unknown peer")
+)
+
+// FilterFunc gates which entities a peer receives at a tick (interest
+// management hook). A nil FilterFunc admits everything.
+type FilterFunc func(id protocol.ParticipantID, tick uint64) bool
+
+// ReplConfig tunes replication behavior.
+type ReplConfig struct {
+	// MaxDeltaWindow is the maximum tick distance between a peer's ack and
+	// the current tick before the replicator falls back to a full snapshot
+	// (bounding both delta size and removal-log growth). Default 150 ticks
+	// (5 s at 30 Hz).
+	MaxDeltaWindow uint64
+	// SnapshotEvery forces a periodic full snapshot even to healthy peers
+	// (0 disables). Keyframes bound the damage of undetected state skew.
+	SnapshotEvery uint64
+}
+
+func (c *ReplConfig) applyDefaults() {
+	if c.MaxDeltaWindow == 0 {
+		c.MaxDeltaWindow = 150
+	}
+}
+
+type peerState struct {
+	ackTick      uint64
+	acked        bool
+	filter       FilterFunc
+	lastSnapshot uint64
+	snapshots    uint64
+	deltas       uint64
+}
+
+// Replicator plans per-peer replication messages from a Store.
+type Replicator struct {
+	store *Store
+	cfg   ReplConfig
+	peers map[string]*peerState
+}
+
+// NewReplicator creates a replicator over store.
+func NewReplicator(store *Store, cfg ReplConfig) *Replicator {
+	cfg.applyDefaults()
+	return &Replicator{store: store, cfg: cfg, peers: make(map[string]*peerState)}
+}
+
+// AddPeer registers a downstream peer. filter may be nil (no interest
+// management — e.g. the peer is another authoritative server needing
+// everything).
+func (r *Replicator) AddPeer(id string, filter FilterFunc) error {
+	if _, ok := r.peers[id]; ok {
+		return fmt.Errorf("%w: %s", ErrPeerExists, id)
+	}
+	r.peers[id] = &peerState{filter: filter}
+	return nil
+}
+
+// RemovePeer unregisters a peer.
+func (r *Replicator) RemovePeer(id string) error {
+	if _, ok := r.peers[id]; !ok {
+		return fmt.Errorf("%w: %s", ErrUnknownPeer, id)
+	}
+	delete(r.peers, id)
+	return nil
+}
+
+// HasPeer reports whether id is registered.
+func (r *Replicator) HasPeer(id string) bool {
+	_, ok := r.peers[id]
+	return ok
+}
+
+// Peers returns registered peer IDs, sorted.
+func (r *Replicator) Peers() []string {
+	out := make([]string, 0, len(r.peers))
+	for id := range r.peers {
+		out = append(out, id)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Ack records that peer has applied state up to tick. Regressions (acks
+// older than the recorded floor) are ignored — reordered ack packets must
+// not move the baseline backwards.
+func (r *Replicator) Ack(peer string, tick uint64) error {
+	p, ok := r.peers[peer]
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrUnknownPeer, peer)
+	}
+	if !p.acked || tick > p.ackTick {
+		p.ackTick = tick
+		p.acked = true
+	}
+	r.prune()
+	return nil
+}
+
+func (r *Replicator) prune() {
+	min := r.store.Tick()
+	for _, p := range r.peers {
+		if !p.acked {
+			return // an un-acked peer pins the whole log until its snapshot
+		}
+		if p.ackTick < min {
+			min = p.ackTick
+		}
+	}
+	r.store.PruneRemovals(min)
+}
+
+// PeerMessage is one planned transmission.
+type PeerMessage struct {
+	Peer string
+	Msg  protocol.Message
+}
+
+// PlanTick builds the replication message for every peer at the store's
+// current tick. Peers receive a Snapshot when they have never acked, their
+// ack is older than MaxDeltaWindow, or a periodic keyframe is due;
+// otherwise a Delta since their ack. Peers with nothing to send (empty
+// delta) are skipped.
+func (r *Replicator) PlanTick() []PeerMessage {
+	tick := r.store.Tick()
+	ids := make([]string, 0, len(r.peers))
+	for id := range r.peers {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+
+	out := make([]PeerMessage, 0, len(ids))
+	for _, id := range ids {
+		p := r.peers[id]
+		wantSnapshot := !p.acked ||
+			tick-p.ackTick > r.cfg.MaxDeltaWindow ||
+			(r.cfg.SnapshotEvery > 0 && tick-p.lastSnapshot >= r.cfg.SnapshotEvery)
+		if wantSnapshot {
+			var filter func(protocol.ParticipantID) bool
+			if p.filter != nil {
+				f := p.filter
+				filter = func(eid protocol.ParticipantID) bool { return f(eid, tick) }
+			}
+			snap := r.store.Snapshot(filter)
+			p.lastSnapshot = tick
+			p.snapshots++
+			out = append(out, PeerMessage{Peer: id, Msg: snap})
+			continue
+		}
+		var filter func(protocol.ParticipantID) bool
+		if p.filter != nil {
+			f := p.filter
+			filter = func(eid protocol.ParticipantID) bool { return f(eid, tick) }
+		}
+		delta := r.store.DeltaSince(p.ackTick, filter)
+		if len(delta.Changed) == 0 && len(delta.Removed) == 0 {
+			continue
+		}
+		p.deltas++
+		out = append(out, PeerMessage{Peer: id, Msg: delta})
+	}
+	return out
+}
+
+// PeerStats reports replication counters for a peer.
+type PeerStats struct {
+	AckTick   uint64
+	Acked     bool
+	Snapshots uint64
+	Deltas    uint64
+}
+
+// StatsOf returns counters for one peer.
+func (r *Replicator) StatsOf(peer string) (PeerStats, error) {
+	p, ok := r.peers[peer]
+	if !ok {
+		return PeerStats{}, fmt.Errorf("%w: %s", ErrUnknownPeer, peer)
+	}
+	return PeerStats{AckTick: p.ackTick, Acked: p.acked, Snapshots: p.snapshots, Deltas: p.deltas}, nil
+}

@@ -1,0 +1,220 @@
+// Package core is the heart of the Metaverse classroom platform: the
+// authoritative replicated-state engine that keeps the paper's three
+// classrooms (two physical MR rooms + one cloud VR room, Fig. 2/3)
+// synchronized "so that the intervention of a participant in any of these
+// classrooms will be visible to the attendants in the other two".
+//
+// The engine is tick-based. A Store holds the authoritative EntityState for
+// every participant, stamped with the tick of its last change. A Replicator
+// tracks, per downstream peer (another edge server, the cloud, or a client),
+// the newest tick that peer has acknowledged, and emits either a compact
+// Delta against that acknowledged baseline or — when the peer is new, too
+// far behind, or explicitly scheduled — a full Snapshot. Deltas over lossy
+// links are safe because a lost delta merely leaves the peer's ack floor in
+// place; the next delta is computed against what the peer actually has.
+package core
+
+import (
+	"bytes"
+	"sort"
+
+	"metaclass/internal/protocol"
+)
+
+type record struct {
+	state       protocol.EntityState
+	changedTick uint64
+}
+
+type removal struct {
+	id   protocol.ParticipantID
+	tick uint64
+}
+
+// Store is the authoritative entity state, indexed by participant. Not safe
+// for concurrent use: each server owns one on its simulation goroutine.
+type Store struct {
+	tick     uint64
+	entities map[protocol.ParticipantID]*record
+	removals []removal // ascending by tick
+}
+
+// NewStore creates an empty store at tick zero.
+func NewStore() *Store {
+	return &Store{entities: make(map[protocol.ParticipantID]*record)}
+}
+
+// Tick returns the current tick number.
+func (s *Store) Tick() uint64 { return s.tick }
+
+// BeginTick advances to the next tick and returns it. Call once per server
+// tick before applying that tick's updates.
+func (s *Store) BeginTick() uint64 {
+	s.tick++
+	return s.tick
+}
+
+// Upsert inserts or replaces an entity's state, stamping it changed at the
+// current tick.
+func (s *Store) Upsert(e protocol.EntityState) {
+	r, ok := s.entities[e.Participant]
+	if !ok {
+		r = &record{}
+		s.entities[e.Participant] = r
+	}
+	r.state = e
+	r.changedTick = s.tick
+}
+
+// UpsertIfChanged inserts or replaces an entity only if its state actually
+// differs from what is stored, reporting whether a write happened. Mirroring
+// stages (cloud world, regional relays) use it so unchanged entities do not
+// get re-stamped — and therefore not re-replicated — every tick.
+func (s *Store) UpsertIfChanged(e protocol.EntityState) bool {
+	r, ok := s.entities[e.Participant]
+	if ok && entityEqual(r.state, e) {
+		return false
+	}
+	s.Upsert(e)
+	return true
+}
+
+func entityEqual(a, b protocol.EntityState) bool {
+	if a.Participant != b.Participant || a.Home != b.Home ||
+		a.CapturedAt != b.CapturedAt || a.Pose != b.Pose ||
+		a.VelMMS != b.VelMMS || a.Seat != b.Seat || a.Flags != b.Flags {
+		return false
+	}
+	return bytes.Equal(a.Expression, b.Expression)
+}
+
+// Touch re-stamps an entity as changed without altering state (used when a
+// side channel — e.g. a seat reassignment — must force re-replication).
+func (s *Store) Touch(id protocol.ParticipantID) bool {
+	r, ok := s.entities[id]
+	if !ok {
+		return false
+	}
+	r.changedTick = s.tick
+	return true
+}
+
+// Remove deletes an entity and logs the removal for delta replication.
+// Removing an absent entity is a no-op returning false.
+func (s *Store) Remove(id protocol.ParticipantID) bool {
+	if _, ok := s.entities[id]; !ok {
+		return false
+	}
+	delete(s.entities, id)
+	s.removals = append(s.removals, removal{id: id, tick: s.tick})
+	return true
+}
+
+// Get returns an entity's current state.
+func (s *Store) Get(id protocol.ParticipantID) (protocol.EntityState, bool) {
+	r, ok := s.entities[id]
+	if !ok {
+		return protocol.EntityState{}, false
+	}
+	return r.state, true
+}
+
+// Len returns the number of live entities.
+func (s *Store) Len() int { return len(s.entities) }
+
+// IDs returns all live participant IDs in ascending order.
+func (s *Store) IDs() []protocol.ParticipantID {
+	out := make([]protocol.ParticipantID, 0, len(s.entities))
+	for id := range s.entities {
+		out = append(out, id)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Snapshot builds a full-state message at the current tick. If filter is
+// non-nil, only entities it admits are included.
+func (s *Store) Snapshot(filter func(protocol.ParticipantID) bool) *protocol.Snapshot {
+	msg := &protocol.Snapshot{Tick: s.tick}
+	for _, id := range s.IDs() {
+		if filter != nil && !filter(id) {
+			continue
+		}
+		msg.Entities = append(msg.Entities, s.entities[id].state)
+	}
+	return msg
+}
+
+// DeltaSince builds a delta of changes after base, up to the current tick.
+// If filter is non-nil it gates which changed entities are included
+// (interest management); removals are never filtered — every peer must
+// learn about departures.
+func (s *Store) DeltaSince(base uint64, filter func(protocol.ParticipantID) bool) *protocol.Delta {
+	msg := &protocol.Delta{BaseTick: base, Tick: s.tick}
+	for _, id := range s.IDs() {
+		r := s.entities[id]
+		if r.changedTick <= base {
+			continue
+		}
+		if filter != nil && !filter(id) {
+			continue
+		}
+		msg.Changed = append(msg.Changed, r.state)
+	}
+	for _, rm := range s.removals {
+		if rm.tick > base {
+			msg.Removed = append(msg.Removed, rm.id)
+		}
+	}
+	return msg
+}
+
+// PruneRemovals discards removal log entries at or before minAck (the
+// minimum acknowledged tick across peers) — they can never appear in a
+// future delta.
+func (s *Store) PruneRemovals(minAck uint64) {
+	i := 0
+	for i < len(s.removals) && s.removals[i].tick <= minAck {
+		i++
+	}
+	if i > 0 {
+		copy(s.removals, s.removals[i:])
+		s.removals = s.removals[:len(s.removals)-i]
+	}
+}
+
+// RemovalLogLen exposes the removal backlog size (for tests and metrics).
+func (s *Store) RemovalLogLen() int { return len(s.removals) }
+
+// ApplySnapshot replaces the store's contents with the snapshot (receiver
+// side). The store tick jumps to the snapshot tick.
+func (s *Store) ApplySnapshot(snap *protocol.Snapshot) {
+	s.entities = make(map[protocol.ParticipantID]*record, len(snap.Entities))
+	for _, e := range snap.Entities {
+		s.entities[e.Participant] = &record{state: e, changedTick: snap.Tick}
+	}
+	s.tick = snap.Tick
+	s.removals = nil
+}
+
+// ApplyDelta merges a delta into the store (receiver side). It returns false
+// without modifying anything if the delta's base is newer than the store's
+// tick (a gap: the receiver must wait for a snapshot or an older-based
+// delta). Deltas based at or before the current tick apply cleanly because
+// entity states are absolute, not differential.
+func (s *Store) ApplyDelta(d *protocol.Delta) bool {
+	if d.BaseTick > s.tick {
+		return false
+	}
+	if d.Tick <= s.tick {
+		return true // stale duplicate; nothing newer to learn
+	}
+	s.tick = d.Tick
+	for _, e := range d.Changed {
+		s.entities[e.Participant] = &record{state: e, changedTick: d.Tick}
+	}
+	for _, id := range d.Removed {
+		delete(s.entities, id)
+	}
+	return true
+}

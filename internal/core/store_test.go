@@ -1,0 +1,214 @@
+package core
+
+import (
+	"testing"
+
+	"metaclass/internal/mathx"
+	"metaclass/internal/protocol"
+)
+
+func ent(id protocol.ParticipantID, x float64) protocol.EntityState {
+	return protocol.EntityState{
+		Participant: id,
+		Pose:        protocol.QuantizePose(mathx.V3(x, 0, 0), mathx.QuatIdentity()),
+	}
+}
+
+func TestStoreUpsertGet(t *testing.T) {
+	s := NewStore()
+	s.BeginTick()
+	s.Upsert(ent(1, 1))
+	got, ok := s.Get(1)
+	if !ok || got.Participant != 1 {
+		t.Fatalf("Get = %+v, %v", got, ok)
+	}
+	if s.Len() != 1 {
+		t.Errorf("Len = %d", s.Len())
+	}
+	if _, ok := s.Get(2); ok {
+		t.Error("absent entity found")
+	}
+}
+
+func TestStoreRemoveLogsRemoval(t *testing.T) {
+	s := NewStore()
+	s.BeginTick()
+	s.Upsert(ent(1, 0))
+	s.BeginTick()
+	if !s.Remove(1) {
+		t.Fatal("remove failed")
+	}
+	if s.Remove(1) {
+		t.Error("double remove succeeded")
+	}
+	d := s.DeltaSince(1, nil)
+	if len(d.Removed) != 1 || d.Removed[0] != 1 {
+		t.Errorf("delta removals = %v", d.Removed)
+	}
+	// A peer already past the removal tick doesn't see it.
+	d = s.DeltaSince(2, nil)
+	if len(d.Removed) != 0 {
+		t.Errorf("stale removal leaked: %v", d.Removed)
+	}
+}
+
+func TestStoreIDsSorted(t *testing.T) {
+	s := NewStore()
+	s.BeginTick()
+	for _, id := range []protocol.ParticipantID{9, 2, 7, 1} {
+		s.Upsert(ent(id, 0))
+	}
+	ids := s.IDs()
+	for i := 1; i < len(ids); i++ {
+		if ids[i] <= ids[i-1] {
+			t.Fatalf("IDs not sorted: %v", ids)
+		}
+	}
+}
+
+func TestSnapshotFilter(t *testing.T) {
+	s := NewStore()
+	s.BeginTick()
+	s.Upsert(ent(1, 0))
+	s.Upsert(ent(2, 0))
+	snap := s.Snapshot(func(id protocol.ParticipantID) bool { return id == 2 })
+	if len(snap.Entities) != 1 || snap.Entities[0].Participant != 2 {
+		t.Errorf("filtered snapshot = %+v", snap.Entities)
+	}
+	full := s.Snapshot(nil)
+	if len(full.Entities) != 2 {
+		t.Errorf("full snapshot = %d entities", len(full.Entities))
+	}
+}
+
+func TestDeltaSinceOnlyChanged(t *testing.T) {
+	s := NewStore()
+	s.BeginTick() // tick 1
+	s.Upsert(ent(1, 0))
+	s.Upsert(ent(2, 0))
+	s.BeginTick() // tick 2
+	s.Upsert(ent(2, 5))
+	d := s.DeltaSince(1, nil)
+	if len(d.Changed) != 1 || d.Changed[0].Participant != 2 {
+		t.Errorf("delta = %+v", d.Changed)
+	}
+	if d.BaseTick != 1 || d.Tick != 2 {
+		t.Errorf("delta ticks = %d->%d", d.BaseTick, d.Tick)
+	}
+}
+
+func TestTouchForcesReplication(t *testing.T) {
+	s := NewStore()
+	s.BeginTick()
+	s.Upsert(ent(1, 0))
+	s.BeginTick()
+	if !s.Touch(1) {
+		t.Fatal("touch failed")
+	}
+	if s.Touch(99) {
+		t.Error("touch of absent entity succeeded")
+	}
+	d := s.DeltaSince(1, nil)
+	if len(d.Changed) != 1 {
+		t.Errorf("touched entity not in delta: %+v", d.Changed)
+	}
+}
+
+func TestPruneRemovals(t *testing.T) {
+	s := NewStore()
+	for i := 0; i < 5; i++ {
+		s.BeginTick()
+		id := protocol.ParticipantID(i)
+		s.Upsert(ent(id, 0))
+		s.Remove(id)
+	}
+	if s.RemovalLogLen() != 5 {
+		t.Fatalf("log = %d", s.RemovalLogLen())
+	}
+	s.PruneRemovals(3)
+	if s.RemovalLogLen() != 2 {
+		t.Errorf("log after prune = %d, want 2", s.RemovalLogLen())
+	}
+	d := s.DeltaSince(3, nil)
+	if len(d.Removed) != 2 {
+		t.Errorf("delta removals after prune = %v", d.Removed)
+	}
+}
+
+func TestApplySnapshotReplacesState(t *testing.T) {
+	s := NewStore()
+	s.BeginTick()
+	s.Upsert(ent(1, 0))
+
+	recv := NewStore()
+	recv.BeginTick()
+	recv.Upsert(ent(99, 0)) // stale state that must vanish
+	snap := s.Snapshot(nil)
+	recv.ApplySnapshot(snap)
+	if recv.Tick() != s.Tick() {
+		t.Errorf("tick = %d, want %d", recv.Tick(), s.Tick())
+	}
+	if _, ok := recv.Get(99); ok {
+		t.Error("stale entity survived snapshot")
+	}
+	if _, ok := recv.Get(1); !ok {
+		t.Error("snapshot entity missing")
+	}
+}
+
+func TestApplyDeltaOrdering(t *testing.T) {
+	src := NewStore()
+	src.BeginTick() // 1
+	src.Upsert(ent(1, 1))
+	snap := src.Snapshot(nil)
+
+	recv := NewStore()
+	recv.ApplySnapshot(snap)
+
+	src.BeginTick() // 2
+	src.Upsert(ent(1, 2))
+	d12 := src.DeltaSince(1, nil)
+
+	src.BeginTick() // 3
+	src.Upsert(ent(2, 3))
+	d23 := src.DeltaSince(2, nil)
+
+	// A delta based beyond our state must be refused.
+	if recv.ApplyDelta(d23) {
+		t.Error("gap delta accepted")
+	}
+	if recv.ApplyDelta(d12) != true {
+		t.Error("in-order delta refused")
+	}
+	if !recv.ApplyDelta(d23) {
+		t.Error("follow-up delta refused")
+	}
+	if recv.Tick() != 3 || recv.Len() != 2 {
+		t.Errorf("final state tick=%d len=%d", recv.Tick(), recv.Len())
+	}
+	// A stale duplicate is a no-op success.
+	if !recv.ApplyDelta(d12) {
+		t.Error("stale duplicate refused")
+	}
+}
+
+func TestApplyDeltaRemovals(t *testing.T) {
+	src := NewStore()
+	src.BeginTick()
+	src.Upsert(ent(1, 0))
+	src.Upsert(ent(2, 0))
+	recv := NewStore()
+	recv.ApplySnapshot(src.Snapshot(nil))
+
+	src.BeginTick()
+	src.Remove(1)
+	if !recv.ApplyDelta(src.DeltaSince(1, nil)) {
+		t.Fatal("delta refused")
+	}
+	if _, ok := recv.Get(1); ok {
+		t.Error("removed entity survived delta")
+	}
+	if _, ok := recv.Get(2); !ok {
+		t.Error("unrelated entity lost")
+	}
+}

@@ -1,0 +1,439 @@
+// Package edge implements the per-classroom edge server of the paper's
+// Fig. 3. One Server runs per physical MR classroom. It:
+//
+//   - aggregates headset and room-sensor observations and fuses them into
+//     authoritative poses ("the edge server ... aggregates the data to
+//     estimate the pose and facial expression of the participants");
+//   - authors those participants into the replicated state and packages
+//     them "via the real-time transmission link to both the edge server of
+//     Classroom 2 and the cloud server of the VR classroom";
+//   - on receive, "identifies the vacant seats to display virtual avatars"
+//     and "corrects the pose to match the new position of the avatar";
+//   - serves the merged local+remote scene to the classroom's MR displays.
+package edge
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"time"
+
+	"metaclass/internal/avatar"
+	"metaclass/internal/core"
+	"metaclass/internal/expression"
+	"metaclass/internal/fusion"
+	"metaclass/internal/mathx"
+	"metaclass/internal/metrics"
+	"metaclass/internal/netsim"
+	"metaclass/internal/pose"
+	"metaclass/internal/protocol"
+	"metaclass/internal/seat"
+	"metaclass/internal/sensors"
+	"metaclass/internal/vclock"
+)
+
+// Edge server errors.
+var (
+	ErrNotRegistered = errors.New("edge: participant not registered")
+	ErrStarted       = errors.New("edge: server already started")
+)
+
+// Config parameterizes an edge server.
+type Config struct {
+	// Classroom is this room's ID (must be unique and nonzero).
+	Classroom protocol.ClassroomID
+	// Addr is the server's network address.
+	Addr netsim.Addr
+	// TickHz is the replication tick rate (default 30).
+	TickHz float64
+	// SeatRows, SeatCols, SeatPitch describe the room's seating grid
+	// (defaults 6 x 8 at 1.2 m).
+	SeatRows, SeatCols int
+	SeatPitch          float64
+	// InterpDelay is the remote-avatar playout delay (default 100 ms).
+	InterpDelay time.Duration
+	// StaleAfter despawns a local participant whose sensors went quiet
+	// (default 2 s).
+	StaleAfter time.Duration
+	// Repl tunes the replicator.
+	Repl core.ReplConfig
+	// Fusion tunes per-participant sensor fusion.
+	Fusion fusion.Config
+}
+
+func (c *Config) applyDefaults() {
+	if c.TickHz <= 0 {
+		c.TickHz = 30
+	}
+	if c.SeatRows <= 0 {
+		c.SeatRows = 6
+	}
+	if c.SeatCols <= 0 {
+		c.SeatCols = 8
+	}
+	if c.SeatPitch <= 0 {
+		c.SeatPitch = 1.2
+	}
+	if c.InterpDelay <= 0 {
+		c.InterpDelay = 100 * time.Millisecond
+	}
+	if c.StaleAfter <= 0 {
+		c.StaleAfter = 2 * time.Second
+	}
+}
+
+// remotePeer is one upstream/downstream sync partner (peer edge or cloud).
+type remotePeer struct {
+	addr    netsim.Addr
+	replica *core.Replica
+	// corrections maps remote participants to the rigid transform from
+	// their source frame into their assigned local seat frame.
+	corrections map[protocol.ParticipantID]mathx.Transform
+}
+
+// Server is a classroom edge server.
+type Server struct {
+	cfg Config
+	sim *vclock.Sim
+	net *netsim.Network
+
+	local   *core.Store
+	repl    *core.Replicator
+	fusers  map[protocol.ParticipantID]*fusion.Fuser
+	exprs   map[protocol.ParticipantID][]byte
+	flags   map[protocol.ParticipantID]uint8
+	peers   map[netsim.Addr]*remotePeer
+	seats   *seat.Map
+	avatars *avatar.Registry
+	reg     *metrics.Registry
+
+	cancel  func()
+	started bool
+}
+
+// New creates an edge server and registers it on the network.
+func New(sim *vclock.Sim, net *netsim.Network, cfg Config) (*Server, error) {
+	cfg.applyDefaults()
+	if cfg.Classroom == 0 {
+		return nil, errors.New("edge: classroom ID must be nonzero")
+	}
+	s := &Server{
+		cfg:     cfg,
+		sim:     sim,
+		net:     net,
+		local:   core.NewStore(),
+		fusers:  make(map[protocol.ParticipantID]*fusion.Fuser),
+		exprs:   make(map[protocol.ParticipantID][]byte),
+		flags:   make(map[protocol.ParticipantID]uint8),
+		peers:   make(map[netsim.Addr]*remotePeer),
+		seats:   seat.NewGrid(cfg.Classroom, cfg.SeatRows, cfg.SeatCols, cfg.SeatPitch),
+		avatars: avatar.NewRegistry(),
+		reg:     metrics.NewRegistry(string(cfg.Addr)),
+	}
+	s.repl = core.NewReplicator(s.local, cfg.Repl)
+	if !net.HasHost(cfg.Addr) {
+		if err := net.AddHost(cfg.Addr, s); err != nil {
+			return nil, err
+		}
+	} else if err := net.Bind(cfg.Addr, s); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// Addr returns the server's network address.
+func (s *Server) Addr() netsim.Addr { return s.cfg.Addr }
+
+// Classroom returns the classroom ID.
+func (s *Server) Classroom() protocol.ClassroomID { return s.cfg.Classroom }
+
+// Seats exposes the seat map (read-mostly; the server owns mutations).
+func (s *Server) Seats() *seat.Map { return s.seats }
+
+// Metrics exposes the server's metrics registry.
+func (s *Server) Metrics() *metrics.Registry { return s.reg }
+
+// RegisterLocal adds a physically-present participant, seating them at
+// seatIdx and creating their sensor-fusion pipeline.
+func (s *Server) RegisterLocal(av avatar.Avatar, seatIdx uint16) error {
+	av.Home = s.cfg.Classroom
+	if err := s.avatars.Add(av); err != nil {
+		return err
+	}
+	if err := s.seats.Occupy(seatIdx, av.Participant); err != nil {
+		_ = s.avatars.Remove(av.Participant)
+		return err
+	}
+	s.fusers[av.Participant] = fusion.New(s.cfg.Fusion)
+	return nil
+}
+
+// UnregisterLocal removes a local participant (left the room).
+func (s *Server) UnregisterLocal(id protocol.ParticipantID) error {
+	if _, ok := s.fusers[id]; !ok {
+		return fmt.Errorf("%w: %d", ErrNotRegistered, id)
+	}
+	delete(s.fusers, id)
+	delete(s.exprs, id)
+	delete(s.flags, id)
+	_ = s.seats.Release(id)
+	_ = s.avatars.Remove(id)
+	s.local.BeginTick()
+	s.local.Remove(id)
+	return nil
+}
+
+// IngestObservation feeds one sensor observation for a local participant.
+// Wire sensors to this method: headset sinks know their wearer; room-array
+// sinks parse the participant from Observation.SensorID.
+func (s *Server) IngestObservation(id protocol.ParticipantID, o sensors.Observation) error {
+	f, ok := s.fusers[id]
+	if !ok {
+		return fmt.Errorf("%w: %d", ErrNotRegistered, id)
+	}
+	if f.Observe(o) {
+		s.reg.Counter("fusion.accepted").Inc()
+	} else {
+		s.reg.Counter("fusion.rejected").Inc()
+	}
+	return nil
+}
+
+// IngestExpression feeds a local participant's facial expression sample.
+func (s *Server) IngestExpression(id protocol.ParticipantID, e expression.Expression) error {
+	if _, ok := s.fusers[id]; !ok {
+		return fmt.Errorf("%w: %d", ErrNotRegistered, id)
+	}
+	s.exprs[id] = e.Quantize()
+	return nil
+}
+
+// SetFlags sets a local participant's activity flags (speaking, hand up).
+func (s *Server) SetFlags(id protocol.ParticipantID, flags uint8) error {
+	if _, ok := s.fusers[id]; !ok {
+		return fmt.Errorf("%w: %d", ErrNotRegistered, id)
+	}
+	s.flags[id] = flags
+	return nil
+}
+
+// ConnectPeer links this edge to another sync server (peer edge or cloud).
+// Replication is unfiltered: servers need the full authored set.
+func (s *Server) ConnectPeer(addr netsim.Addr) error {
+	if _, ok := s.peers[addr]; ok {
+		return fmt.Errorf("edge: peer %s already connected", addr)
+	}
+	if err := s.repl.AddPeer(string(addr), nil); err != nil {
+		return err
+	}
+	rp := &remotePeer{
+		addr:        addr,
+		replica:     core.NewReplica(s.cfg.InterpDelay, pose.Linear{}),
+		corrections: make(map[protocol.ParticipantID]mathx.Transform),
+	}
+	rp.replica.Latency = s.reg.Histogram("remote.pose.age")
+	rp.replica.OnNew = func(e protocol.EntityState) { s.assignSeat(rp, e) }
+	rp.replica.OnRemove = func(id protocol.ParticipantID) {
+		delete(rp.corrections, id)
+		_ = s.seats.Release(id)
+		_ = s.avatars.Remove(id)
+	}
+	s.peers[addr] = rp
+	return nil
+}
+
+// assignSeat implements the Fig. 3 receive path: place the new remote
+// avatar in the nearest vacant seat and derive its pose correction.
+func (s *Server) assignSeat(rp *remotePeer, e protocol.EntityState) {
+	pos, rot := e.Pose.Dequantize()
+	anchor := mathx.V3(pos.X, 0, pos.Z) // floor point under first pose
+	asg, err := s.seats.AssignVacant(e.Participant, anchor, rot.Yaw(), anchor)
+	if err != nil {
+		// Standing room only: identity correction, avatar stands at the back.
+		s.reg.Counter("seats.exhausted").Inc()
+		rp.corrections[e.Participant] = mathx.TransformIdentity()
+		return
+	}
+	s.reg.Counter("seats.assigned").Inc()
+	rp.corrections[e.Participant] = asg.Correction
+	_ = s.avatars.Add(avatar.Avatar{
+		Participant: e.Participant,
+		Home:        e.Home,
+		Preferred:   avatar.LoDMedium,
+	})
+}
+
+// Start begins the replication tick loop.
+func (s *Server) Start() error {
+	if s.started {
+		return ErrStarted
+	}
+	s.started = true
+	interval := time.Duration(float64(time.Second) / s.cfg.TickHz)
+	s.cancel = s.sim.Ticker(interval, s.tick)
+	return nil
+}
+
+// Stop halts the tick loop. Safe to call repeatedly.
+func (s *Server) Stop() {
+	if s.cancel != nil {
+		s.cancel()
+		s.cancel = nil
+	}
+	s.started = false
+}
+
+func (s *Server) tick() {
+	now := s.sim.Now()
+	s.local.BeginTick()
+
+	// Author local participants from fused sensor state.
+	ids := make([]protocol.ParticipantID, 0, len(s.fusers))
+	for id := range s.fusers {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, id := range ids {
+		f := s.fusers[id]
+		if f.Stale(now, s.cfg.StaleAfter) {
+			if _, present := s.local.Get(id); present {
+				s.local.Remove(id)
+				s.reg.Counter("local.despawned").Inc()
+			}
+			continue
+		}
+		est, ok := f.Estimate(now)
+		if !ok {
+			continue
+		}
+		seatIdx, _ := s.seats.SeatOf(id)
+		s.local.Upsert(protocol.EntityState{
+			Participant: id,
+			Home:        s.cfg.Classroom,
+			CapturedAt:  f.LastObservation(),
+			Pose:        protocol.QuantizePose(est.Position, est.Rotation),
+			VelMMS: [3]int64{
+				int64(est.Velocity.X * 1000), int64(est.Velocity.Y * 1000), int64(est.Velocity.Z * 1000),
+			},
+			Expression: s.exprs[id],
+			Seat:       seatIdx,
+			Flags:      s.flags[id],
+		})
+	}
+
+	// Replicate to peers.
+	for _, pm := range s.repl.PlanTick() {
+		frame, err := protocol.Encode(pm.Msg)
+		if err != nil {
+			s.reg.Counter("encode.errors").Inc()
+			continue
+		}
+		s.reg.Counter("sync.msgs.sent").Inc()
+		s.reg.Counter("sync.bytes.sent").Add(uint64(len(frame)))
+		if err := s.net.Send(s.cfg.Addr, netsim.Addr(pm.Peer), frame); err != nil {
+			s.reg.Counter("send.errors").Inc()
+		}
+	}
+}
+
+// HandleMessage implements netsim.Handler: the server's receive path.
+func (s *Server) HandleMessage(from netsim.Addr, payload []byte) {
+	msg, _, err := protocol.Decode(payload)
+	if err != nil {
+		s.reg.Counter("decode.errors").Inc()
+		return
+	}
+	s.reg.Counter("sync.msgs.recv").Inc()
+	switch m := msg.(type) {
+	case *protocol.Snapshot, *protocol.Delta:
+		rp, ok := s.peers[from]
+		if !ok {
+			s.reg.Counter("recv.unknown_peer").Inc()
+			return
+		}
+		ackTick, applied := rp.replica.Apply(msg, s.sim.Now())
+		if !applied {
+			s.reg.Counter("recv.gaps").Inc()
+			return
+		}
+		ack := &protocol.Ack{Tick: ackTick}
+		if frame, err := protocol.Encode(ack); err == nil {
+			_ = s.net.Send(s.cfg.Addr, from, frame)
+		}
+	case *protocol.Ack:
+		if err := s.repl.Ack(string(from), m.Tick); err != nil {
+			s.reg.Counter("recv.unknown_peer").Inc()
+		}
+	case *protocol.Ping:
+		if frame, err := protocol.Encode(&protocol.Pong{Nonce: m.Nonce, SentAt: m.SentAt}); err == nil {
+			_ = s.net.Send(s.cfg.Addr, from, frame)
+		}
+	default:
+		s.reg.Counter("recv.unhandled").Inc()
+	}
+}
+
+// DisplayPose returns the pose of any participant as the classroom's MR
+// displays should render it at display time: fused live state for local
+// participants, seat-corrected interpolated state for remote ones.
+func (s *Server) DisplayPose(id protocol.ParticipantID, at time.Duration) (pose.Pose, bool) {
+	if f, ok := s.fusers[id]; ok {
+		return f.Estimate(at)
+	}
+	for _, addr := range s.peerAddrs() {
+		rp := s.peers[addr]
+		p, ok := rp.replica.Pose(id, at)
+		if !ok {
+			continue
+		}
+		if corr, ok := rp.corrections[id]; ok {
+			p = seat.ApplyCorrection(corr, p)
+		}
+		return p, true
+	}
+	return pose.Pose{}, false
+}
+
+func (s *Server) peerAddrs() []netsim.Addr {
+	out := make([]netsim.Addr, 0, len(s.peers))
+	for a := range s.peers {
+		out = append(out, a)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// VisibleParticipants lists everyone the room's displays can currently
+// render: local participants plus replicated remote ones, ascending.
+func (s *Server) VisibleParticipants() []protocol.ParticipantID {
+	seen := map[protocol.ParticipantID]bool{}
+	var out []protocol.ParticipantID
+	for id := range s.fusers {
+		if !seen[id] {
+			seen[id] = true
+			out = append(out, id)
+		}
+	}
+	for _, addr := range s.peerAddrs() {
+		for _, id := range s.peers[addr].replica.Participants() {
+			if !seen[id] {
+				seen[id] = true
+				out = append(out, id)
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// LocalStore exposes the authored state (tests and experiments).
+func (s *Server) LocalStore() *core.Store { return s.local }
+
+// ReplicaOf exposes a peer's replica (tests and experiments).
+func (s *Server) ReplicaOf(addr netsim.Addr) (*core.Replica, bool) {
+	rp, ok := s.peers[addr]
+	if !ok {
+		return nil, false
+	}
+	return rp.replica, true
+}

@@ -1,0 +1,255 @@
+// Package interest implements interest management for the cloud VR
+// classroom — the mechanism that makes the paper's "thousands of remote
+// users" (challenge C2) affordable. Instead of broadcasting every
+// participant's every update to every receiver (O(n²) fan-out), each
+// receiver subscribes to a spatially and socially relevant subset at
+// distance-scaled rates.
+package interest
+
+import (
+	"math"
+	"sort"
+
+	"metaclass/internal/mathx"
+	"metaclass/internal/protocol"
+)
+
+// Grid is a 2D spatial hash over the classroom floor plane (X/Z), the
+// standard area-of-interest index. Not safe for concurrent use.
+type Grid struct {
+	cell float64
+	pos  map[protocol.ParticipantID]mathx.Vec3
+	grid map[[2]int32][]protocol.ParticipantID
+}
+
+// NewGrid creates a grid with the given cell size in meters (default 4).
+func NewGrid(cellSize float64) *Grid {
+	if cellSize <= 0 {
+		cellSize = 4
+	}
+	return &Grid{
+		cell: cellSize,
+		pos:  make(map[protocol.ParticipantID]mathx.Vec3),
+		grid: make(map[[2]int32][]protocol.ParticipantID),
+	}
+}
+
+func (g *Grid) key(p mathx.Vec3) [2]int32 {
+	return [2]int32{int32(math.Floor(p.X / g.cell)), int32(math.Floor(p.Z / g.cell))}
+}
+
+// Update inserts or moves an entity.
+func (g *Grid) Update(id protocol.ParticipantID, p mathx.Vec3) {
+	if old, ok := g.pos[id]; ok {
+		ok2 := g.key(old)
+		k2 := g.key(p)
+		if ok2 == k2 {
+			g.pos[id] = p
+			return
+		}
+		g.removeFromCell(ok2, id)
+	}
+	g.pos[id] = p
+	k := g.key(p)
+	g.grid[k] = append(g.grid[k], id)
+}
+
+// Remove deletes an entity. Removing an absent entity is a no-op.
+func (g *Grid) Remove(id protocol.ParticipantID) {
+	p, ok := g.pos[id]
+	if !ok {
+		return
+	}
+	g.removeFromCell(g.key(p), id)
+	delete(g.pos, id)
+}
+
+func (g *Grid) removeFromCell(k [2]int32, id protocol.ParticipantID) {
+	cell := g.grid[k]
+	for i, v := range cell {
+		if v == id {
+			cell[i] = cell[len(cell)-1]
+			cell = cell[:len(cell)-1]
+			break
+		}
+	}
+	if len(cell) == 0 {
+		delete(g.grid, k)
+	} else {
+		g.grid[k] = cell
+	}
+}
+
+// Len returns the number of indexed entities.
+func (g *Grid) Len() int { return len(g.pos) }
+
+// Position returns an entity's indexed position.
+func (g *Grid) Position(id protocol.ParticipantID) (mathx.Vec3, bool) {
+	p, ok := g.pos[id]
+	return p, ok
+}
+
+// QueryRadius returns all entities within radius of center (2D, X/Z plane),
+// sorted by ID for determinism. The center entity itself is included if
+// indexed and in range.
+func (g *Grid) QueryRadius(center mathx.Vec3, radius float64) []protocol.ParticipantID {
+	if radius < 0 {
+		return nil
+	}
+	r2 := radius * radius
+	lo := g.key(center.Sub(mathx.V3(radius, 0, radius)))
+	hi := g.key(center.Add(mathx.V3(radius, 0, radius)))
+	var out []protocol.ParticipantID
+	for cx := lo[0]; cx <= hi[0]; cx++ {
+		for cz := lo[1]; cz <= hi[1]; cz++ {
+			for _, id := range g.grid[[2]int32{cx, cz}] {
+				p := g.pos[id]
+				dx, dz := p.X-center.X, p.Z-center.Z
+				if dx*dx+dz*dz <= r2 {
+					out = append(out, id)
+				}
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Tier classifies how relevant a source entity is to a receiver.
+type Tier uint8
+
+// Relevance tiers.
+const (
+	TierFocus   Tier = iota // near or socially pinned: full rate, fine LoD
+	TierNear                // same area: half rate
+	TierFar                 // visible across the room: quarter rate
+	TierAmbient             // crowd backdrop: 1/8 rate, impostor LoD
+	TierCulled              // outside interest: no updates
+)
+
+// String implements fmt.Stringer.
+func (t Tier) String() string {
+	switch t {
+	case TierFocus:
+		return "focus"
+	case TierNear:
+		return "near"
+	case TierFar:
+		return "far"
+	case TierAmbient:
+		return "ambient"
+	default:
+		return "culled"
+	}
+}
+
+// RateDivisor returns the per-tier tick decimation: an update is sent on
+// ticks where tick % divisor == 0.
+func (t Tier) RateDivisor() uint64 {
+	switch t {
+	case TierFocus:
+		return 1
+	case TierNear:
+		return 2
+	case TierFar:
+		return 4
+	case TierAmbient:
+		return 8
+	default:
+		return 0 // culled: never
+	}
+}
+
+// Policy maps receiver-to-source geometry (and social pins) to tiers.
+type Policy struct {
+	// FocusRadius, NearRadius, FarRadius are the tier boundaries in meters
+	// (defaults 3/8/20). Beyond FarRadius but inside CullRadius is ambient.
+	FocusRadius, NearRadius, FarRadius float64
+	// CullRadius drops sources entirely (default 60).
+	CullRadius float64
+	// Pinned sources (the lecturer, the current speaker) are always focus.
+	Pinned map[protocol.ParticipantID]bool
+}
+
+// NewPolicy returns a policy with classroom-scale defaults.
+func NewPolicy() *Policy {
+	return &Policy{
+		FocusRadius: 3, NearRadius: 8, FarRadius: 20, CullRadius: 60,
+		Pinned: make(map[protocol.ParticipantID]bool),
+	}
+}
+
+// Pin marks a source as always-focus for every receiver (e.g. the educator:
+// everyone watches the lecturer regardless of distance).
+func (p *Policy) Pin(id protocol.ParticipantID) { p.Pinned[id] = true }
+
+// Unpin removes a pin.
+func (p *Policy) Unpin(id protocol.ParticipantID) { delete(p.Pinned, id) }
+
+// Classify returns the tier of source for a receiver at the given distance.
+func (p *Policy) Classify(source protocol.ParticipantID, distance float64) Tier {
+	if p.Pinned[source] {
+		return TierFocus
+	}
+	switch {
+	case distance <= p.FocusRadius:
+		return TierFocus
+	case distance <= p.NearRadius:
+		return TierNear
+	case distance <= p.FarRadius:
+		return TierFar
+	case distance <= p.CullRadius:
+		return TierAmbient
+	default:
+		return TierCulled
+	}
+}
+
+// ShouldSend reports whether a source in tier t should be included in the
+// update sent at the given tick.
+func ShouldSend(t Tier, tick uint64) bool {
+	d := t.RateDivisor()
+	if d == 0 {
+		return false
+	}
+	return tick%d == 0
+}
+
+// Plan computes, for a receiver at recv, the set of source IDs to include at
+// this tick. sources must be indexed in g. The receiver itself is excluded.
+func Plan(g *Grid, p *Policy, recv protocol.ParticipantID, recvPos mathx.Vec3, tick uint64) []protocol.ParticipantID {
+	candidates := g.QueryRadius(recvPos, p.CullRadius)
+	out := make([]protocol.ParticipantID, 0, len(candidates))
+	for _, id := range candidates {
+		if id == recv {
+			continue
+		}
+		pos, _ := g.Position(id)
+		dx, dz := pos.X-recvPos.X, pos.Z-recvPos.Z
+		dist := math.Sqrt(dx*dx + dz*dz)
+		if ShouldSend(p.Classify(id, dist), tick) {
+			out = append(out, id)
+		}
+	}
+	// Pinned sources are focus even outside the cull radius.
+	for id := range p.Pinned {
+		if id == recv {
+			continue
+		}
+		if _, ok := g.Position(id); !ok {
+			continue
+		}
+		found := false
+		for _, c := range out {
+			if c == id {
+				found = true
+				break
+			}
+		}
+		if !found && ShouldSend(TierFocus, tick) {
+			out = append(out, id)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}

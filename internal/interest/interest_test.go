@@ -1,0 +1,239 @@
+package interest
+
+import (
+	"math/rand"
+	"testing"
+
+	"metaclass/internal/mathx"
+	"metaclass/internal/protocol"
+)
+
+func TestGridUpdateQuery(t *testing.T) {
+	g := NewGrid(4)
+	g.Update(1, mathx.V3(0, 0, 0))
+	g.Update(2, mathx.V3(3, 0, 0))
+	g.Update(3, mathx.V3(50, 0, 0))
+	got := g.QueryRadius(mathx.V3(0, 0, 0), 5)
+	if len(got) != 2 || got[0] != 1 || got[1] != 2 {
+		t.Errorf("QueryRadius = %v, want [1 2]", got)
+	}
+	if g.Len() != 3 {
+		t.Errorf("Len = %d", g.Len())
+	}
+}
+
+func TestGridIgnoresHeight(t *testing.T) {
+	g := NewGrid(4)
+	g.Update(1, mathx.V3(0, 100, 0)) // height must not affect 2D interest
+	got := g.QueryRadius(mathx.V3(0, 0, 0), 1)
+	if len(got) != 1 {
+		t.Errorf("height affected query: %v", got)
+	}
+}
+
+func TestGridMoveAcrossCells(t *testing.T) {
+	g := NewGrid(2)
+	g.Update(1, mathx.V3(0, 0, 0))
+	g.Update(1, mathx.V3(100, 0, 100))
+	if got := g.QueryRadius(mathx.V3(0, 0, 0), 5); len(got) != 0 {
+		t.Errorf("stale cell entry: %v", got)
+	}
+	if got := g.QueryRadius(mathx.V3(100, 0, 100), 1); len(got) != 1 {
+		t.Errorf("moved entity missing: %v", got)
+	}
+	// Move within the same cell.
+	g.Update(1, mathx.V3(100.5, 0, 100.5))
+	if got := g.QueryRadius(mathx.V3(100.5, 0, 100.5), 1); len(got) != 1 {
+		t.Errorf("same-cell move lost entity: %v", got)
+	}
+}
+
+func TestGridRemove(t *testing.T) {
+	g := NewGrid(4)
+	g.Update(1, mathx.V3(1, 0, 1))
+	g.Remove(1)
+	g.Remove(1) // double remove is a no-op
+	if g.Len() != 0 {
+		t.Errorf("Len after remove = %d", g.Len())
+	}
+	if _, ok := g.Position(1); ok {
+		t.Error("removed entity still has position")
+	}
+	if got := g.QueryRadius(mathx.V3(1, 0, 1), 5); len(got) != 0 {
+		t.Errorf("removed entity in query: %v", got)
+	}
+}
+
+func TestGridQueryMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	g := NewGrid(3)
+	type ent struct {
+		id protocol.ParticipantID
+		p  mathx.Vec3
+	}
+	var ents []ent
+	for i := 0; i < 500; i++ {
+		e := ent{protocol.ParticipantID(i), mathx.V3(rng.Float64()*100-50, 0, rng.Float64()*100-50)}
+		ents = append(ents, e)
+		g.Update(e.id, e.p)
+	}
+	for trial := 0; trial < 50; trial++ {
+		center := mathx.V3(rng.Float64()*100-50, 0, rng.Float64()*100-50)
+		radius := rng.Float64() * 30
+		got := g.QueryRadius(center, radius)
+		want := map[protocol.ParticipantID]bool{}
+		for _, e := range ents {
+			dx, dz := e.p.X-center.X, e.p.Z-center.Z
+			if dx*dx+dz*dz <= radius*radius {
+				want[e.id] = true
+			}
+		}
+		if len(got) != len(want) {
+			t.Fatalf("trial %d: got %d, want %d", trial, len(got), len(want))
+		}
+		for _, id := range got {
+			if !want[id] {
+				t.Fatalf("trial %d: unexpected id %d", trial, id)
+			}
+		}
+	}
+}
+
+func TestGridNegativeRadius(t *testing.T) {
+	g := NewGrid(4)
+	g.Update(1, mathx.Vec3{})
+	if got := g.QueryRadius(mathx.Vec3{}, -1); got != nil {
+		t.Errorf("negative radius = %v", got)
+	}
+}
+
+func TestTierRates(t *testing.T) {
+	tiers := []Tier{TierFocus, TierNear, TierFar, TierAmbient}
+	var prev uint64
+	for _, tier := range tiers {
+		d := tier.RateDivisor()
+		if d <= prev {
+			t.Errorf("divisor not increasing at %v", tier)
+		}
+		prev = d
+		if tier.String() == "" {
+			t.Errorf("tier %d unnamed", tier)
+		}
+	}
+	if TierCulled.RateDivisor() != 0 {
+		t.Error("culled should never send")
+	}
+	for tick := uint64(0); tick < 100; tick++ {
+		if ShouldSend(TierCulled, tick) {
+			t.Fatal("culled sent")
+		}
+		if !ShouldSend(TierFocus, tick) {
+			t.Fatal("focus skipped a tick")
+		}
+	}
+}
+
+func TestPolicyClassify(t *testing.T) {
+	p := NewPolicy()
+	tests := []struct {
+		d    float64
+		want Tier
+	}{
+		{1, TierFocus}, {5, TierNear}, {15, TierFar}, {40, TierAmbient}, {100, TierCulled},
+	}
+	for _, tt := range tests {
+		if got := p.Classify(1, tt.d); got != tt.want {
+			t.Errorf("Classify(d=%v) = %v, want %v", tt.d, got, tt.want)
+		}
+	}
+}
+
+func TestPolicyPinOverridesDistance(t *testing.T) {
+	p := NewPolicy()
+	p.Pin(42)
+	if got := p.Classify(42, 1000); got != TierFocus {
+		t.Errorf("pinned source = %v, want focus", got)
+	}
+	p.Unpin(42)
+	if got := p.Classify(42, 1000); got != TierCulled {
+		t.Errorf("unpinned source = %v, want culled", got)
+	}
+}
+
+func TestPlanExcludesReceiverAndCulled(t *testing.T) {
+	g := NewGrid(4)
+	p := NewPolicy()
+	g.Update(1, mathx.V3(0, 0, 0))   // receiver
+	g.Update(2, mathx.V3(1, 0, 0))   // focus
+	g.Update(3, mathx.V3(500, 0, 0)) // culled
+	got := Plan(g, p, 1, mathx.V3(0, 0, 0), 0)
+	if len(got) != 1 || got[0] != 2 {
+		t.Errorf("Plan = %v, want [2]", got)
+	}
+}
+
+func TestPlanDecimatesByTier(t *testing.T) {
+	g := NewGrid(4)
+	p := NewPolicy()
+	g.Update(2, mathx.V3(1, 0, 0))  // focus: every tick
+	g.Update(3, mathx.V3(6, 0, 0))  // near: every 2nd
+	g.Update(4, mathx.V3(15, 0, 0)) // far: every 4th
+	g.Update(5, mathx.V3(30, 0, 0)) // ambient: every 8th
+	counts := map[protocol.ParticipantID]int{}
+	for tick := uint64(0); tick < 64; tick++ {
+		for _, id := range Plan(g, p, 1, mathx.V3(0, 0, 0), tick) {
+			counts[id]++
+		}
+	}
+	want := map[protocol.ParticipantID]int{2: 64, 3: 32, 4: 16, 5: 8}
+	for id, w := range want {
+		if counts[id] != w {
+			t.Errorf("source %d sent %d times, want %d", id, counts[id], w)
+		}
+	}
+}
+
+func TestPlanIncludesDistantPinned(t *testing.T) {
+	g := NewGrid(4)
+	p := NewPolicy()
+	g.Update(9, mathx.V3(1000, 0, 0)) // the lecturer, far outside cull radius
+	p.Pin(9)
+	got := Plan(g, p, 1, mathx.V3(0, 0, 0), 3)
+	if len(got) != 1 || got[0] != 9 {
+		t.Errorf("Plan = %v, want pinned [9]", got)
+	}
+}
+
+func TestPlanFanOutReduction(t *testing.T) {
+	// The point of interest management: with 1000 spread-out users, the
+	// per-receiver plan must be a small fraction of the population.
+	rng := rand.New(rand.NewSource(23))
+	g := NewGrid(8)
+	p := NewPolicy()
+	for i := 0; i < 1000; i++ {
+		g.Update(protocol.ParticipantID(i), mathx.V3(rng.Float64()*400-200, 0, rng.Float64()*400-200))
+	}
+	recvPos, _ := g.Position(0)
+	total := 0
+	for tick := uint64(0); tick < 8; tick++ {
+		total += len(Plan(g, p, 0, recvPos, tick))
+	}
+	avg := float64(total) / 8
+	if avg > 100 {
+		t.Errorf("average plan size %v of 1000, want strong reduction", avg)
+	}
+}
+
+func BenchmarkPlan1000(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	g := NewGrid(8)
+	p := NewPolicy()
+	for i := 0; i < 1000; i++ {
+		g.Update(protocol.ParticipantID(i), mathx.V3(rng.Float64()*400-200, 0, rng.Float64()*400-200))
+	}
+	pos, _ := g.Position(0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Plan(g, p, 0, pos, uint64(i))
+	}
+}

@@ -1,0 +1,86 @@
+package mathx
+
+import (
+	"math"
+	"testing"
+)
+
+func TestMean(t *testing.T) {
+	tests := []struct {
+		name string
+		xs   []float64
+		want float64
+	}{
+		{"empty", nil, 0},
+		{"single", []float64{5}, 5},
+		{"several", []float64{1, 2, 3, 4}, 2.5},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := Mean(tt.xs); got != tt.want {
+				t.Errorf("Mean = %v, want %v", got, tt.want)
+			}
+		})
+	}
+}
+
+func TestStdDev(t *testing.T) {
+	if got := StdDev([]float64{2, 2, 2}); got != 0 {
+		t.Errorf("StdDev of constants = %v, want 0", got)
+	}
+	got := StdDev([]float64{1, 3})
+	if math.Abs(got-1) > 1e-12 {
+		t.Errorf("StdDev([1,3]) = %v, want 1", got)
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	xs := []float64{10, 20, 30, 40, 50}
+	tests := []struct {
+		p    float64
+		want float64
+	}{
+		{0, 10}, {50, 30}, {100, 50}, {25, 20}, {-5, 10}, {105, 50},
+	}
+	for _, tt := range tests {
+		if got := Percentile(xs, tt.p); math.Abs(got-tt.want) > 1e-9 {
+			t.Errorf("Percentile(%v) = %v, want %v", tt.p, got, tt.want)
+		}
+	}
+	// Must not mutate the input.
+	if xs[0] != 10 || xs[4] != 50 {
+		t.Error("Percentile mutated input slice")
+	}
+}
+
+func TestPercentileUnsortedInput(t *testing.T) {
+	xs := []float64{50, 10, 40, 20, 30}
+	if got := Percentile(xs, 50); got != 30 {
+		t.Errorf("median of unsorted = %v, want 30", got)
+	}
+}
+
+func TestWrapAngle(t *testing.T) {
+	tests := []struct{ in, want float64 }{
+		{0, 0},
+		{math.Pi, math.Pi},
+		{-math.Pi, math.Pi},
+		{3 * math.Pi, math.Pi},
+		{2 * math.Pi, 0},
+		{-0.1, -0.1},
+	}
+	for _, tt := range tests {
+		if got := WrapAngle(tt.in); math.Abs(got-tt.want) > 1e-9 {
+			t.Errorf("WrapAngle(%v) = %v, want %v", tt.in, got, tt.want)
+		}
+	}
+}
+
+func TestRMS(t *testing.T) {
+	if got := RMS([]float64{3, 4}); math.Abs(got-math.Sqrt(12.5)) > 1e-12 {
+		t.Errorf("RMS = %v", got)
+	}
+	if got := RMS(nil); got != 0 {
+		t.Errorf("RMS(nil) = %v, want 0", got)
+	}
+}

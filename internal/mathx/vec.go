@@ -1,0 +1,111 @@
+// Package mathx provides the small 3D math kernel used across the
+// classroom platform: vectors, quaternions and rigid transforms.
+//
+// All types are plain value types with no hidden state; the zero value of
+// Vec3 is the origin and the zero value of Quat is NOT a valid rotation
+// (use QuatIdentity). Angles are radians throughout.
+package mathx
+
+import (
+	"fmt"
+	"math"
+)
+
+// Vec3 is a 3-component vector in meters (right-handed, Y up).
+type Vec3 struct {
+	X, Y, Z float64
+}
+
+// V3 is shorthand for constructing a Vec3.
+func V3(x, y, z float64) Vec3 { return Vec3{X: x, Y: y, Z: z} }
+
+// Add returns v + w.
+func (v Vec3) Add(w Vec3) Vec3 { return Vec3{v.X + w.X, v.Y + w.Y, v.Z + w.Z} }
+
+// Sub returns v - w.
+func (v Vec3) Sub(w Vec3) Vec3 { return Vec3{v.X - w.X, v.Y - w.Y, v.Z - w.Z} }
+
+// Scale returns v * s.
+func (v Vec3) Scale(s float64) Vec3 { return Vec3{v.X * s, v.Y * s, v.Z * s} }
+
+// Dot returns the dot product v · w.
+func (v Vec3) Dot(w Vec3) float64 { return v.X*w.X + v.Y*w.Y + v.Z*w.Z }
+
+// Cross returns the cross product v × w.
+func (v Vec3) Cross(w Vec3) Vec3 {
+	return Vec3{
+		X: v.Y*w.Z - v.Z*w.Y,
+		Y: v.Z*w.X - v.X*w.Z,
+		Z: v.X*w.Y - v.Y*w.X,
+	}
+}
+
+// Len returns the Euclidean norm of v.
+func (v Vec3) Len() float64 { return math.Sqrt(v.Dot(v)) }
+
+// LenSq returns the squared norm of v, avoiding a sqrt.
+func (v Vec3) LenSq() float64 { return v.Dot(v) }
+
+// Dist returns the Euclidean distance between v and w.
+func (v Vec3) Dist(w Vec3) float64 { return v.Sub(w).Len() }
+
+// Normalize returns v scaled to unit length. The zero vector is returned
+// unchanged (there is no meaningful direction to normalize to).
+func (v Vec3) Normalize() Vec3 {
+	l := v.Len()
+	if l == 0 {
+		return v
+	}
+	return v.Scale(1 / l)
+}
+
+// Lerp linearly interpolates from v to w by t in [0,1]. Values of t outside
+// [0,1] extrapolate, which dead reckoning relies on.
+func (v Vec3) Lerp(w Vec3, t float64) Vec3 {
+	return Vec3{
+		X: v.X + (w.X-v.X)*t,
+		Y: v.Y + (w.Y-v.Y)*t,
+		Z: v.Z + (w.Z-v.Z)*t,
+	}
+}
+
+// Clamp returns v with every component clamped to [lo, hi] componentwise.
+func (v Vec3) Clamp(lo, hi Vec3) Vec3 {
+	return Vec3{
+		X: clamp(v.X, lo.X, hi.X),
+		Y: clamp(v.Y, lo.Y, hi.Y),
+		Z: clamp(v.Z, lo.Z, hi.Z),
+	}
+}
+
+// NearEq reports whether v and w differ by less than eps in every component.
+func (v Vec3) NearEq(w Vec3, eps float64) bool {
+	return math.Abs(v.X-w.X) < eps && math.Abs(v.Y-w.Y) < eps && math.Abs(v.Z-w.Z) < eps
+}
+
+// IsFinite reports whether all components are finite (no NaN/Inf).
+func (v Vec3) IsFinite() bool {
+	return isFinite(v.X) && isFinite(v.Y) && isFinite(v.Z)
+}
+
+// String implements fmt.Stringer.
+func (v Vec3) String() string { return fmt.Sprintf("(%.3f, %.3f, %.3f)", v.X, v.Y, v.Z) }
+
+func clamp(x, lo, hi float64) float64 {
+	switch {
+	case x < lo:
+		return lo
+	case x > hi:
+		return hi
+	default:
+		return x
+	}
+}
+
+func isFinite(f float64) bool { return !math.IsNaN(f) && !math.IsInf(f, 0) }
+
+// Clamp01 clamps x to [0,1].
+func Clamp01(x float64) float64 { return clamp(x, 0, 1) }
+
+// ClampF clamps x to [lo,hi].
+func ClampF(x, lo, hi float64) float64 { return clamp(x, lo, hi) }

@@ -1,0 +1,108 @@
+package mathx
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestVec3Basics(t *testing.T) {
+	tests := []struct {
+		name string
+		got  Vec3
+		want Vec3
+	}{
+		{"add", V3(1, 2, 3).Add(V3(4, 5, 6)), V3(5, 7, 9)},
+		{"sub", V3(1, 2, 3).Sub(V3(4, 5, 6)), V3(-3, -3, -3)},
+		{"scale", V3(1, 2, 3).Scale(2), V3(2, 4, 6)},
+		{"cross-xy", V3(1, 0, 0).Cross(V3(0, 1, 0)), V3(0, 0, 1)},
+		{"lerp-mid", V3(0, 0, 0).Lerp(V3(2, 4, 6), 0.5), V3(1, 2, 3)},
+		{"lerp-extrap", V3(0, 0, 0).Lerp(V3(1, 1, 1), 2), V3(2, 2, 2)},
+		{"clamp", V3(-5, 0.5, 5).Clamp(V3(0, 0, 0), V3(1, 1, 1)), V3(0, 0.5, 1)},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if !tt.got.NearEq(tt.want, 1e-12) {
+				t.Errorf("got %v, want %v", tt.got, tt.want)
+			}
+		})
+	}
+}
+
+func TestVec3Len(t *testing.T) {
+	if got := V3(3, 4, 0).Len(); got != 5 {
+		t.Errorf("Len = %v, want 5", got)
+	}
+	if got := V3(1, 2, 2).Dist(V3(1, 2, 2)); got != 0 {
+		t.Errorf("Dist to self = %v, want 0", got)
+	}
+}
+
+func TestVec3NormalizeZero(t *testing.T) {
+	z := Vec3{}.Normalize()
+	if z != (Vec3{}) {
+		t.Errorf("Normalize(zero) = %v, want zero", z)
+	}
+}
+
+func TestVec3NormalizeProperty(t *testing.T) {
+	f := func(x, y, z float64) bool {
+		v := V3(x, y, z)
+		if !v.IsFinite() || v.Len() == 0 || v.Len() > 1e150 {
+			return true // skip degenerate inputs
+		}
+		n := v.Normalize()
+		return math.Abs(n.Len()-1) < 1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestVec3DotCrossOrthogonal(t *testing.T) {
+	f := func(ax, ay, az, bx, by, bz float64) bool {
+		a, b := V3(ax, ay, az), V3(bx, by, bz)
+		if !a.IsFinite() || !b.IsFinite() {
+			return true
+		}
+		if a.Len() > 1e100 || b.Len() > 1e100 {
+			return true
+		}
+		c := a.Cross(b)
+		scale := a.Len() * b.Len()
+		if scale == 0 {
+			return true
+		}
+		// The cross product is orthogonal to both inputs (up to rounding).
+		return math.Abs(c.Dot(a))/(scale*scale+1) < 1e-9 &&
+			math.Abs(c.Dot(b))/(scale*scale+1) < 1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestIsFinite(t *testing.T) {
+	if V3(math.NaN(), 0, 0).IsFinite() {
+		t.Error("NaN vector reported finite")
+	}
+	if V3(0, math.Inf(1), 0).IsFinite() {
+		t.Error("Inf vector reported finite")
+	}
+	if !V3(1, 2, 3).IsFinite() {
+		t.Error("finite vector reported non-finite")
+	}
+}
+
+func TestClampF(t *testing.T) {
+	tests := []struct{ x, lo, hi, want float64 }{
+		{5, 0, 1, 1},
+		{-5, 0, 1, 0},
+		{0.5, 0, 1, 0.5},
+	}
+	for _, tt := range tests {
+		if got := ClampF(tt.x, tt.lo, tt.hi); got != tt.want {
+			t.Errorf("ClampF(%v,%v,%v) = %v, want %v", tt.x, tt.lo, tt.hi, got, tt.want)
+		}
+	}
+}

@@ -1,0 +1,324 @@
+// Package metrics provides the measurement primitives used by the experiment
+// harness: log-bucketed latency histograms with percentile queries, counters,
+// and time series. All types are safe for single-goroutine simulation use;
+// Histogram and Counter additionally have concurrency-safe variants used by
+// the real-network server path.
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Histogram records duration samples into logarithmic buckets spanning
+// 1 microsecond to ~1 hour, with exact min/max/sum tracking. The zero value
+// is ready to use.
+type Histogram struct {
+	buckets [bucketCount]uint64
+	count   uint64
+	sum     time.Duration
+	min     time.Duration
+	max     time.Duration
+}
+
+const (
+	// 8 buckets per power of two between 1us and 2^32 us (~71 min).
+	bucketsPerOctave = 8
+	octaves          = 32
+	bucketCount      = bucketsPerOctave * octaves
+)
+
+func bucketIndex(d time.Duration) int {
+	us := float64(d) / float64(time.Microsecond)
+	if us < 1 {
+		return 0
+	}
+	idx := int(math.Log2(us) * bucketsPerOctave)
+	if idx >= bucketCount {
+		idx = bucketCount - 1
+	}
+	return idx
+}
+
+func bucketLower(idx int) time.Duration {
+	us := math.Exp2(float64(idx) / bucketsPerOctave)
+	return time.Duration(us * float64(time.Microsecond))
+}
+
+// Observe records one sample.
+func (h *Histogram) Observe(d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	h.buckets[bucketIndex(d)]++
+	h.count++
+	h.sum += d
+	if h.count == 1 || d < h.min {
+		h.min = d
+	}
+	if d > h.max {
+		h.max = d
+	}
+}
+
+// Count returns the number of samples.
+func (h *Histogram) Count() uint64 { return h.count }
+
+// Sum returns the sum of all samples.
+func (h *Histogram) Sum() time.Duration { return h.sum }
+
+// Min returns the smallest observed sample, or 0 with no samples.
+func (h *Histogram) Min() time.Duration { return h.min }
+
+// Max returns the largest observed sample.
+func (h *Histogram) Max() time.Duration { return h.max }
+
+// Mean returns the arithmetic mean of samples, or 0 with no samples.
+func (h *Histogram) Mean() time.Duration {
+	if h.count == 0 {
+		return 0
+	}
+	return h.sum / time.Duration(h.count)
+}
+
+// Quantile returns an estimate of the q-quantile (q in [0,1]) using the
+// bucket lower bound, clamped to the exact observed min/max.
+func (h *Histogram) Quantile(q float64) time.Duration {
+	if h.count == 0 {
+		return 0
+	}
+	if q <= 0 {
+		return h.min
+	}
+	if q >= 1 {
+		return h.max
+	}
+	target := uint64(q * float64(h.count))
+	if target >= h.count {
+		target = h.count - 1
+	}
+	var cum uint64
+	for i, c := range h.buckets {
+		cum += c
+		if cum > target {
+			est := bucketLower(i)
+			if est < h.min {
+				est = h.min
+			}
+			if est > h.max {
+				est = h.max
+			}
+			return est
+		}
+	}
+	return h.max
+}
+
+// P50, P95, P99 are convenience quantile accessors.
+func (h *Histogram) P50() time.Duration { return h.Quantile(0.50) }
+
+// P95 returns the 95th percentile estimate.
+func (h *Histogram) P95() time.Duration { return h.Quantile(0.95) }
+
+// P99 returns the 99th percentile estimate.
+func (h *Histogram) P99() time.Duration { return h.Quantile(0.99) }
+
+// Merge adds all samples of other into h (bucket-wise; min/max/sum exact).
+func (h *Histogram) Merge(other *Histogram) {
+	if other.count == 0 {
+		return
+	}
+	for i, c := range other.buckets {
+		h.buckets[i] += c
+	}
+	if h.count == 0 || other.min < h.min {
+		h.min = other.min
+	}
+	if other.max > h.max {
+		h.max = other.max
+	}
+	h.count += other.count
+	h.sum += other.sum
+}
+
+// Reset clears all samples.
+func (h *Histogram) Reset() { *h = Histogram{} }
+
+// String summarizes the distribution.
+func (h *Histogram) String() string {
+	if h.count == 0 {
+		return "histogram{empty}"
+	}
+	return fmt.Sprintf("histogram{n=%d mean=%v p50=%v p95=%v p99=%v max=%v}",
+		h.count, h.Mean().Round(time.Microsecond), h.P50().Round(time.Microsecond),
+		h.P95().Round(time.Microsecond), h.P99().Round(time.Microsecond),
+		h.max.Round(time.Microsecond))
+}
+
+// SafeHistogram is a mutex-guarded Histogram for the real-network path.
+type SafeHistogram struct {
+	mu sync.Mutex
+	h  Histogram
+}
+
+// Observe records one sample.
+func (s *SafeHistogram) Observe(d time.Duration) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.h.Observe(d)
+}
+
+// Snapshot returns a copy of the underlying histogram.
+func (s *SafeHistogram) Snapshot() Histogram {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.h
+}
+
+// Counter is a monotonically increasing sum. The zero value is ready to use.
+type Counter struct {
+	n uint64
+}
+
+// Add increments the counter by delta.
+func (c *Counter) Add(delta uint64) { c.n += delta }
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.n++ }
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 { return c.n }
+
+// Gauge is a float value that can move up and down, with min/max tracking.
+type Gauge struct {
+	v        float64
+	min, max float64
+	set      bool
+}
+
+// Set assigns the gauge value.
+func (g *Gauge) Set(v float64) {
+	g.v = v
+	if !g.set || v < g.min {
+		g.min = v
+	}
+	if !g.set || v > g.max {
+		g.max = v
+	}
+	g.set = true
+}
+
+// Value returns the current value.
+func (g *Gauge) Value() float64 { return g.v }
+
+// Min returns the smallest value ever set.
+func (g *Gauge) Min() float64 { return g.min }
+
+// Max returns the largest value ever set.
+func (g *Gauge) Max() float64 { return g.max }
+
+// Series is an append-only (time, value) sequence used to record experiment
+// curves such as error-vs-latency sweeps.
+type Series struct {
+	name   string
+	times  []time.Duration
+	values []float64
+}
+
+// NewSeries creates a named series.
+func NewSeries(name string) *Series { return &Series{name: name} }
+
+// Name returns the series name.
+func (s *Series) Name() string { return s.name }
+
+// Append records a point.
+func (s *Series) Append(t time.Duration, v float64) {
+	s.times = append(s.times, t)
+	s.values = append(s.values, v)
+}
+
+// Len returns the number of points.
+func (s *Series) Len() int { return len(s.values) }
+
+// Values returns a copy of the recorded values.
+func (s *Series) Values() []float64 {
+	out := make([]float64, len(s.values))
+	copy(out, s.values)
+	return out
+}
+
+// At returns the i-th point.
+func (s *Series) At(i int) (time.Duration, float64) { return s.times[i], s.values[i] }
+
+// Registry is a named collection of metrics, one per server/component.
+type Registry struct {
+	name  string
+	hists map[string]*Histogram
+	ctrs  map[string]*Counter
+}
+
+// NewRegistry creates a registry labeled name.
+func NewRegistry(name string) *Registry {
+	return &Registry{
+		name:  name,
+		hists: make(map[string]*Histogram),
+		ctrs:  make(map[string]*Counter),
+	}
+}
+
+// Histogram returns the named histogram, creating it on first use.
+func (r *Registry) Histogram(name string) *Histogram {
+	h, ok := r.hists[name]
+	if !ok {
+		h = &Histogram{}
+		r.hists[name] = h
+	}
+	return h
+}
+
+// Counter returns the named counter, creating it on first use.
+func (r *Registry) Counter(name string) *Counter {
+	c, ok := r.ctrs[name]
+	if !ok {
+		c = &Counter{}
+		r.ctrs[name] = c
+	}
+	return c
+}
+
+// HistogramNames returns the sorted names of all histograms.
+func (r *Registry) HistogramNames() []string {
+	names := make([]string, 0, len(r.hists))
+	for n := range r.hists {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// CounterNames returns the sorted names of all counters.
+func (r *Registry) CounterNames() []string {
+	names := make([]string, 0, len(r.ctrs))
+	for n := range r.ctrs {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// String renders all metrics, one per line, in sorted order.
+func (r *Registry) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "registry %q:\n", r.name)
+	for _, n := range r.CounterNames() {
+		fmt.Fprintf(&b, "  counter %-30s %d\n", n, r.ctrs[n].Value())
+	}
+	for _, n := range r.HistogramNames() {
+		fmt.Fprintf(&b, "  hist    %-30s %s\n", n, r.hists[n])
+	}
+	return b.String()
+}

@@ -1,0 +1,206 @@
+package metrics
+
+import (
+	"math/rand"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestHistogramEmpty(t *testing.T) {
+	var h Histogram
+	if h.Count() != 0 || h.Mean() != 0 || h.P99() != 0 || h.Min() != 0 || h.Max() != 0 {
+		t.Error("empty histogram should report zeros")
+	}
+	if !strings.Contains(h.String(), "empty") {
+		t.Errorf("String = %q", h.String())
+	}
+}
+
+func TestHistogramBasics(t *testing.T) {
+	var h Histogram
+	for _, d := range []time.Duration{
+		time.Millisecond, 2 * time.Millisecond, 3 * time.Millisecond,
+	} {
+		h.Observe(d)
+	}
+	if h.Count() != 3 {
+		t.Errorf("Count = %d", h.Count())
+	}
+	if h.Min() != time.Millisecond {
+		t.Errorf("Min = %v", h.Min())
+	}
+	if h.Max() != 3*time.Millisecond {
+		t.Errorf("Max = %v", h.Max())
+	}
+	if h.Mean() != 2*time.Millisecond {
+		t.Errorf("Mean = %v", h.Mean())
+	}
+}
+
+func TestHistogramNegativeClamped(t *testing.T) {
+	var h Histogram
+	h.Observe(-time.Second)
+	if h.Min() != 0 || h.Max() != 0 {
+		t.Error("negative sample should clamp to zero")
+	}
+}
+
+func TestHistogramQuantileAccuracy(t *testing.T) {
+	var h Histogram
+	rng := rand.New(rand.NewSource(5))
+	samples := make([]time.Duration, 0, 10000)
+	for i := 0; i < 10000; i++ {
+		d := time.Duration(rng.ExpFloat64() * float64(20*time.Millisecond))
+		samples = append(samples, d)
+		h.Observe(d)
+	}
+	// Bucketed quantiles must fall within one bucket (~9%) of the true value.
+	for _, q := range []float64{0.5, 0.9, 0.99} {
+		est := h.Quantile(q)
+		exact := exactQuantile(samples, q)
+		lo := time.Duration(float64(exact) * 0.85)
+		hi := time.Duration(float64(exact) * 1.15)
+		if est < lo || est > hi {
+			t.Errorf("q=%v: est %v outside [%v, %v] (exact %v)", q, est, lo, hi, exact)
+		}
+	}
+	if h.Quantile(0) != h.Min() {
+		t.Error("Quantile(0) should be Min")
+	}
+	if h.Quantile(1) != h.Max() {
+		t.Error("Quantile(1) should be Max")
+	}
+}
+
+func exactQuantile(samples []time.Duration, q float64) time.Duration {
+	s := make([]time.Duration, len(samples))
+	copy(s, samples)
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+	idx := int(q * float64(len(s)-1))
+	return s[idx]
+}
+
+func TestHistogramMerge(t *testing.T) {
+	var a, b Histogram
+	a.Observe(time.Millisecond)
+	b.Observe(5 * time.Millisecond)
+	b.Observe(10 * time.Millisecond)
+	a.Merge(&b)
+	if a.Count() != 3 {
+		t.Errorf("merged count = %d, want 3", a.Count())
+	}
+	if a.Min() != time.Millisecond || a.Max() != 10*time.Millisecond {
+		t.Errorf("merged min/max = %v/%v", a.Min(), a.Max())
+	}
+	// Merging an empty histogram changes nothing.
+	var empty Histogram
+	before := a.Count()
+	a.Merge(&empty)
+	if a.Count() != before {
+		t.Error("merge of empty changed count")
+	}
+	// Merging into an empty histogram copies min correctly.
+	var c Histogram
+	c.Merge(&a)
+	if c.Min() != a.Min() {
+		t.Errorf("min after merge into empty = %v, want %v", c.Min(), a.Min())
+	}
+}
+
+func TestHistogramReset(t *testing.T) {
+	var h Histogram
+	h.Observe(time.Second)
+	h.Reset()
+	if h.Count() != 0 || h.Max() != 0 {
+		t.Error("reset did not clear histogram")
+	}
+}
+
+func TestSafeHistogramConcurrent(t *testing.T) {
+	var sh SafeHistogram
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				sh.Observe(time.Millisecond)
+			}
+		}()
+	}
+	wg.Wait()
+	snap := sh.Snapshot()
+	if got := snap.Count(); got != 8000 {
+		t.Errorf("count = %d, want 8000", got)
+	}
+}
+
+func TestCounterAndGauge(t *testing.T) {
+	var c Counter
+	c.Inc()
+	c.Add(4)
+	if c.Value() != 5 {
+		t.Errorf("counter = %d, want 5", c.Value())
+	}
+	var g Gauge
+	g.Set(3)
+	g.Set(-1)
+	g.Set(2)
+	if g.Value() != 2 || g.Min() != -1 || g.Max() != 3 {
+		t.Errorf("gauge = %v min=%v max=%v", g.Value(), g.Min(), g.Max())
+	}
+}
+
+func TestSeries(t *testing.T) {
+	s := NewSeries("err")
+	s.Append(time.Second, 0.5)
+	s.Append(2*time.Second, 0.7)
+	if s.Name() != "err" || s.Len() != 2 {
+		t.Fatalf("series basics wrong: %q len=%d", s.Name(), s.Len())
+	}
+	ts, v := s.At(1)
+	if ts != 2*time.Second || v != 0.7 {
+		t.Errorf("At(1) = %v, %v", ts, v)
+	}
+	vals := s.Values()
+	vals[0] = 99
+	if v2 := s.Values()[0]; v2 != 0.5 {
+		t.Error("Values leaked internal slice")
+	}
+}
+
+func TestRegistry(t *testing.T) {
+	r := NewRegistry("edge-gz")
+	r.Counter("msgs.sent").Add(10)
+	r.Counter("msgs.recv").Add(7)
+	r.Histogram("sync.latency").Observe(time.Millisecond)
+	if r.Counter("msgs.sent").Value() != 10 {
+		t.Error("counter not persistent across lookups")
+	}
+	names := r.CounterNames()
+	if len(names) != 2 || names[0] != "msgs.recv" {
+		t.Errorf("CounterNames = %v", names)
+	}
+	if len(r.HistogramNames()) != 1 {
+		t.Errorf("HistogramNames = %v", r.HistogramNames())
+	}
+	out := r.String()
+	for _, want := range []string{"edge-gz", "msgs.sent", "sync.latency"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("String missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func BenchmarkHistogramObserve(b *testing.B) {
+	var h Histogram
+	for i := 0; i < b.N; i++ {
+		h.Observe(time.Duration(i%1000) * time.Microsecond)
+	}
+}

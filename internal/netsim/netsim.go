@@ -1,0 +1,318 @@
+// Package netsim is an event-driven network simulator substituting for the
+// physical network fabric of the paper's architecture (Fig. 3): classroom
+// WiFi between headsets and edge servers, the wired sensor network, the
+// inter-campus real-time link, and the wide-area paths between remote
+// learners and the cloud VR server.
+//
+// A Network owns a set of Hosts connected by unidirectional Links. A Link
+// models propagation latency, random jitter, Bernoulli loss, and a serializing
+// bandwidth queue (messages queue behind each other at line rate, which is how
+// large video frames delay small pose updates on a shared uplink). Delivery is
+// scheduled on the shared vclock.Sim, so end-to-end timings are deterministic.
+//
+// Wide-area paths are generated from a Region RTT model (see region.go in
+// package region) with poor-peering penalties, reproducing the paper's
+// "hundreds of milliseconds" claim for badly interconnected participants.
+package netsim
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"metaclass/internal/metrics"
+	"metaclass/internal/vclock"
+)
+
+// Common errors.
+var (
+	ErrNoRoute       = errors.New("netsim: no link between hosts")
+	ErrHostExists    = errors.New("netsim: host already registered")
+	ErrUnknownHost   = errors.New("netsim: unknown host")
+	ErrLinkExists    = errors.New("netsim: link already exists")
+	ErrNetworkClosed = errors.New("netsim: network closed")
+)
+
+// Addr identifies a simulated host.
+type Addr string
+
+// Handler receives messages delivered to a host. from is the sending host;
+// payload is the raw message bytes (the slice is owned by the receiver).
+type Handler interface {
+	HandleMessage(from Addr, payload []byte)
+}
+
+// HandlerFunc adapts a function to the Handler interface.
+type HandlerFunc func(from Addr, payload []byte)
+
+// HandleMessage implements Handler.
+func (f HandlerFunc) HandleMessage(from Addr, payload []byte) { f(from, payload) }
+
+// LinkConfig describes one direction of a point-to-point path.
+type LinkConfig struct {
+	// Latency is the one-way propagation delay.
+	Latency time.Duration
+	// Jitter adds a uniform random delay in [0, Jitter) per message.
+	Jitter time.Duration
+	// LossRate is the independent per-message drop probability in [0,1].
+	LossRate float64
+	// Bandwidth is the line rate in bits per second; zero means infinite
+	// (no serialization delay, no queue).
+	Bandwidth int64
+	// QueueLimit caps the bytes waiting in the serialization queue; messages
+	// arriving at a full queue are dropped (tail drop). Zero means unlimited.
+	QueueLimit int
+}
+
+// Validate reports configuration errors.
+func (c LinkConfig) Validate() error {
+	if c.Latency < 0 || c.Jitter < 0 {
+		return fmt.Errorf("netsim: negative latency/jitter: %+v", c)
+	}
+	if c.LossRate < 0 || c.LossRate > 1 {
+		return fmt.Errorf("netsim: loss rate %v out of [0,1]", c.LossRate)
+	}
+	if c.Bandwidth < 0 {
+		return fmt.Errorf("netsim: negative bandwidth %d", c.Bandwidth)
+	}
+	if c.QueueLimit < 0 {
+		return fmt.Errorf("netsim: negative queue limit %d", c.QueueLimit)
+	}
+	return nil
+}
+
+// link is the runtime state of one direction of a path.
+type link struct {
+	cfg LinkConfig
+
+	// busyUntil is the virtual time at which the serializer frees up.
+	busyUntil time.Duration
+	queued    int // bytes currently queued, for QueueLimit
+
+	sent    metrics.Counter
+	dropped metrics.Counter
+	bytes   metrics.Counter
+}
+
+type host struct {
+	addr    Addr
+	handler Handler
+	links   map[Addr]*link // destination -> link
+}
+
+// Network is the simulated fabric. Not safe for concurrent use; all calls
+// must come from the simulation goroutine.
+type Network struct {
+	sim    *vclock.Sim
+	hosts  map[Addr]*host
+	closed bool
+
+	delivered metrics.Counter
+	latency   metrics.Histogram
+}
+
+// New creates an empty network on the given simulator.
+func New(sim *vclock.Sim) *Network {
+	return &Network{sim: sim, hosts: make(map[Addr]*host)}
+}
+
+// AddHost registers a host. The handler may be nil and set later with Bind
+// (messages delivered to a nil handler are counted and discarded).
+func (n *Network) AddHost(addr Addr, h Handler) error {
+	if _, ok := n.hosts[addr]; ok {
+		return fmt.Errorf("%w: %s", ErrHostExists, addr)
+	}
+	n.hosts[addr] = &host{addr: addr, handler: h, links: make(map[Addr]*link)}
+	return nil
+}
+
+// Bind sets or replaces the handler for addr.
+func (n *Network) Bind(addr Addr, h Handler) error {
+	hst, ok := n.hosts[addr]
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrUnknownHost, addr)
+	}
+	hst.handler = h
+	return nil
+}
+
+// HasHost reports whether addr is registered.
+func (n *Network) HasHost(addr Addr) bool {
+	_, ok := n.hosts[addr]
+	return ok
+}
+
+// Connect creates a unidirectional link from src to dst. Use ConnectBoth for
+// a symmetric path.
+func (n *Network) Connect(src, dst Addr, cfg LinkConfig) error {
+	if err := cfg.Validate(); err != nil {
+		return err
+	}
+	s, ok := n.hosts[src]
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrUnknownHost, src)
+	}
+	if _, ok := n.hosts[dst]; !ok {
+		return fmt.Errorf("%w: %s", ErrUnknownHost, dst)
+	}
+	if _, ok := s.links[dst]; ok {
+		return fmt.Errorf("%w: %s->%s", ErrLinkExists, src, dst)
+	}
+	s.links[dst] = &link{cfg: cfg}
+	return nil
+}
+
+// ConnectBoth creates symmetric links in both directions.
+func (n *Network) ConnectBoth(a, b Addr, cfg LinkConfig) error {
+	if err := n.Connect(a, b, cfg); err != nil {
+		return err
+	}
+	return n.Connect(b, a, cfg)
+}
+
+// SetLink replaces the configuration of an existing link, e.g. to degrade a
+// path mid-experiment (failure injection).
+func (n *Network) SetLink(src, dst Addr, cfg LinkConfig) error {
+	if err := cfg.Validate(); err != nil {
+		return err
+	}
+	s, ok := n.hosts[src]
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrUnknownHost, src)
+	}
+	l, ok := s.links[dst]
+	if !ok {
+		return fmt.Errorf("%w: %s->%s", ErrNoRoute, src, dst)
+	}
+	l.cfg = cfg
+	return nil
+}
+
+// LinkConfigOf returns the current configuration of the src->dst link.
+func (n *Network) LinkConfigOf(src, dst Addr) (LinkConfig, error) {
+	s, ok := n.hosts[src]
+	if !ok {
+		return LinkConfig{}, fmt.Errorf("%w: %s", ErrUnknownHost, src)
+	}
+	l, ok := s.links[dst]
+	if !ok {
+		return LinkConfig{}, fmt.Errorf("%w: %s->%s", ErrNoRoute, src, dst)
+	}
+	return l.cfg, nil
+}
+
+// Send transmits payload from src to dst over the direct link. The payload
+// is delivered (or dropped) asynchronously; Send itself never blocks. The
+// caller must not reuse the payload slice after Send.
+func (n *Network) Send(src, dst Addr, payload []byte) error {
+	if n.closed {
+		return ErrNetworkClosed
+	}
+	s, ok := n.hosts[src]
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrUnknownHost, src)
+	}
+	l, ok := s.links[dst]
+	if !ok {
+		return fmt.Errorf("%w: %s->%s", ErrNoRoute, src, dst)
+	}
+	size := len(payload)
+
+	// Bernoulli loss applies at ingress (models air interface / congestion).
+	if l.cfg.LossRate > 0 && n.sim.Rand().Float64() < l.cfg.LossRate {
+		l.dropped.Inc()
+		return nil
+	}
+
+	// Serialization: messages occupy the line back-to-back at Bandwidth bps.
+	now := n.sim.Now()
+	depart := now
+	if l.cfg.Bandwidth > 0 {
+		if l.cfg.QueueLimit > 0 && l.queued+size > l.cfg.QueueLimit {
+			l.dropped.Inc()
+			return nil
+		}
+		txTime := time.Duration(float64(size*8) / float64(l.cfg.Bandwidth) * float64(time.Second))
+		if l.busyUntil > now {
+			depart = l.busyUntil
+		}
+		depart += txTime
+		l.busyUntil = depart
+		l.queued += size
+	}
+
+	delay := depart - now + l.cfg.Latency
+	if l.cfg.Jitter > 0 {
+		delay += time.Duration(n.sim.Rand().Float64() * float64(l.cfg.Jitter))
+	}
+
+	l.sent.Inc()
+	l.bytes.Add(uint64(size))
+	sentAt := now
+	n.sim.After(delay, func() {
+		if l.cfg.Bandwidth > 0 {
+			l.queued -= size
+		}
+		n.deliver(src, dst, payload, sentAt)
+	})
+	return nil
+}
+
+func (n *Network) deliver(src, dst Addr, payload []byte, sentAt time.Duration) {
+	if n.closed {
+		return
+	}
+	d, ok := n.hosts[dst]
+	if !ok || d.handler == nil {
+		return
+	}
+	n.delivered.Inc()
+	n.latency.Observe(n.sim.Now() - sentAt)
+	d.handler.HandleMessage(src, payload)
+}
+
+// Close stops all future deliveries.
+func (n *Network) Close() { n.closed = true }
+
+// Sim returns the simulator the network is scheduled on.
+func (n *Network) Sim() *vclock.Sim { return n.sim }
+
+// Stats describes aggregate network activity.
+type Stats struct {
+	Delivered uint64
+	Dropped   uint64
+	SentBytes uint64
+	Latency   metrics.Histogram
+}
+
+// Stats returns aggregate counters across all links.
+func (n *Network) Stats() Stats {
+	st := Stats{Delivered: n.delivered.Value(), Latency: n.latency}
+	for _, h := range n.hosts {
+		for _, l := range h.links {
+			st.Dropped += l.dropped.Value()
+			st.SentBytes += l.bytes.Value()
+		}
+	}
+	return st
+}
+
+// LinkStats describes one link's counters.
+type LinkStats struct {
+	Sent    uint64
+	Dropped uint64
+	Bytes   uint64
+}
+
+// StatsOf returns counters for the src->dst link.
+func (n *Network) StatsOf(src, dst Addr) (LinkStats, error) {
+	s, ok := n.hosts[src]
+	if !ok {
+		return LinkStats{}, fmt.Errorf("%w: %s", ErrUnknownHost, src)
+	}
+	l, ok := s.links[dst]
+	if !ok {
+		return LinkStats{}, fmt.Errorf("%w: %s->%s", ErrNoRoute, src, dst)
+	}
+	return LinkStats{Sent: l.sent.Value(), Dropped: l.dropped.Value(), Bytes: l.bytes.Value()}, nil
+}

@@ -1,0 +1,100 @@
+package pose
+
+import (
+	"math"
+	"time"
+
+	"metaclass/internal/mathx"
+)
+
+// Extrapolator predicts a participant's pose beyond its last known sample.
+// Dead reckoning is what lets the classroom sync protocol send updates at
+// 10-30 Hz while displays render at 60-90 Hz with sub-100 ms perceived lag
+// (the paper's C1/C8 trade-off).
+type Extrapolator interface {
+	// Predict returns the estimated pose at time at, given last known pose p.
+	// at must be >= p.Time; implementations clamp the horizon to keep errors
+	// bounded during outages.
+	Predict(p Pose, at time.Duration) Pose
+	// Name identifies the strategy in experiment tables.
+	Name() string
+}
+
+// maxExtrapolation bounds prediction horizons: beyond this, extrapolating a
+// stale pose looks worse than freezing it (standard practice in networked VR).
+const maxExtrapolation = 500 * time.Millisecond
+
+func horizon(p Pose, at time.Duration) time.Duration {
+	dt := at - p.Time
+	if dt < 0 {
+		return 0
+	}
+	if dt > maxExtrapolation {
+		return maxExtrapolation
+	}
+	return dt
+}
+
+// HoldLast freezes the pose at its last sample (the zero-order baseline).
+type HoldLast struct{}
+
+// Predict implements Extrapolator.
+func (HoldLast) Predict(p Pose, at time.Duration) Pose { return p.At(at) }
+
+// Name implements Extrapolator.
+func (HoldLast) Name() string { return "hold" }
+
+// Linear advances position by the reported velocity and yaw by the yaw rate
+// (first-order dead reckoning).
+type Linear struct{}
+
+// Predict implements Extrapolator.
+func (Linear) Predict(p Pose, at time.Duration) Pose {
+	dt := horizon(p, at).Seconds()
+	out := p
+	out.Time = at
+	out.Position = p.Position.Add(p.Velocity.Scale(dt))
+	if p.AngVelY != 0 {
+		out.Rotation = mathx.QuatAxisAngle(mathx.V3(0, 1, 0), p.AngVelY*dt).Mul(p.Rotation).Normalize()
+	}
+	return out
+}
+
+// Name implements Extrapolator.
+func (Linear) Name() string { return "linear" }
+
+// Damped is first-order dead reckoning whose velocity decays exponentially
+// with horizon (time constant Tau), trading tracking lag for overshoot
+// control on abrupt stops. A zero Tau behaves like 120 ms.
+type Damped struct {
+	Tau time.Duration
+}
+
+// Predict implements Extrapolator.
+func (d Damped) Predict(p Pose, at time.Duration) Pose {
+	tau := d.Tau
+	if tau <= 0 {
+		tau = 120 * time.Millisecond
+	}
+	dt := horizon(p, at).Seconds()
+	tc := tau.Seconds()
+	// Integral of v*exp(-t/tau) from 0 to dt = v*tau*(1-exp(-dt/tau)).
+	scale := tc * (1 - expNeg(dt/tc))
+	out := p
+	out.Time = at
+	out.Position = p.Position.Add(p.Velocity.Scale(scale))
+	if p.AngVelY != 0 {
+		out.Rotation = mathx.QuatAxisAngle(mathx.V3(0, 1, 0), p.AngVelY*scale).Mul(p.Rotation).Normalize()
+	}
+	return out
+}
+
+// Name implements Extrapolator.
+func (d Damped) Name() string { return "damped" }
+
+func expNeg(x float64) float64 {
+	if x < 0 {
+		x = 0
+	}
+	return math.Exp(-x)
+}

@@ -1,0 +1,127 @@
+package pose
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"metaclass/internal/mathx"
+)
+
+func movingPose() Pose {
+	return Pose{
+		Time:     time.Second,
+		Position: mathx.V3(1, 0, 2),
+		Rotation: mathx.QuatIdentity(),
+		Velocity: mathx.V3(1, 0, 0), // 1 m/s along X
+		AngVelY:  0.5,               // rad/s
+	}
+}
+
+func TestHoldLast(t *testing.T) {
+	p := movingPose()
+	got := HoldLast{}.Predict(p, p.Time+100*time.Millisecond)
+	if !got.Position.NearEq(p.Position, 1e-12) {
+		t.Errorf("hold moved position: %v", got.Position)
+	}
+	if got.Time != p.Time+100*time.Millisecond {
+		t.Errorf("time not restamped: %v", got.Time)
+	}
+}
+
+func TestLinearAdvancesPosition(t *testing.T) {
+	p := movingPose()
+	got := Linear{}.Predict(p, p.Time+200*time.Millisecond)
+	want := mathx.V3(1.2, 0, 2)
+	if !got.Position.NearEq(want, 1e-9) {
+		t.Errorf("linear position = %v, want %v", got.Position, want)
+	}
+	// Yaw advanced by 0.5 rad/s * 0.2 s = 0.1 rad.
+	if math.Abs(mathx.WrapAngle(got.Rotation.Yaw())-0.1) > 1e-9 {
+		t.Errorf("yaw = %v, want 0.1", got.Rotation.Yaw())
+	}
+}
+
+func TestLinearClampsHorizon(t *testing.T) {
+	p := movingPose()
+	got := Linear{}.Predict(p, p.Time+10*time.Second)
+	// Clamped at maxExtrapolation (0.5 s): at most 0.5 m traveled.
+	want := mathx.V3(1.5, 0, 2)
+	if !got.Position.NearEq(want, 1e-9) {
+		t.Errorf("clamped position = %v, want %v", got.Position, want)
+	}
+}
+
+func TestLinearPastTimestamp(t *testing.T) {
+	p := movingPose()
+	got := Linear{}.Predict(p, p.Time-time.Second)
+	if !got.Position.NearEq(p.Position, 1e-12) {
+		t.Error("negative horizon should not move pose")
+	}
+}
+
+func TestDampedUndershootsLinear(t *testing.T) {
+	p := movingPose()
+	at := p.Time + 300*time.Millisecond
+	lin := Linear{}.Predict(p, at)
+	damp := Damped{Tau: 120 * time.Millisecond}.Predict(p, at)
+	linDist := lin.Position.Dist(p.Position)
+	dampDist := damp.Position.Dist(p.Position)
+	if dampDist >= linDist {
+		t.Errorf("damped (%v) should travel less than linear (%v)", dampDist, linDist)
+	}
+	if dampDist <= 0 {
+		t.Error("damped did not move at all")
+	}
+}
+
+func TestDampedZeroTauDefaults(t *testing.T) {
+	p := movingPose()
+	got := Damped{}.Predict(p, p.Time+100*time.Millisecond)
+	if got.Position.NearEq(p.Position, 1e-12) {
+		t.Error("zero-tau damped should still move (defaults applied)")
+	}
+}
+
+func TestDampedConvergesToVTau(t *testing.T) {
+	// As horizon -> inf (clamped 0.5s), travel -> v * tau * (1 - e^-h/tau).
+	p := movingPose()
+	tau := 100 * time.Millisecond
+	got := Damped{Tau: tau}.Predict(p, p.Time+maxExtrapolation)
+	wantTravel := 1.0 * 0.1 * (1 - math.Exp(-5))
+	travel := got.Position.Dist(p.Position)
+	if math.Abs(travel-wantTravel) > 1e-9 {
+		t.Errorf("travel = %v, want %v", travel, wantTravel)
+	}
+}
+
+func TestExtrapolatorNames(t *testing.T) {
+	exts := []Extrapolator{HoldLast{}, Linear{}, Damped{}}
+	seen := map[string]bool{}
+	for _, e := range exts {
+		n := e.Name()
+		if n == "" || seen[n] {
+			t.Errorf("bad or duplicate name %q", n)
+		}
+		seen[n] = true
+	}
+}
+
+func TestDeadReckoningErrorOrdering(t *testing.T) {
+	// Against a constant-velocity ground truth, linear must beat hold, and
+	// damped must fall in between, at sub-horizon dt.
+	truth := movingPose()
+	at := truth.Time + 150*time.Millisecond
+	actual := Linear{}.Predict(truth, at) // ground truth follows its velocity
+
+	errHold := HoldLast{}.Predict(truth, at).PositionError(actual)
+	errLin := Linear{}.Predict(truth, at).PositionError(actual)
+	errDamp := Damped{Tau: 120 * time.Millisecond}.Predict(truth, at).PositionError(actual)
+
+	if errLin > 1e-9 {
+		t.Errorf("linear error vs constant-velocity truth = %v, want ~0", errLin)
+	}
+	if errHold <= errDamp {
+		t.Errorf("hold error (%v) should exceed damped error (%v)", errHold, errDamp)
+	}
+}

@@ -1,0 +1,135 @@
+package pose
+
+import (
+	"time"
+)
+
+// InterpBuffer is the receiver-side playout buffer: it stores recent pose
+// samples for a remote participant and reconstructs the pose at display time
+// by rendering Delay behind the newest sample (interpolation) and falling
+// back to an Extrapolator when the buffer runs dry.
+//
+// The Delay trades latency against smoothness: it must cover network jitter
+// or playback stutters, but adds directly to the end-to-end motion-to-photon
+// lag the paper's 100 ms budget constrains.
+type InterpBuffer struct {
+	samples []Pose // time-ordered ring, oldest first
+	cap     int
+	delay   time.Duration
+	extrap  Extrapolator
+
+	interpolated uint64
+	extrapolated uint64
+}
+
+// NewInterpBuffer creates a buffer rendering delay behind live, holding up to
+// capacity samples, using extrap beyond the newest sample. A nil extrap
+// defaults to Linear; capacity < 2 defaults to 64.
+func NewInterpBuffer(delay time.Duration, capacity int, extrap Extrapolator) *InterpBuffer {
+	if capacity < 2 {
+		capacity = 64
+	}
+	if extrap == nil {
+		extrap = Linear{}
+	}
+	return &InterpBuffer{cap: capacity, delay: delay, extrap: extrap}
+}
+
+// Push inserts a sample. Out-of-order samples older than the newest are
+// inserted in order; duplicates by timestamp replace the stored sample.
+func (b *InterpBuffer) Push(p Pose) {
+	n := len(b.samples)
+	// Fast path: newest sample.
+	if n == 0 || p.Time > b.samples[n-1].Time {
+		b.samples = append(b.samples, p)
+	} else {
+		// Find insertion point (buffers are small; linear scan from the back).
+		i := n - 1
+		for i >= 0 && b.samples[i].Time > p.Time {
+			i--
+		}
+		if i >= 0 && b.samples[i].Time == p.Time {
+			b.samples[i] = p
+			return
+		}
+		b.samples = append(b.samples, Pose{})
+		copy(b.samples[i+2:], b.samples[i+1:])
+		b.samples[i+1] = p
+	}
+	if len(b.samples) > b.cap {
+		// Drop oldest; copy down to avoid unbounded backing growth.
+		copy(b.samples, b.samples[len(b.samples)-b.cap:])
+		b.samples = b.samples[:b.cap]
+	}
+}
+
+// Len returns the number of buffered samples.
+func (b *InterpBuffer) Len() int { return len(b.samples) }
+
+// Delay returns the configured playout delay.
+func (b *InterpBuffer) Delay() time.Duration { return b.delay }
+
+// Newest returns the most recent sample and whether one exists.
+func (b *InterpBuffer) Newest() (Pose, bool) {
+	if len(b.samples) == 0 {
+		return Pose{}, false
+	}
+	return b.samples[len(b.samples)-1], true
+}
+
+// Sample reconstructs the pose at display time now, rendering at target time
+// now - Delay. It returns false only when the buffer is empty.
+func (b *InterpBuffer) Sample(now time.Duration) (Pose, bool) {
+	n := len(b.samples)
+	if n == 0 {
+		return Pose{}, false
+	}
+	target := now - b.delay
+	newest := b.samples[n-1]
+	if target >= newest.Time {
+		// Beyond buffered data: dead-reckon forward from the newest sample.
+		b.extrapolated++
+		return b.extrap.Predict(newest, target).At(now), true
+	}
+	if target <= b.samples[0].Time {
+		return b.samples[0].At(now), true
+	}
+	// Binary search for the bracketing pair.
+	lo, hi := 0, n-1
+	for hi-lo > 1 {
+		mid := (lo + hi) / 2
+		if b.samples[mid].Time <= target {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	a, c := b.samples[lo], b.samples[hi]
+	span := c.Time - a.Time
+	t := 0.0
+	if span > 0 {
+		t = float64(target-a.Time) / float64(span)
+	}
+	b.interpolated++
+	return LerpPose(a, c, t).At(now), true
+}
+
+// Stats reports how many samples were answered by interpolation vs.
+// extrapolation — the extrapolation share rises when updates arrive slower
+// than Delay covers.
+func (b *InterpBuffer) Stats() (interpolated, extrapolated uint64) {
+	return b.interpolated, b.extrapolated
+}
+
+// PruneBefore discards samples older than t (e.g. after a seat reassignment
+// invalidates the motion history).
+func (b *InterpBuffer) PruneBefore(t time.Duration) {
+	i := 0
+	for i < len(b.samples) && b.samples[i].Time < t {
+		i++
+	}
+	if i > 0 {
+		copy(b.samples, b.samples[i:])
+		b.samples = b.samples[:len(b.samples)-i]
+	}
+}

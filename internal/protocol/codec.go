@@ -1,0 +1,82 @@
+package protocol
+
+import (
+	"fmt"
+	"hash/crc32"
+)
+
+// headerSize is magic(2) + version(1) + type(1); the length varint and
+// trailing crc32(4) are variable/fixed additions.
+const headerSize = 4
+
+// Encode serializes msg into a self-delimiting, checksummed frame.
+func Encode(msg Message) ([]byte, error) {
+	var payload Writer
+	msg.encode(&payload)
+	if payload.Len() > MaxPayload {
+		return nil, fmt.Errorf("%w: %d bytes", ErrTooLarge, payload.Len())
+	}
+	w := NewWriterSize(headerSize + payload.Len() + 10)
+	w.U16(Magic)
+	w.U8(Version)
+	w.U8(uint8(msg.Type()))
+	w.UVarint(uint64(payload.Len()))
+	w.Raw(payload.Bytes())
+	w.U32(crc32.ChecksumIEEE(w.Bytes()))
+	return w.Bytes(), nil
+}
+
+// Decode parses a frame produced by Encode, validating magic, version,
+// length, and checksum. It returns the decoded message and the total frame
+// size consumed, allowing streams of concatenated frames to be parsed.
+func Decode(frame []byte) (Message, int, error) {
+	r := NewReader(frame)
+	if magic := r.U16(); r.Err() != nil || magic != Magic {
+		if r.Err() != nil {
+			return nil, 0, ErrShortFrame
+		}
+		return nil, 0, ErrBadMagic
+	}
+	if v := r.U8(); r.Err() != nil || v != Version {
+		if r.Err() != nil {
+			return nil, 0, ErrShortFrame
+		}
+		return nil, 0, fmt.Errorf("%w: %d", ErrBadVersion, v)
+	}
+	t := MsgType(r.U8())
+	plen := r.UVarint()
+	if r.Err() != nil {
+		return nil, 0, ErrShortFrame
+	}
+	if plen > MaxPayload {
+		return nil, 0, fmt.Errorf("%w: %d bytes", ErrTooLarge, plen)
+	}
+	if uint64(r.Remaining()) < plen+4 {
+		return nil, 0, ErrShortFrame
+	}
+	bodyEnd := len(frame) - r.Remaining() + int(plen)
+	payload := frame[len(frame)-r.Remaining() : bodyEnd]
+	sumReader := NewReader(frame[bodyEnd : bodyEnd+4])
+	want := sumReader.U32()
+	if got := crc32.ChecksumIEEE(frame[:bodyEnd]); got != want {
+		return nil, 0, ErrBadChecksum
+	}
+	msg, err := newMessage(t)
+	if err != nil {
+		return nil, 0, err
+	}
+	if err := msg.decode(NewReader(payload)); err != nil {
+		return nil, 0, fmt.Errorf("decoding %v: %w", t, err)
+	}
+	return msg, bodyEnd + 4, nil
+}
+
+// EncodedSize returns the frame size Encode would produce for msg, without
+// allocating the frame (used by bandwidth accounting).
+func EncodedSize(msg Message) (int, error) {
+	b, err := Encode(msg)
+	if err != nil {
+		return 0, err
+	}
+	return len(b), nil
+}

@@ -1,0 +1,713 @@
+package protocol
+
+import (
+	"fmt"
+	"time"
+
+	"metaclass/internal/mathx"
+)
+
+// MsgType enumerates wire message types. Values start at 1 so an accidental
+// zero byte is never a valid type.
+type MsgType uint8
+
+// Message types.
+const (
+	TypeHello MsgType = iota + 1
+	TypeHelloAck
+	TypeJoin
+	TypeLeave
+	TypePoseUpdate
+	TypeExpressionUpdate
+	TypeSeatAssign
+	TypeSnapshot
+	TypeDelta
+	TypeAck
+	TypePing
+	TypePong
+	TypeVideoChunk
+	TypeAudioFrame
+	TypeActivityEvent
+	TypeNack
+	typeMax // sentinel, keep last
+)
+
+var typeNames = map[MsgType]string{
+	TypeHello:            "Hello",
+	TypeHelloAck:         "HelloAck",
+	TypeJoin:             "Join",
+	TypeLeave:            "Leave",
+	TypePoseUpdate:       "PoseUpdate",
+	TypeExpressionUpdate: "ExpressionUpdate",
+	TypeSeatAssign:       "SeatAssign",
+	TypeSnapshot:         "Snapshot",
+	TypeDelta:            "Delta",
+	TypeAck:              "Ack",
+	TypePing:             "Ping",
+	TypePong:             "Pong",
+	TypeVideoChunk:       "VideoChunk",
+	TypeAudioFrame:       "AudioFrame",
+	TypeActivityEvent:    "ActivityEvent",
+	TypeNack:             "Nack",
+}
+
+// String implements fmt.Stringer.
+func (t MsgType) String() string {
+	if s, ok := typeNames[t]; ok {
+		return s
+	}
+	return fmt.Sprintf("MsgType(%d)", uint8(t))
+}
+
+// Valid reports whether t is a known message type.
+func (t MsgType) Valid() bool { return t >= TypeHello && t < typeMax }
+
+// ParticipantID identifies a learner, educator or guest across the
+// deployment. IDs are assigned by the classroom session layer.
+type ParticipantID uint32
+
+// ClassroomID identifies a physical or virtual classroom.
+type ClassroomID uint16
+
+// Role is the participant's function in the session.
+type Role uint8
+
+// Roles.
+const (
+	RoleLearner Role = iota + 1
+	RoleEducator
+	RoleGuest
+)
+
+// String implements fmt.Stringer.
+func (r Role) String() string {
+	switch r {
+	case RoleLearner:
+		return "learner"
+	case RoleEducator:
+		return "educator"
+	case RoleGuest:
+		return "guest"
+	default:
+		return fmt.Sprintf("Role(%d)", uint8(r))
+	}
+}
+
+// Message is implemented by every protocol message.
+type Message interface {
+	Type() MsgType
+	encode(w *Writer)
+	decode(r *Reader) error
+}
+
+// --- pose quantization -------------------------------------------------
+
+// Positions travel as millimeter integers (zigzag varint per axis),
+// orientations as four int16 components of the unit quaternion. Quantization
+// error is sub-millimeter / <0.01 degrees — far below tracking noise.
+
+const quatScale = 32767
+
+// WirePose is the quantized on-wire pose.
+type WirePose struct {
+	PosMM [3]int64
+	Quat  [4]int16
+}
+
+// QuantizePose converts a world pose to wire form.
+func QuantizePose(pos mathx.Vec3, rot mathx.Quat) WirePose {
+	rot = rot.Normalize()
+	return WirePose{
+		PosMM: [3]int64{
+			int64(pos.X * 1000), int64(pos.Y * 1000), int64(pos.Z * 1000),
+		},
+		Quat: [4]int16{
+			int16(rot.W * quatScale), int16(rot.X * quatScale),
+			int16(rot.Y * quatScale), int16(rot.Z * quatScale),
+		},
+	}
+}
+
+// Dequantize converts the wire pose back to world coordinates.
+func (p WirePose) Dequantize() (mathx.Vec3, mathx.Quat) {
+	pos := mathx.V3(
+		float64(p.PosMM[0])/1000, float64(p.PosMM[1])/1000, float64(p.PosMM[2])/1000,
+	)
+	rot := mathx.Quat{
+		W: float64(p.Quat[0]) / quatScale, X: float64(p.Quat[1]) / quatScale,
+		Y: float64(p.Quat[2]) / quatScale, Z: float64(p.Quat[3]) / quatScale,
+	}.Normalize()
+	return pos, rot
+}
+
+func (p WirePose) encode(w *Writer) {
+	for _, v := range p.PosMM {
+		w.Varint(v)
+	}
+	for _, q := range p.Quat {
+		w.I16(q)
+	}
+}
+
+func (p *WirePose) decode(r *Reader) {
+	for i := range p.PosMM {
+		p.PosMM[i] = r.Varint()
+	}
+	for i := range p.Quat {
+		p.Quat[i] = r.I16()
+	}
+}
+
+// --- handshake ----------------------------------------------------------
+
+// Hello opens a connection from a client or peer server.
+type Hello struct {
+	Participant ParticipantID
+	Classroom   ClassroomID
+	Role        Role
+	Name        string
+}
+
+// Type implements Message.
+func (*Hello) Type() MsgType { return TypeHello }
+
+func (m *Hello) encode(w *Writer) {
+	w.U32(uint32(m.Participant))
+	w.U16(uint16(m.Classroom))
+	w.U8(uint8(m.Role))
+	w.String(m.Name)
+}
+
+func (m *Hello) decode(r *Reader) error {
+	m.Participant = ParticipantID(r.U32())
+	m.Classroom = ClassroomID(r.U16())
+	m.Role = Role(r.U8())
+	m.Name = r.String()
+	return r.ExpectEOF()
+}
+
+// HelloAck acknowledges a Hello, assigning the server tick rate.
+type HelloAck struct {
+	Participant ParticipantID
+	TickRateHz  uint16
+	ServerTick  uint64
+}
+
+// Type implements Message.
+func (*HelloAck) Type() MsgType { return TypeHelloAck }
+
+func (m *HelloAck) encode(w *Writer) {
+	w.U32(uint32(m.Participant))
+	w.U16(m.TickRateHz)
+	w.UVarint(m.ServerTick)
+}
+
+func (m *HelloAck) decode(r *Reader) error {
+	m.Participant = ParticipantID(r.U32())
+	m.TickRateHz = r.U16()
+	m.ServerTick = r.UVarint()
+	return r.ExpectEOF()
+}
+
+// Join announces a participant entering the shared session.
+type Join struct {
+	Participant ParticipantID
+	Classroom   ClassroomID
+	Role        Role
+	Name        string
+	AvatarLoD   uint8
+}
+
+// Type implements Message.
+func (*Join) Type() MsgType { return TypeJoin }
+
+func (m *Join) encode(w *Writer) {
+	w.U32(uint32(m.Participant))
+	w.U16(uint16(m.Classroom))
+	w.U8(uint8(m.Role))
+	w.String(m.Name)
+	w.U8(m.AvatarLoD)
+}
+
+func (m *Join) decode(r *Reader) error {
+	m.Participant = ParticipantID(r.U32())
+	m.Classroom = ClassroomID(r.U16())
+	m.Role = Role(r.U8())
+	m.Name = r.String()
+	m.AvatarLoD = r.U8()
+	return r.ExpectEOF()
+}
+
+// Leave announces a participant leaving.
+type Leave struct {
+	Participant ParticipantID
+	Reason      string
+}
+
+// Type implements Message.
+func (*Leave) Type() MsgType { return TypeLeave }
+
+func (m *Leave) encode(w *Writer) {
+	w.U32(uint32(m.Participant))
+	w.String(m.Reason)
+}
+
+func (m *Leave) decode(r *Reader) error {
+	m.Participant = ParticipantID(r.U32())
+	m.Reason = r.String()
+	return r.ExpectEOF()
+}
+
+// --- state updates -------------------------------------------------------
+
+// PoseUpdate carries one participant's tracked pose at a sample instant.
+// Velocity enables receiver-side dead reckoning (mm/s per axis).
+type PoseUpdate struct {
+	Participant ParticipantID
+	Seq         uint32
+	CapturedAt  time.Duration // sender virtual-time capture stamp
+	Pose        WirePose
+	VelMMS      [3]int64
+}
+
+// Type implements Message.
+func (*PoseUpdate) Type() MsgType { return TypePoseUpdate }
+
+func (m *PoseUpdate) encode(w *Writer) {
+	w.U32(uint32(m.Participant))
+	w.U32(m.Seq)
+	w.Varint(int64(m.CapturedAt))
+	m.Pose.encode(w)
+	for _, v := range m.VelMMS {
+		w.Varint(v)
+	}
+}
+
+func (m *PoseUpdate) decode(r *Reader) error {
+	m.Participant = ParticipantID(r.U32())
+	m.Seq = r.U32()
+	m.CapturedAt = time.Duration(r.Varint())
+	m.Pose.decode(r)
+	for i := range m.VelMMS {
+		m.VelMMS[i] = r.Varint()
+	}
+	return r.ExpectEOF()
+}
+
+// ExpressionUpdate carries quantized facial blendshape weights (0..255 each).
+type ExpressionUpdate struct {
+	Participant ParticipantID
+	Seq         uint32
+	Weights     []byte // one byte per blendshape channel
+}
+
+// Type implements Message.
+func (*ExpressionUpdate) Type() MsgType { return TypeExpressionUpdate }
+
+func (m *ExpressionUpdate) encode(w *Writer) {
+	w.U32(uint32(m.Participant))
+	w.U32(m.Seq)
+	w.BytesVar(m.Weights)
+}
+
+func (m *ExpressionUpdate) decode(r *Reader) error {
+	m.Participant = ParticipantID(r.U32())
+	m.Seq = r.U32()
+	m.Weights = r.BytesVar()
+	return r.ExpectEOF()
+}
+
+// SeatAssign maps a remote participant's avatar onto a vacant local seat
+// (the Fig. 3 "identify the vacant seats" step).
+type SeatAssign struct {
+	Participant ParticipantID
+	Classroom   ClassroomID
+	SeatIndex   uint16
+	// Correction is the rigid transform from the sender's classroom frame to
+	// the assigned seat's local frame ("corrects the pose to match the new
+	// position of the avatar").
+	Correction WirePose
+}
+
+// Type implements Message.
+func (*SeatAssign) Type() MsgType { return TypeSeatAssign }
+
+func (m *SeatAssign) encode(w *Writer) {
+	w.U32(uint32(m.Participant))
+	w.U16(uint16(m.Classroom))
+	w.U16(m.SeatIndex)
+	m.Correction.encode(w)
+}
+
+func (m *SeatAssign) decode(r *Reader) error {
+	m.Participant = ParticipantID(r.U32())
+	m.Classroom = ClassroomID(r.U16())
+	m.SeatIndex = r.U16()
+	m.Correction.decode(r)
+	return r.ExpectEOF()
+}
+
+// EntityState is one participant's replicated state inside a Snapshot/Delta.
+type EntityState struct {
+	Participant ParticipantID
+	// Home is the classroom authoring this entity (0 = cloud/remote).
+	Home ClassroomID
+	// CapturedAt is the sensor capture stamp of the pose, in the deployment-
+	// wide virtual timebase; receivers use it for interpolation and for
+	// motion-to-photon latency accounting.
+	CapturedAt time.Duration
+	Pose       WirePose
+	VelMMS     [3]int64
+	Expression []byte
+	Seat       uint16
+	Flags      uint8
+}
+
+// Entity flags.
+const (
+	FlagSpeaking uint8 = 1 << iota
+	FlagHandRaised
+	FlagPresenting
+)
+
+func (e *EntityState) encode(w *Writer) {
+	w.U32(uint32(e.Participant))
+	w.U16(uint16(e.Home))
+	w.Varint(int64(e.CapturedAt))
+	e.Pose.encode(w)
+	for _, v := range e.VelMMS {
+		w.Varint(v)
+	}
+	w.BytesVar(e.Expression)
+	w.U16(e.Seat)
+	w.U8(e.Flags)
+}
+
+func (e *EntityState) decode(r *Reader) {
+	e.Participant = ParticipantID(r.U32())
+	e.Home = ClassroomID(r.U16())
+	e.CapturedAt = time.Duration(r.Varint())
+	e.Pose.decode(r)
+	for i := range e.VelMMS {
+		e.VelMMS[i] = r.Varint()
+	}
+	e.Expression = r.BytesVar()
+	e.Seat = r.U16()
+	e.Flags = r.U8()
+}
+
+// Snapshot is the full replicated state at a server tick.
+type Snapshot struct {
+	Tick     uint64
+	Entities []EntityState
+}
+
+// Type implements Message.
+func (*Snapshot) Type() MsgType { return TypeSnapshot }
+
+func (m *Snapshot) encode(w *Writer) {
+	w.UVarint(m.Tick)
+	w.UVarint(uint64(len(m.Entities)))
+	for i := range m.Entities {
+		m.Entities[i].encode(w)
+	}
+}
+
+func (m *Snapshot) decode(r *Reader) error {
+	m.Tick = r.UVarint()
+	n := r.UVarint()
+	if r.Err() != nil {
+		return r.Err()
+	}
+	if n > uint64(r.Remaining()) { // each entity is >1 byte; cheap bound check
+		return fmt.Errorf("%w: snapshot claims %d entities", ErrBadMessage, n)
+	}
+	if n > 0 {
+		m.Entities = make([]EntityState, n)
+		for i := range m.Entities {
+			m.Entities[i].decode(r)
+		}
+	}
+	return r.ExpectEOF()
+}
+
+// Delta carries only entities changed since BaseTick (which the receiver
+// acknowledged), plus explicit removals.
+type Delta struct {
+	BaseTick uint64
+	Tick     uint64
+	Changed  []EntityState
+	Removed  []ParticipantID
+}
+
+// Type implements Message.
+func (*Delta) Type() MsgType { return TypeDelta }
+
+func (m *Delta) encode(w *Writer) {
+	w.UVarint(m.BaseTick)
+	w.UVarint(m.Tick)
+	w.UVarint(uint64(len(m.Changed)))
+	for i := range m.Changed {
+		m.Changed[i].encode(w)
+	}
+	w.UVarint(uint64(len(m.Removed)))
+	for _, id := range m.Removed {
+		w.U32(uint32(id))
+	}
+}
+
+func (m *Delta) decode(r *Reader) error {
+	m.BaseTick = r.UVarint()
+	m.Tick = r.UVarint()
+	nc := r.UVarint()
+	if r.Err() != nil {
+		return r.Err()
+	}
+	if nc > uint64(r.Remaining()) {
+		return fmt.Errorf("%w: delta claims %d changes", ErrBadMessage, nc)
+	}
+	if nc > 0 {
+		m.Changed = make([]EntityState, nc)
+		for i := range m.Changed {
+			m.Changed[i].decode(r)
+		}
+	}
+	nr := r.UVarint()
+	if r.Err() != nil {
+		return r.Err()
+	}
+	if nr > uint64(r.Remaining())/4+1 {
+		return fmt.Errorf("%w: delta claims %d removals", ErrBadMessage, nr)
+	}
+	if nr > 0 {
+		m.Removed = make([]ParticipantID, nr)
+		for i := range m.Removed {
+			m.Removed[i] = ParticipantID(r.U32())
+		}
+	}
+	return r.ExpectEOF()
+}
+
+// Ack confirms receipt of replicated state up to Tick.
+type Ack struct {
+	Participant ParticipantID
+	Tick        uint64
+}
+
+// Type implements Message.
+func (*Ack) Type() MsgType { return TypeAck }
+
+func (m *Ack) encode(w *Writer) {
+	w.U32(uint32(m.Participant))
+	w.UVarint(m.Tick)
+}
+
+func (m *Ack) decode(r *Reader) error {
+	m.Participant = ParticipantID(r.U32())
+	m.Tick = r.UVarint()
+	return r.ExpectEOF()
+}
+
+// Ping measures path RTT; Nonce is echoed in Pong.
+type Ping struct {
+	Nonce  uint64
+	SentAt time.Duration
+}
+
+// Type implements Message.
+func (*Ping) Type() MsgType { return TypePing }
+
+func (m *Ping) encode(w *Writer) {
+	w.U64(m.Nonce)
+	w.Varint(int64(m.SentAt))
+}
+
+func (m *Ping) decode(r *Reader) error {
+	m.Nonce = r.U64()
+	m.SentAt = time.Duration(r.Varint())
+	return r.ExpectEOF()
+}
+
+// Pong answers a Ping.
+type Pong struct {
+	Nonce  uint64
+	SentAt time.Duration // copied from the Ping
+}
+
+// Type implements Message.
+func (*Pong) Type() MsgType { return TypePong }
+
+func (m *Pong) encode(w *Writer) {
+	w.U64(m.Nonce)
+	w.Varint(int64(m.SentAt))
+}
+
+func (m *Pong) decode(r *Reader) error {
+	m.Nonce = r.U64()
+	m.SentAt = time.Duration(r.Varint())
+	return r.ExpectEOF()
+}
+
+// --- media ----------------------------------------------------------------
+
+// VideoChunk is one transport unit of an encoded (or FEC parity) video
+// shard. K data shards plus R parity shards form a recovery group.
+type VideoChunk struct {
+	Stream     uint32
+	FrameID    uint32
+	GroupK     uint8 // data shards in the group
+	GroupR     uint8 // parity shards in the group
+	ShardIndex uint8 // < GroupK: data, >= GroupK: parity
+	Keyframe   bool
+	Deadline   time.Duration
+	Data       []byte
+}
+
+// Type implements Message.
+func (*VideoChunk) Type() MsgType { return TypeVideoChunk }
+
+func (m *VideoChunk) encode(w *Writer) {
+	w.U32(m.Stream)
+	w.U32(m.FrameID)
+	w.U8(m.GroupK)
+	w.U8(m.GroupR)
+	w.U8(m.ShardIndex)
+	if m.Keyframe {
+		w.U8(1)
+	} else {
+		w.U8(0)
+	}
+	w.Varint(int64(m.Deadline))
+	w.BytesVar(m.Data)
+}
+
+func (m *VideoChunk) decode(r *Reader) error {
+	m.Stream = r.U32()
+	m.FrameID = r.U32()
+	m.GroupK = r.U8()
+	m.GroupR = r.U8()
+	m.ShardIndex = r.U8()
+	m.Keyframe = r.U8() == 1
+	m.Deadline = time.Duration(r.Varint())
+	m.Data = r.BytesVar()
+	return r.ExpectEOF()
+}
+
+// AudioFrame is one compressed audio packet, timestamped for lip-sync with
+// avatar actions (the paper's A/V-to-avatar matching requirement).
+type AudioFrame struct {
+	Participant ParticipantID
+	Seq         uint32
+	CapturedAt  time.Duration
+	Data        []byte
+}
+
+// Type implements Message.
+func (*AudioFrame) Type() MsgType { return TypeAudioFrame }
+
+func (m *AudioFrame) encode(w *Writer) {
+	w.U32(uint32(m.Participant))
+	w.U32(m.Seq)
+	w.Varint(int64(m.CapturedAt))
+	w.BytesVar(m.Data)
+}
+
+func (m *AudioFrame) decode(r *Reader) error {
+	m.Participant = ParticipantID(r.U32())
+	m.Seq = r.U32()
+	m.CapturedAt = time.Duration(r.Varint())
+	m.Data = r.BytesVar()
+	return r.ExpectEOF()
+}
+
+// ActivityEvent carries session-layer interactions: quiz answers, breakout
+// progress, hand raises, presentation controls (§III-A features).
+type ActivityEvent struct {
+	Participant ParticipantID
+	Activity    uint32
+	Kind        string
+	Payload     []byte
+}
+
+// Type implements Message.
+func (*ActivityEvent) Type() MsgType { return TypeActivityEvent }
+
+func (m *ActivityEvent) encode(w *Writer) {
+	w.U32(uint32(m.Participant))
+	w.U32(m.Activity)
+	w.String(m.Kind)
+	w.BytesVar(m.Payload)
+}
+
+func (m *ActivityEvent) decode(r *Reader) error {
+	m.Participant = ParticipantID(r.U32())
+	m.Activity = r.U32()
+	m.Kind = r.String()
+	m.Payload = r.BytesVar()
+	return r.ExpectEOF()
+}
+
+// Nack asks the video sender to retransmit specific shards of a frame
+// (ARQ mode — the baseline strategy the paper's joint-FEC approach beats on
+// high-latency paths).
+type Nack struct {
+	Stream  uint32
+	FrameID uint32
+	Missing []byte // shard indices
+}
+
+// Type implements Message.
+func (*Nack) Type() MsgType { return TypeNack }
+
+func (m *Nack) encode(w *Writer) {
+	w.U32(m.Stream)
+	w.U32(m.FrameID)
+	w.BytesVar(m.Missing)
+}
+
+func (m *Nack) decode(r *Reader) error {
+	m.Stream = r.U32()
+	m.FrameID = r.U32()
+	m.Missing = r.BytesVar()
+	return r.ExpectEOF()
+}
+
+// newMessage returns a zero message value for a wire type.
+func newMessage(t MsgType) (Message, error) {
+	switch t {
+	case TypeHello:
+		return &Hello{}, nil
+	case TypeHelloAck:
+		return &HelloAck{}, nil
+	case TypeJoin:
+		return &Join{}, nil
+	case TypeLeave:
+		return &Leave{}, nil
+	case TypePoseUpdate:
+		return &PoseUpdate{}, nil
+	case TypeExpressionUpdate:
+		return &ExpressionUpdate{}, nil
+	case TypeSeatAssign:
+		return &SeatAssign{}, nil
+	case TypeSnapshot:
+		return &Snapshot{}, nil
+	case TypeDelta:
+		return &Delta{}, nil
+	case TypeAck:
+		return &Ack{}, nil
+	case TypePing:
+		return &Ping{}, nil
+	case TypePong:
+		return &Pong{}, nil
+	case TypeVideoChunk:
+		return &VideoChunk{}, nil
+	case TypeAudioFrame:
+		return &AudioFrame{}, nil
+	case TypeActivityEvent:
+		return &ActivityEvent{}, nil
+	case TypeNack:
+		return &Nack{}, nil
+	default:
+		return nil, fmt.Errorf("%w: unknown type %d", ErrBadMessage, uint8(t))
+	}
+}

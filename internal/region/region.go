@@ -1,0 +1,262 @@
+// Package region models the global geography of remote learners and the
+// regional-relay placement the paper prescribes for them: "Most gaming
+// platforms solve this issue by setting up regional servers" (challenge C2).
+//
+// A Topology is a set of named regions with a pairwise one-way latency
+// matrix, including poor-peering penalties for badly interconnected pairs.
+// PlaceRelays runs greedy k-center over that matrix to choose relay regions;
+// Assign maps each client region to its nearest relay.
+package region
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"time"
+)
+
+// ID names a region.
+type ID string
+
+// Topology is the region graph. Build with NewTopology, then SetLatency.
+type Topology struct {
+	regions []ID
+	index   map[ID]int
+	lat     [][]time.Duration
+}
+
+// Topology errors.
+var (
+	ErrUnknownRegion = errors.New("region: unknown region")
+	ErrNoRegions     = errors.New("region: topology has no regions")
+)
+
+// NewTopology creates a topology over the given regions with all pairwise
+// latencies initialized to zero (self) or unset (treated as very far).
+func NewTopology(regions ...ID) *Topology {
+	t := &Topology{index: make(map[ID]int, len(regions))}
+	for _, r := range regions {
+		if _, ok := t.index[r]; ok {
+			continue
+		}
+		t.index[r] = len(t.regions)
+		t.regions = append(t.regions, r)
+	}
+	n := len(t.regions)
+	t.lat = make([][]time.Duration, n)
+	for i := range t.lat {
+		t.lat[i] = make([]time.Duration, n)
+		for j := range t.lat[i] {
+			if i != j {
+				t.lat[i][j] = unset
+			}
+		}
+	}
+	return t
+}
+
+const unset = time.Hour // sentinel for "no measurement": effectively infinite
+
+// Regions returns all region IDs in insertion order.
+func (t *Topology) Regions() []ID {
+	out := make([]ID, len(t.regions))
+	copy(out, t.regions)
+	return out
+}
+
+// SetLatency records the symmetric one-way latency between a and b.
+func (t *Topology) SetLatency(a, b ID, oneWay time.Duration) error {
+	i, ok := t.index[a]
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrUnknownRegion, a)
+	}
+	j, ok := t.index[b]
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrUnknownRegion, b)
+	}
+	t.lat[i][j] = oneWay
+	t.lat[j][i] = oneWay
+	return nil
+}
+
+// Latency returns the one-way latency between a and b.
+func (t *Topology) Latency(a, b ID) (time.Duration, error) {
+	i, ok := t.index[a]
+	if !ok {
+		return 0, fmt.Errorf("%w: %s", ErrUnknownRegion, a)
+	}
+	j, ok := t.index[b]
+	if !ok {
+		return 0, fmt.Errorf("%w: %s", ErrUnknownRegion, b)
+	}
+	return t.lat[i][j], nil
+}
+
+// PlaceRelays chooses up to k relay regions minimizing the maximum client-
+// to-relay latency (greedy 2-approximation of k-center), weighted toward
+// regions with clients. clientCount maps region -> number of clients; only
+// regions with clients count toward coverage, but any region may host a
+// relay. The first relay is the region minimizing worst-case coverage (a
+// 1-center exact pick); subsequent relays are the farthest-client greedy
+// choice.
+func (t *Topology) PlaceRelays(k int, clientCount map[ID]int) ([]ID, error) {
+	if len(t.regions) == 0 {
+		return nil, ErrNoRegions
+	}
+	if k < 1 {
+		k = 1
+	}
+	clients := make([]int, 0, len(clientCount))
+	for r, c := range clientCount {
+		if c <= 0 {
+			continue
+		}
+		i, ok := t.index[r]
+		if !ok {
+			return nil, fmt.Errorf("%w: %s", ErrUnknownRegion, r)
+		}
+		clients = append(clients, i)
+	}
+	sort.Ints(clients)
+	if len(clients) == 0 {
+		// No clients: a single arbitrary relay suffices.
+		return []ID{t.regions[0]}, nil
+	}
+
+	// Exact 1-center over client regions for the first relay.
+	best, bestWorst := -1, time.Duration(0)
+	for cand := range t.regions {
+		worst := time.Duration(0)
+		for _, c := range clients {
+			if d := t.lat[c][cand]; d > worst {
+				worst = d
+			}
+		}
+		if best == -1 || worst < bestWorst {
+			best, bestWorst = cand, worst
+		}
+	}
+	chosen := []int{best}
+
+	for len(chosen) < k && len(chosen) < len(t.regions) {
+		// Find the client region farthest from its nearest chosen relay.
+		farClient, farDist := -1, time.Duration(-1)
+		for _, c := range clients {
+			near := unset * 2
+			for _, ch := range chosen {
+				if d := t.lat[c][ch]; d < near {
+					near = d
+				}
+			}
+			if near > farDist {
+				farClient, farDist = c, near
+			}
+		}
+		if farClient == -1 || farDist == 0 {
+			break // everything already perfectly covered
+		}
+		already := false
+		for _, ch := range chosen {
+			if ch == farClient {
+				already = true
+				break
+			}
+		}
+		if already {
+			break
+		}
+		chosen = append(chosen, farClient)
+	}
+
+	out := make([]ID, len(chosen))
+	for i, idx := range chosen {
+		out[i] = t.regions[idx]
+	}
+	return out, nil
+}
+
+// Assign maps every client region to its lowest-latency relay.
+func (t *Topology) Assign(relays []ID, clientRegions []ID) (map[ID]ID, error) {
+	if len(relays) == 0 {
+		return nil, errors.New("region: no relays to assign to")
+	}
+	ridx := make([]int, len(relays))
+	for i, r := range relays {
+		idx, ok := t.index[r]
+		if !ok {
+			return nil, fmt.Errorf("%w: %s", ErrUnknownRegion, r)
+		}
+		ridx[i] = idx
+	}
+	out := make(map[ID]ID, len(clientRegions))
+	for _, c := range clientRegions {
+		ci, ok := t.index[c]
+		if !ok {
+			return nil, fmt.Errorf("%w: %s", ErrUnknownRegion, c)
+		}
+		best, bestLat := relays[0], t.lat[ci][ridx[0]]
+		for i := 1; i < len(relays); i++ {
+			if d := t.lat[ci][ridx[i]]; d < bestLat {
+				best, bestLat = relays[i], d
+			}
+		}
+		out[c] = best
+	}
+	return out, nil
+}
+
+// WorstClientLatency returns the maximum client-to-assigned-relay one-way
+// latency under an assignment.
+func (t *Topology) WorstClientLatency(assign map[ID]ID) (time.Duration, error) {
+	var worst time.Duration
+	for c, r := range assign {
+		d, err := t.Latency(c, r)
+		if err != nil {
+			return 0, err
+		}
+		if d > worst {
+			worst = d
+		}
+	}
+	return worst, nil
+}
+
+// GlobalCampus returns the paper's world: the two HKUST campuses plus the
+// remote-learner regions it names (KAIST in Korea, MIT and Cambridge) and
+// major population regions, with realistic one-way latencies. The
+// "sa-poor" region models the poorly-peered participant (hundreds of ms
+// RTT to everywhere).
+func GlobalCampus() *Topology {
+	regions := []ID{
+		"gz", "hk", "kr", "jp", "us-east", "us-west", "eu-west", "sa-poor",
+	}
+	t := NewTopology(regions...)
+	ms := func(n int) time.Duration { return time.Duration(n) * time.Millisecond }
+	pairs := []struct {
+		a, b ID
+		l    time.Duration
+	}{
+		{"gz", "hk", ms(8)},
+		{"gz", "kr", ms(35)}, {"hk", "kr", ms(30)},
+		{"gz", "jp", ms(45)}, {"hk", "jp", ms(40)}, {"kr", "jp", ms(15)},
+		{"gz", "us-west", ms(75)}, {"hk", "us-west", ms(70)},
+		{"kr", "us-west", ms(60)}, {"jp", "us-west", ms(55)},
+		{"gz", "us-east", ms(105)}, {"hk", "us-east", ms(100)},
+		{"kr", "us-east", ms(90)}, {"jp", "us-east", ms(85)},
+		{"us-west", "us-east", ms(35)},
+		{"gz", "eu-west", ms(110)}, {"hk", "eu-west", ms(105)},
+		{"kr", "eu-west", ms(120)}, {"jp", "eu-west", ms(115)},
+		{"us-east", "eu-west", ms(40)}, {"us-west", "eu-west", ms(70)},
+		// Poorly-peered South-American region: long detours everywhere.
+		{"sa-poor", "us-east", ms(120)}, {"sa-poor", "us-west", ms(140)},
+		{"sa-poor", "eu-west", ms(150)}, {"sa-poor", "gz", ms(220)},
+		{"sa-poor", "hk", ms(215)}, {"sa-poor", "kr", ms(210)},
+		{"sa-poor", "jp", ms(200)},
+	}
+	for _, p := range pairs {
+		if err := t.SetLatency(p.a, p.b, p.l); err != nil {
+			panic(err) // static table; programming error only
+		}
+	}
+	return t
+}

@@ -1,0 +1,180 @@
+package seat
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"testing/quick"
+
+	"metaclass/internal/mathx"
+	"metaclass/internal/pose"
+)
+
+func TestGridLayout(t *testing.T) {
+	m := NewGrid(1, 3, 4, 1.0)
+	if m.Total() != 12 || m.Vacant() != 12 {
+		t.Fatalf("total=%d vacant=%d", m.Total(), m.Vacant())
+	}
+	if m.Classroom() != 1 {
+		t.Error("classroom id lost")
+	}
+	// All seats distinct and in front of (z>) the lectern.
+	seen := map[mathx.Vec3]bool{}
+	for i := uint16(0); int(i) < m.Total(); i++ {
+		s, err := m.SeatAt(i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if seen[s.Position] {
+			t.Fatalf("duplicate seat position %v", s.Position)
+		}
+		seen[s.Position] = true
+		if s.Position.Z < 2 {
+			t.Errorf("seat %d too close to lectern: %v", i, s.Position)
+		}
+	}
+	if _, err := m.SeatAt(99); !errors.Is(err, ErrBadSeat) {
+		t.Errorf("SeatAt(99) err = %v", err)
+	}
+}
+
+func TestGridDegenerateDimensions(t *testing.T) {
+	m := NewGrid(1, 0, -2, 0)
+	if m.Total() != 1 {
+		t.Errorf("degenerate grid total = %d, want 1", m.Total())
+	}
+}
+
+func TestOccupyRelease(t *testing.T) {
+	m := NewGrid(1, 2, 2, 1)
+	if err := m.Occupy(0, 100); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Occupy(0, 101); !errors.Is(err, ErrOccupied) {
+		t.Errorf("double occupy err = %v", err)
+	}
+	if err := m.Occupy(1, 100); !errors.Is(err, ErrDuplicated) {
+		t.Errorf("double seat err = %v", err)
+	}
+	if err := m.Occupy(50, 102); !errors.Is(err, ErrBadSeat) {
+		t.Errorf("bad seat err = %v", err)
+	}
+	idx, ok := m.SeatOf(100)
+	if !ok || idx != 0 {
+		t.Errorf("SeatOf = %d, %v", idx, ok)
+	}
+	if m.Vacant() != 3 {
+		t.Errorf("vacant = %d", m.Vacant())
+	}
+	if err := m.Release(100); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Release(100); !errors.Is(err, ErrNotSeated) {
+		t.Errorf("double release err = %v", err)
+	}
+	if m.Vacant() != 4 {
+		t.Errorf("vacant after release = %d", m.Vacant())
+	}
+}
+
+func TestAssignVacantPicksNearest(t *testing.T) {
+	m := NewGrid(2, 2, 2, 2) // seats at x in {-1,1}, z in {2,4}
+	target, _ := m.SeatAt(3) // (1, 0, 4)
+	asg, err := m.AssignVacant(7, mathx.V3(0, 0, 0), 0, target.Position)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if asg.Seat.Index != 3 {
+		t.Errorf("assigned seat %d, want 3", asg.Seat.Index)
+	}
+	if _, err := m.AssignVacant(7, mathx.Vec3{}, 0, mathx.Vec3{}); !errors.Is(err, ErrDuplicated) {
+		t.Errorf("re-assign err = %v", err)
+	}
+}
+
+func TestAssignVacantExhaustion(t *testing.T) {
+	m := NewGrid(1, 1, 2, 1)
+	if _, err := m.AssignVacant(1, mathx.Vec3{}, 0, mathx.Vec3{}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.AssignVacant(2, mathx.Vec3{}, 0, mathx.Vec3{}); err != nil {
+		t.Fatal(err)
+	}
+	_, err := m.AssignVacant(3, mathx.Vec3{}, 0, mathx.Vec3{})
+	if !errors.Is(err, ErrNoVacancy) {
+		t.Errorf("full map err = %v", err)
+	}
+	if len(m.VacantIndices()) != 0 {
+		t.Error("VacantIndices nonempty on full map")
+	}
+}
+
+func TestCorrectionMapsAnchorToSeat(t *testing.T) {
+	// A participant anchored at (3, 0, 1) facing yaw 0.5 in GZ gets seat at
+	// (-1, 0, 4) facing pi in CWB. Their anchor must land exactly on the seat.
+	src := mathx.V3(3, 0, 1)
+	srcYaw := 0.5
+	dst := Seat{Index: 0, Position: mathx.V3(-1, 0, 4), FacingYaw: math.Pi}
+	c := Correction(src, srcYaw, dst)
+	if got := c.Apply(src); !got.NearEq(dst.Position, 1e-9) {
+		t.Errorf("anchor maps to %v, want %v", got, dst.Position)
+	}
+	// A point 1 m in front of the source participant maps 1 m in front of
+	// the seat (relative geometry preserved).
+	srcFwd := mathx.QuatAxisAngle(mathx.V3(0, 1, 0), srcYaw).Rotate(mathx.V3(0, 0, 1))
+	dstFwd := mathx.QuatAxisAngle(mathx.V3(0, 1, 0), dst.FacingYaw).Rotate(mathx.V3(0, 0, 1))
+	got := c.Apply(src.Add(srcFwd))
+	want := dst.Position.Add(dstFwd)
+	if !got.NearEq(want, 1e-9) {
+		t.Errorf("forward point maps to %v, want %v", got, want)
+	}
+}
+
+func TestCorrectionPreservesRelativeDistances(t *testing.T) {
+	f := func(sx, sz, yaw, px, py, pz, qx, qy, qz float64) bool {
+		if math.Abs(sx) > 100 || math.Abs(sz) > 100 {
+			return true
+		}
+		c := Correction(mathx.V3(sx, 0, sz), yaw, Seat{Position: mathx.V3(1, 0, 2), FacingYaw: 1.1})
+		p, q := mathx.V3(px, py, pz), mathx.V3(qx, qy, qz)
+		if !p.IsFinite() || !q.IsFinite() || p.Len() > 1e6 || q.Len() > 1e6 {
+			return true
+		}
+		before := p.Dist(q)
+		after := c.Apply(p).Dist(c.Apply(q))
+		return math.Abs(before-after) < 1e-6*(1+before)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestApplyCorrectionRotatesVelocity(t *testing.T) {
+	// Rotating the frame by pi about Y flips X/Z velocity components.
+	c := Correction(mathx.Vec3{}, 0, Seat{Position: mathx.Vec3{}, FacingYaw: math.Pi})
+	p := pose.Pose{Position: mathx.V3(0, 0, 1), Rotation: mathx.QuatIdentity(),
+		Velocity: mathx.V3(1, 0, 0)}
+	out := ApplyCorrection(c, p)
+	if !out.Velocity.NearEq(mathx.V3(-1, 0, 0), 1e-9) {
+		t.Errorf("velocity = %v, want (-1,0,0)", out.Velocity)
+	}
+	if !out.Position.NearEq(mathx.V3(0, 0, -1), 1e-9) {
+		t.Errorf("position = %v, want (0,0,-1)", out.Position)
+	}
+}
+
+func TestVacantIndicesSorted(t *testing.T) {
+	m := NewGrid(1, 2, 3, 1)
+	_ = m.Occupy(2, 1)
+	_ = m.Occupy(4, 2)
+	got := m.VacantIndices()
+	want := []uint16{0, 1, 3, 5}
+	if len(got) != len(want) {
+		t.Fatalf("vacant = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("vacant = %v, want %v", got, want)
+		}
+	}
+}

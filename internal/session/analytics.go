@@ -1,0 +1,85 @@
+package session
+
+import (
+	"sort"
+	"time"
+
+	"metaclass/internal/protocol"
+)
+
+// Engagement is what the paper's motivation section asks the platform to
+// improve and therefore must be measurable: per-participant interaction
+// counts derived from the session event log, for the instructor's
+// after-class review.
+type Engagement struct {
+	Participant protocol.ParticipantID
+	// Interactions is the total number of activity events authored.
+	Interactions int
+	// QuizAnswers, PuzzleAttempts, SlidesDriven break interactions down.
+	QuizAnswers    int
+	PuzzleAttempts int
+	SlidesDriven   int
+	// FirstActive and LastActive bound the participation window.
+	FirstActive, LastActive time.Duration
+}
+
+// Analyze summarizes the event log into per-participant engagement rows,
+// ordered most-active first (ties broken by participant ID). System events
+// (participant 0) are excluded.
+func Analyze(log []LogEntry) []Engagement {
+	byID := make(map[protocol.ParticipantID]*Engagement)
+	for _, e := range log {
+		if e.Who == 0 {
+			continue
+		}
+		g, ok := byID[e.Who]
+		if !ok {
+			g = &Engagement{Participant: e.Who, FirstActive: e.At}
+			byID[e.Who] = g
+		}
+		g.Interactions++
+		if e.At < g.FirstActive {
+			g.FirstActive = e.At
+		}
+		if e.At > g.LastActive {
+			g.LastActive = e.At
+		}
+		switch e.Kind {
+		case "quiz.answer":
+			g.QuizAnswers++
+		case "breakout.solved", "breakout.wrong", "breakout.escaped":
+			g.PuzzleAttempts++
+		case "pres.slide":
+			g.SlidesDriven++
+		}
+	}
+	out := make([]Engagement, 0, len(byID))
+	for _, g := range byID {
+		out = append(out, *g)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Interactions != out[j].Interactions {
+			return out[i].Interactions > out[j].Interactions
+		}
+		return out[i].Participant < out[j].Participant
+	})
+	return out
+}
+
+// Silent returns enrolled participants with zero logged interactions — the
+// learners a video-conference lecture loses and the Metaverse classroom is
+// supposed to re-engage; instructors poll this to intervene mid-class.
+func (m *Manager) Silent() []protocol.ParticipantID {
+	active := make(map[protocol.ParticipantID]bool, len(m.log))
+	for _, e := range m.log {
+		active[e.Who] = true
+	}
+	var out []protocol.ParticipantID
+	for id := range m.enrolled {
+		if !active[id] {
+			out = append(out, id)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}

@@ -1,0 +1,123 @@
+package session
+
+import (
+	"testing"
+	"time"
+
+	"metaclass/internal/protocol"
+)
+
+func buildActiveSession(t *testing.T) (*Manager, []protocol.ParticipantID) {
+	t.Helper()
+	m, ids, _ := newSession(t, 5)
+	qid, err := m.CreateQuiz("q", []Question{
+		{Choices: []string{"a", "b"}, Answer: 0},
+		{Choices: []string{"a", "b"}, Answer: 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.OpenQuiz(time.Second, qid, time.Minute); err != nil {
+		t.Fatal(err)
+	}
+	// ids[1] answers twice, ids[2] once, ids[3] and ids[4] stay silent.
+	mustSubmit(t, m, qid, ids[1], 0, 0)
+	mustSubmit(t, m, qid, ids[1], 1, 1)
+	mustSubmit(t, m, qid, ids[2], 0, 0)
+
+	bid, err := m.CreateBreakout("b", []string{"code"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.FormTeam(bid, "t", ids[1:3]); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.OpenBreakout(2*time.Second, bid); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := m.AttemptStage(3*time.Second, bid, ids[2], "wrong"); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := m.AttemptStage(4*time.Second, bid, ids[2], "code"); err != nil {
+		t.Fatal(err)
+	}
+	return m, ids
+}
+
+func TestAnalyzeEngagement(t *testing.T) {
+	m, ids := buildActiveSession(t)
+	rows := Analyze(m.Log())
+	if len(rows) != 2 {
+		t.Fatalf("engagement rows = %d, want 2 (two active participants)", len(rows))
+	}
+	// ids[2] has 1 quiz answer + 2 puzzle attempts + 1 escape event = most active.
+	if rows[0].Participant != ids[2] {
+		t.Errorf("most active = %d, want %d", rows[0].Participant, ids[2])
+	}
+	if rows[0].PuzzleAttempts != 3 { // wrong + solved + escaped
+		t.Errorf("puzzle attempts = %d, want 3", rows[0].PuzzleAttempts)
+	}
+	if rows[0].QuizAnswers != 1 {
+		t.Errorf("quiz answers = %d, want 1", rows[0].QuizAnswers)
+	}
+	var second Engagement
+	for _, r := range rows {
+		if r.Participant == ids[1] {
+			second = r
+		}
+	}
+	if second.QuizAnswers != 2 || second.Interactions != 2 {
+		t.Errorf("ids[1] engagement = %+v", second)
+	}
+	if second.FirstActive > second.LastActive {
+		t.Error("activity window inverted")
+	}
+	// Activity windows are within session time.
+	if rows[0].LastActive != 4*time.Second {
+		t.Errorf("last active = %v, want 4s", rows[0].LastActive)
+	}
+}
+
+func TestAnalyzeEmptyLog(t *testing.T) {
+	if rows := Analyze(nil); len(rows) != 0 {
+		t.Errorf("empty log rows = %v", rows)
+	}
+}
+
+func TestSilentParticipants(t *testing.T) {
+	m, ids := buildActiveSession(t)
+	silent := m.Silent()
+	// ids[0] (educator, never interacted), ids[3], ids[4].
+	want := map[protocol.ParticipantID]bool{ids[0]: true, ids[3]: true, ids[4]: true}
+	if len(silent) != len(want) {
+		t.Fatalf("silent = %v, want %d ids", silent, len(want))
+	}
+	for _, id := range silent {
+		if !want[id] {
+			t.Errorf("unexpected silent participant %d", id)
+		}
+	}
+	// Sorted output.
+	for i := 1; i < len(silent); i++ {
+		if silent[i] <= silent[i-1] {
+			t.Error("silent list not sorted")
+		}
+	}
+}
+
+func TestSlidesDrivenCounted(t *testing.T) {
+	m, ids, _ := newSession(t, 2)
+	pid, err := m.StartPresentation(0, ids[0], "deck", 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if _, err := m.Navigate(time.Duration(i)*time.Second, pid, ids[0], 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rows := Analyze(m.Log())
+	if len(rows) != 1 || rows[0].SlidesDriven != 3 {
+		t.Errorf("rows = %+v, want 3 slides for owner", rows)
+	}
+}

@@ -1,0 +1,293 @@
+// Package sickness implements a Mamdani fuzzy-logic cybersickness predictor
+// — the approach of the paper's own reference [42] ("Using Fuzzy Logic to
+// Involve Individual Differences for Predicting Cybersickness during VR
+// Navigation") applied to the Metaverse classroom's challenge C5: latency,
+// low frame rate, narrow FOV and aggressive navigation raise sickness;
+// individual factors (age, gaming experience, susceptibility) modulate it.
+//
+// The predictor maps technical session parameters to a 0-100 SSQ-like
+// severity score via triangular membership functions, a hand-derived rule
+// base, max-aggregation and centroid defuzzification, then scales by an
+// individual susceptibility factor.
+package sickness
+
+import (
+	"fmt"
+	"time"
+
+	"metaclass/internal/mathx"
+)
+
+// Conditions are the technical session parameters (the causes the paper
+// lists: "latency, FOV, low frame rates, inappropriate adjustment of
+// navigation parameters").
+type Conditions struct {
+	// MotionToPhoton is end-to-end latency.
+	MotionToPhoton time.Duration
+	// FrameRateHz is the displayed frame rate.
+	FrameRateHz float64
+	// FOVDegrees is the horizontal field of view.
+	FOVDegrees float64
+	// NavSpeed is virtual locomotion speed in m/s (0 for seated lectures).
+	NavSpeed float64
+}
+
+// Profile carries the individual factors of ref [42].
+type Profile struct {
+	// Age in years.
+	Age int
+	// GamingHoursPerWeek proxies VR/gaming experience (habituation).
+	GamingHoursPerWeek float64
+	// BaselineSusceptibility in [0,2]: 1 is average, higher is more
+	// sensitive (captures gender/ethnicity/vestibular history effects
+	// without encoding them directly).
+	BaselineSusceptibility float64
+}
+
+// DefaultProfile returns an average adult learner.
+func DefaultProfile() Profile {
+	return Profile{Age: 22, GamingHoursPerWeek: 3, BaselineSusceptibility: 1}
+}
+
+// Severity is the output band.
+type Severity uint8
+
+// Severity bands (SSQ-inspired).
+const (
+	SeverityNone Severity = iota
+	SeverityMild
+	SeverityModerate
+	SeveritySevere
+)
+
+// String implements fmt.Stringer.
+func (s Severity) String() string {
+	switch s {
+	case SeverityNone:
+		return "none"
+	case SeverityMild:
+		return "mild"
+	case SeverityModerate:
+		return "moderate"
+	case SeveritySevere:
+		return "severe"
+	default:
+		return fmt.Sprintf("Severity(%d)", uint8(s))
+	}
+}
+
+// Band classifies a 0-100 score.
+func Band(score float64) Severity {
+	switch {
+	case score < 15:
+		return SeverityNone
+	case score < 40:
+		return SeverityMild
+	case score < 70:
+		return SeverityModerate
+	default:
+		return SeveritySevere
+	}
+}
+
+// --- fuzzy machinery -------------------------------------------------------
+
+// tri is a triangular membership function peaking at b over [a, c]. A degenerate
+// left (a==b) or right (b==c) shoulder is handled by saturation.
+type tri struct{ a, b, c float64 }
+
+func (t tri) at(x float64) float64 {
+	switch {
+	case x <= t.a:
+		if t.a == t.b {
+			return 1
+		}
+		return 0
+	case x < t.b:
+		return (x - t.a) / (t.b - t.a)
+	case x == t.b:
+		return 1
+	case x < t.c:
+		return (t.c - x) / (t.c - t.b)
+	default:
+		if t.b == t.c {
+			return 1
+		}
+		return 0
+	}
+}
+
+// Input fuzzy sets.
+var (
+	latLow  = tri{0, 0, 60}      // ms
+	latMed  = tri{40, 90, 150}   // around the paper's 100 ms threshold
+	latHigh = tri{100, 250, 250} // saturates
+
+	fpsLow  = tri{0, 30, 45}
+	fpsMed  = tri{40, 60, 80}
+	fpsHigh = tri{72, 120, 120}
+
+	fovNarrow = tri{0, 40, 70}
+	fovMed    = tri{60, 90, 110}
+	fovWide   = tri{100, 180, 180}
+
+	navStill = tri{0, 0, 0.5}
+	navSlow  = tri{0.3, 1.5, 3}
+	navFast  = tri{2.5, 6, 6}
+)
+
+// Output fuzzy sets over the 0-100 severity scale.
+var (
+	outNone     = tri{0, 0, 20}
+	outMild     = tri{10, 30, 50}
+	outModerate = tri{40, 60, 80}
+	outSevere   = tri{70, 100, 100}
+)
+
+type rule struct {
+	strength func(c Conditions) float64
+	out      tri
+}
+
+func minf(xs ...float64) float64 {
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x < m {
+			m = x
+		}
+	}
+	return m
+}
+
+func maxf(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// ruleBase encodes the qualitative knowledge of ref [42] and the sensory-
+// conflict literature the paper cites.
+var ruleBase = []rule{
+	// Comfortable baseline: low latency, high fps, still or slow motion.
+	{func(c Conditions) float64 {
+		return minf(latLow.at(ms(c)), fpsHigh.at(c.FrameRateHz), maxf(navStill.at(c.NavSpeed), navSlow.at(c.NavSpeed)))
+	}, outNone},
+	// Low latency alone anchors the comfortable end of the scale, ensuring
+	// every operating point activates at least one rule.
+	{func(c Conditions) float64 { return latLow.at(ms(c)) }, outNone},
+	// Medium latency alone produces mild symptoms.
+	{func(c Conditions) float64 { return latMed.at(ms(c)) }, outMild},
+	// High latency is the dominant driver: moderate even when everything
+	// else is perfect, severe when combined with motion.
+	{func(c Conditions) float64 { return latHigh.at(ms(c)) }, outModerate},
+	{func(c Conditions) float64 {
+		return minf(latHigh.at(ms(c)), maxf(navSlow.at(c.NavSpeed), navFast.at(c.NavSpeed)))
+	}, outSevere},
+	// Low frame rate: moderate; with fast navigation: severe.
+	{func(c Conditions) float64 { return fpsLow.at(c.FrameRateHz) }, outModerate},
+	{func(c Conditions) float64 {
+		return minf(fpsLow.at(c.FrameRateHz), navFast.at(c.NavSpeed))
+	}, outSevere},
+	// Medium frame rate with fast navigation: mild-to-moderate.
+	{func(c Conditions) float64 {
+		return minf(fpsMed.at(c.FrameRateHz), navFast.at(c.NavSpeed))
+	}, outModerate},
+	// Narrow FOV strains communication but reduces vection: mild symptoms
+	// under motion.
+	{func(c Conditions) float64 {
+		return minf(fovNarrow.at(c.FOVDegrees), navFast.at(c.NavSpeed))
+	}, outMild},
+	// Wide FOV amplifies vection: fast navigation becomes severe.
+	{func(c Conditions) float64 {
+		return minf(fovWide.at(c.FOVDegrees), navFast.at(c.NavSpeed))
+	}, outSevere},
+	// Fast navigation alone is at least mild.
+	{func(c Conditions) float64 { return navFast.at(c.NavSpeed) }, outMild},
+}
+
+func ms(c Conditions) float64 { return float64(c.MotionToPhoton) / float64(time.Millisecond) }
+
+// Predict returns the 0-100 sickness score for conditions and profile.
+func Predict(c Conditions, p Profile) float64 {
+	// Mamdani inference: clip each rule's output set at the rule strength,
+	// aggregate by max, defuzzify by centroid (numeric integration).
+	strengths := make([]float64, len(ruleBase))
+	any := false
+	for i, r := range ruleBase {
+		s := mathx.Clamp01(r.strength(c))
+		strengths[i] = s
+		if s > 0 {
+			any = true
+		}
+	}
+	if !any {
+		return 0
+	}
+	const steps = 200
+	var num, den float64
+	for i := 0; i <= steps; i++ {
+		x := float64(i) / steps * 100
+		var mu float64
+		for j, r := range ruleBase {
+			if strengths[j] == 0 {
+				continue
+			}
+			v := r.out.at(x)
+			if v > strengths[j] {
+				v = strengths[j]
+			}
+			if v > mu {
+				mu = v
+			}
+		}
+		num += mu * x
+		den += mu
+	}
+	if den == 0 {
+		return 0
+	}
+	base := num / den
+	return mathx.ClampF(base*susceptibility(p), 0, 100)
+}
+
+// susceptibility converts a profile into a multiplicative factor around 1.
+// Habituation (gaming hours) lowers it; age above ~40 raises it slightly;
+// the baseline factor passes through.
+func susceptibility(p Profile) float64 {
+	s := p.BaselineSusceptibility
+	if s <= 0 {
+		s = 1
+	}
+	// Habituation: up to -30% at 15+ h/week.
+	hab := mathx.ClampF(p.GamingHoursPerWeek/15, 0, 1) * 0.30
+	s *= 1 - hab
+	// Age: +1% per year above 40, capped +30%.
+	if p.Age > 40 {
+		s *= 1 + mathx.ClampF(float64(p.Age-40)*0.01, 0, 0.30)
+	}
+	return mathx.ClampF(s, 0.25, 2.5)
+}
+
+// Mitigate suggests the navigation speed cap that keeps the predicted score
+// under target for the given conditions and profile (the "speed protector"
+// of the paper's ref [24]). It returns 0 when even standing still exceeds
+// the target.
+func Mitigate(c Conditions, p Profile, target float64) float64 {
+	lo, hi := 0.0, 6.0
+	cc := c
+	cc.NavSpeed = lo
+	if Predict(cc, p) > target {
+		return 0
+	}
+	for i := 0; i < 30; i++ {
+		mid := (lo + hi) / 2
+		cc.NavSpeed = mid
+		if Predict(cc, p) <= target {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}

@@ -1,0 +1,183 @@
+package sickness
+
+import (
+	"testing"
+	"time"
+)
+
+func comfy() Conditions {
+	return Conditions{
+		MotionToPhoton: 20 * time.Millisecond,
+		FrameRateHz:    90,
+		FOVDegrees:     100,
+		NavSpeed:       0,
+	}
+}
+
+func TestComfortableConditionsScoreLow(t *testing.T) {
+	score := Predict(comfy(), DefaultProfile())
+	if score >= 25 {
+		t.Errorf("comfortable score = %v, want < 25", score)
+	}
+	if Band(score) > SeverityMild {
+		t.Errorf("comfortable band = %v", Band(score))
+	}
+}
+
+func TestHostileConditionsScoreHigh(t *testing.T) {
+	c := Conditions{
+		MotionToPhoton: 250 * time.Millisecond,
+		FrameRateHz:    20,
+		FOVDegrees:     110,
+		NavSpeed:       5,
+	}
+	score := Predict(c, DefaultProfile())
+	if score <= 50 {
+		t.Errorf("hostile score = %v, want > 50", score)
+	}
+	if Band(score) < SeverityModerate {
+		t.Errorf("hostile band = %v", Band(score))
+	}
+}
+
+func TestMonotoneInLatency(t *testing.T) {
+	prev := -1.0
+	for _, lat := range []time.Duration{10, 50, 100, 150, 200, 250} {
+		c := comfy()
+		c.MotionToPhoton = lat * time.Millisecond
+		c.NavSpeed = 1.5 // some motion so latency matters
+		score := Predict(c, DefaultProfile())
+		if score < prev-1e-9 {
+			t.Errorf("score decreased at %vms: %v -> %v", lat, prev, score)
+		}
+		prev = score
+	}
+}
+
+func TestPaper100msThresholdVisible(t *testing.T) {
+	// Crossing the paper's 100 ms threshold must produce a clear jump
+	// relative to a sub-threshold session.
+	below, above := comfy(), comfy()
+	below.MotionToPhoton = 50 * time.Millisecond
+	above.MotionToPhoton = 180 * time.Millisecond
+	below.NavSpeed, above.NavSpeed = 1, 1
+	d := Predict(above, DefaultProfile()) - Predict(below, DefaultProfile())
+	if d < 10 {
+		t.Errorf("crossing 100ms moved score by only %v, want >= 10", d)
+	}
+}
+
+func TestMonotoneInFrameRate(t *testing.T) {
+	prev := 1000.0
+	for _, fps := range []float64{20, 40, 60, 90, 120} {
+		c := comfy()
+		c.FrameRateHz = fps
+		score := Predict(c, DefaultProfile())
+		if score > prev+1e-9 {
+			t.Errorf("score increased with fps at %v: %v -> %v", fps, prev, score)
+		}
+		prev = score
+	}
+}
+
+func TestNavigationSpeedRaisesScore(t *testing.T) {
+	still, fast := comfy(), comfy()
+	fast.NavSpeed = 5
+	if Predict(fast, DefaultProfile()) <= Predict(still, DefaultProfile()) {
+		t.Error("fast navigation did not raise score")
+	}
+}
+
+func TestIndividualFactors(t *testing.T) {
+	c := comfy()
+	c.MotionToPhoton = 150 * time.Millisecond
+	c.NavSpeed = 2
+
+	avg := Predict(c, DefaultProfile())
+
+	gamer := DefaultProfile()
+	gamer.GamingHoursPerWeek = 20
+	if g := Predict(c, gamer); g >= avg {
+		t.Errorf("experienced gamer score %v not below average %v", g, avg)
+	}
+
+	older := DefaultProfile()
+	older.Age = 65
+	if o := Predict(c, older); o <= avg {
+		t.Errorf("older learner score %v not above average %v", o, avg)
+	}
+
+	sensitive := DefaultProfile()
+	sensitive.BaselineSusceptibility = 1.8
+	if s := Predict(c, sensitive); s <= avg {
+		t.Errorf("sensitive profile score %v not above average %v", s, avg)
+	}
+}
+
+func TestScoreBounds(t *testing.T) {
+	worst := Conditions{MotionToPhoton: time.Second, FrameRateHz: 1, FOVDegrees: 180, NavSpeed: 6}
+	p := Profile{Age: 80, BaselineSusceptibility: 2}
+	if s := Predict(worst, p); s < 0 || s > 100 {
+		t.Errorf("score out of bounds: %v", s)
+	}
+	if s := Predict(Conditions{MotionToPhoton: 5 * time.Millisecond, FrameRateHz: 120, FOVDegrees: 100}, DefaultProfile()); s < 0 {
+		t.Errorf("score negative: %v", s)
+	}
+}
+
+func TestBands(t *testing.T) {
+	tests := []struct {
+		score float64
+		want  Severity
+	}{
+		{0, SeverityNone}, {14, SeverityNone}, {20, SeverityMild},
+		{50, SeverityModerate}, {90, SeveritySevere},
+	}
+	for _, tt := range tests {
+		if got := Band(tt.score); got != tt.want {
+			t.Errorf("Band(%v) = %v, want %v", tt.score, got, tt.want)
+		}
+	}
+	for _, s := range []Severity{SeverityNone, SeverityMild, SeverityModerate, SeveritySevere} {
+		if s.String() == "" {
+			t.Errorf("severity %d unnamed", s)
+		}
+	}
+}
+
+func TestMitigateFindsSpeedCap(t *testing.T) {
+	c := comfy()
+	c.MotionToPhoton = 120 * time.Millisecond
+	p := DefaultProfile()
+	target := 35.0
+	cap := Mitigate(c, p, target)
+	if cap <= 0 {
+		t.Fatalf("no feasible speed found, cap=%v", cap)
+	}
+	c.NavSpeed = cap
+	if got := Predict(c, p); got > target+1 {
+		t.Errorf("at cap %v score %v exceeds target %v", cap, got, target)
+	}
+	// A speed well above the cap must exceed the target (cap is tight).
+	c.NavSpeed = cap + 2
+	if got := Predict(c, p); got <= target {
+		t.Errorf("cap not tight: %v at speed %v", got, c.NavSpeed)
+	}
+}
+
+func TestMitigateImpossibleTarget(t *testing.T) {
+	c := Conditions{MotionToPhoton: 300 * time.Millisecond, FrameRateHz: 15, FOVDegrees: 100}
+	if cap := Mitigate(c, DefaultProfile(), 5); cap != 0 {
+		t.Errorf("impossible target returned cap %v", cap)
+	}
+}
+
+func TestProfileDefensiveDefaults(t *testing.T) {
+	c := comfy()
+	c.NavSpeed = 2
+	// Zero-valued profile must not zero the score.
+	var p Profile
+	if s := Predict(c, p); s <= 0 {
+		t.Errorf("zero profile score = %v", s)
+	}
+}

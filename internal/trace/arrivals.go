@@ -1,0 +1,83 @@
+package trace
+
+import (
+	"math"
+	"math/rand"
+	"time"
+)
+
+// Arrivals generates participant join times. Remote learners trickle into a
+// Metaverse lecture as a Poisson process with a pre-class surge, matching
+// how the paper's "thousands of remote users" would actually arrive.
+type Arrivals struct {
+	rng *rand.Rand
+}
+
+// NewArrivals creates a generator with its own seeded RNG stream.
+func NewArrivals(seed int64) *Arrivals {
+	return &Arrivals{rng: rand.New(rand.NewSource(seed))}
+}
+
+// Poisson returns n arrival offsets drawn from a homogeneous Poisson process
+// with the given mean rate (arrivals per second), sorted ascending.
+func (a *Arrivals) Poisson(n int, ratePerSec float64) []time.Duration {
+	if n <= 0 || ratePerSec <= 0 {
+		return nil
+	}
+	out := make([]time.Duration, 0, n)
+	var t float64
+	for len(out) < n {
+		t += a.rng.ExpFloat64() / ratePerSec
+		out = append(out, time.Duration(t*float64(time.Second)))
+	}
+	return out
+}
+
+// Surge returns n arrival offsets concentrated before classStart: 80% arrive
+// in the 5 minutes before start, 20% straggle in afterwards — the empirical
+// shape of lecture joins on video platforms.
+func (a *Arrivals) Surge(n int, classStart time.Duration) []time.Duration {
+	if n <= 0 {
+		return nil
+	}
+	out := make([]time.Duration, 0, n)
+	early := n * 8 / 10
+	window := 5 * time.Minute
+	for i := 0; i < early; i++ {
+		// Beta-ish ramp: density increasing toward classStart.
+		u := math.Sqrt(a.rng.Float64())
+		at := classStart - time.Duration((1-u)*float64(window))
+		if at < 0 {
+			at = 0
+		}
+		out = append(out, at)
+	}
+	for i := early; i < n; i++ {
+		at := classStart + time.Duration(a.rng.ExpFloat64()*float64(2*time.Minute))
+		out = append(out, at)
+	}
+	sortDurations(out)
+	return out
+}
+
+func sortDurations(ds []time.Duration) {
+	// Insertion sort: arrival lists are small (thousands) and mostly sorted.
+	for i := 1; i < len(ds); i++ {
+		for j := i; j > 0 && ds[j] < ds[j-1]; j-- {
+			ds[j], ds[j-1] = ds[j-1], ds[j]
+		}
+	}
+}
+
+// SessionLength draws a stay duration for a remote auditor: most stay the
+// whole class, a tail leaves early (exponential dropout).
+func (a *Arrivals) SessionLength(classLen time.Duration) time.Duration {
+	if a.rng.Float64() < 0.75 {
+		return classLen
+	}
+	d := time.Duration(a.rng.ExpFloat64() * float64(classLen) / 3)
+	if d > classLen {
+		d = classLen
+	}
+	return d
+}

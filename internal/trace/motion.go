@@ -1,0 +1,170 @@
+// Package trace generates the synthetic classroom workloads that stand in
+// for live participants: deterministic motion scripts (seated learners,
+// pacing lecturers, walking students), facial-expression activity, and
+// session arrival processes. Scripts are pure functions of virtual time, so
+// every component that needs ground truth (sensors, error measurement)
+// evaluates the same trajectory without shared state.
+package trace
+
+import (
+	"math"
+	"time"
+
+	"metaclass/internal/mathx"
+	"metaclass/internal/pose"
+)
+
+// MotionScript is a deterministic ground-truth trajectory.
+type MotionScript interface {
+	// PoseAt returns the true pose at virtual time t.
+	PoseAt(t time.Duration) pose.Pose
+	// Name identifies the script in experiment tables.
+	Name() string
+}
+
+// Seated models a participant sitting at anchor: small torso sway and slow
+// head turns, the dominant classroom motion class.
+type Seated struct {
+	Anchor mathx.Vec3
+	// Phase decorrelates participants; derive it from the participant ID.
+	Phase float64
+}
+
+// PoseAt implements MotionScript.
+func (s Seated) PoseAt(t time.Duration) pose.Pose {
+	ts := t.Seconds()
+	swayX := 0.03 * math.Sin(0.5*ts+s.Phase)
+	swayZ := 0.02 * math.Sin(0.33*ts+1.7*s.Phase)
+	bobY := 0.01 * math.Sin(1.1*ts+s.Phase)
+	yaw := 0.4 * math.Sin(0.21*ts+s.Phase) // slow scanning of the room
+	p := pose.Pose{
+		Time:     t,
+		Position: s.Anchor.Add(mathx.V3(swayX, 1.2+bobY, swayZ)), // seated head height
+		Rotation: mathx.QuatAxisAngle(mathx.V3(0, 1, 0), yaw),
+		Velocity: mathx.V3(
+			0.03*0.5*math.Cos(0.5*ts+s.Phase),
+			0.01*1.1*math.Cos(1.1*ts+s.Phase),
+			0.02*0.33*math.Cos(0.33*ts+1.7*s.Phase),
+		),
+		AngVelY: 0.4 * 0.21 * math.Cos(0.21*ts+s.Phase),
+	}
+	return p
+}
+
+// Name implements MotionScript.
+func (Seated) Name() string { return "seated" }
+
+// Lecturer paces along the front of the room between Left and Right,
+// pausing at the lectern, with gesturing captured as higher-frequency head
+// motion. This is the high-motion participant every receiver watches.
+type Lecturer struct {
+	Left, Right mathx.Vec3
+	// PeriodS is the full pace cycle in seconds (default 20).
+	PeriodS float64
+}
+
+// PoseAt implements MotionScript.
+func (l Lecturer) PoseAt(t time.Duration) pose.Pose {
+	period := l.PeriodS
+	if period <= 0 {
+		period = 20
+	}
+	ts := t.Seconds()
+	// Smooth triangle wave in [0,1]: position along the front of the room.
+	phase := math.Mod(ts/period, 1)
+	u := 0.5 - 0.5*math.Cos(2*math.Pi*phase) // smooth there-and-back
+	dudt := math.Pi / period * math.Sin(2*math.Pi*phase)
+
+	base := l.Left.Lerp(l.Right, u)
+	gesture := mathx.V3(0, 0.05*math.Sin(3*ts), 0.03*math.Sin(2.3*ts))
+	dir := l.Right.Sub(l.Left)
+	facing := math.Atan2(dir.X, dir.Z)
+	if dudt < 0 {
+		facing += math.Pi // face the way we walk
+	}
+	return pose.Pose{
+		Time:     t,
+		Position: base.Add(gesture).Add(mathx.V3(0, 1.7, 0)), // standing head height
+		Rotation: mathx.QuatAxisAngle(mathx.V3(0, 1, 0), facing),
+		Velocity: dir.Scale(dudt).Add(mathx.V3(0, 0.15*math.Cos(3*ts), 0.069*math.Cos(2.3*ts))),
+		AngVelY:  0,
+	}
+}
+
+// Name implements MotionScript.
+func (Lecturer) Name() string { return "lecturer" }
+
+// Walker loops through Waypoints at Speed m/s — a student moving between
+// breakout groups, the stress case for dead reckoning.
+type Walker struct {
+	Waypoints []mathx.Vec3
+	Speed     float64 // m/s, default 1.0
+}
+
+// PoseAt implements MotionScript.
+func (w Walker) PoseAt(t time.Duration) pose.Pose {
+	if len(w.Waypoints) == 0 {
+		return pose.Identity().At(t)
+	}
+	if len(w.Waypoints) == 1 {
+		p := pose.Identity().At(t)
+		p.Position = w.Waypoints[0].Add(mathx.V3(0, 1.7, 0))
+		return p
+	}
+	speed := w.Speed
+	if speed <= 0 {
+		speed = 1
+	}
+	// Total loop length.
+	var total float64
+	n := len(w.Waypoints)
+	segs := make([]float64, n)
+	for i := 0; i < n; i++ {
+		d := w.Waypoints[(i+1)%n].Sub(w.Waypoints[i]).Len()
+		segs[i] = d
+		total += d
+	}
+	if total == 0 {
+		p := pose.Identity().At(t)
+		p.Position = w.Waypoints[0].Add(mathx.V3(0, 1.7, 0))
+		return p
+	}
+	dist := math.Mod(t.Seconds()*speed, total)
+	for i := 0; i < n; i++ {
+		if dist <= segs[i] || i == n-1 {
+			a, b := w.Waypoints[i], w.Waypoints[(i+1)%n]
+			var u float64
+			if segs[i] > 0 {
+				u = dist / segs[i]
+			}
+			dir := b.Sub(a).Normalize()
+			return pose.Pose{
+				Time:     t,
+				Position: a.Lerp(b, u).Add(mathx.V3(0, 1.7, 0)),
+				Rotation: mathx.QuatAxisAngle(mathx.V3(0, 1, 0), math.Atan2(dir.X, dir.Z)),
+				Velocity: dir.Scale(speed),
+			}
+		}
+		dist -= segs[i]
+	}
+	// Unreachable: loop always returns on the last segment.
+	return pose.Identity().At(t)
+}
+
+// Name implements MotionScript.
+func (Walker) Name() string { return "walker" }
+
+// Still is a motionless pose, the degenerate baseline.
+type Still struct {
+	Anchor mathx.Vec3
+}
+
+// PoseAt implements MotionScript.
+func (s Still) PoseAt(t time.Duration) pose.Pose {
+	p := pose.Identity().At(t)
+	p.Position = s.Anchor
+	return p
+}
+
+// Name implements MotionScript.
+func (Still) Name() string { return "still" }

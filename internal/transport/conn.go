@@ -1,0 +1,98 @@
+// Package transport carries the classroom wire protocol over real TCP, so
+// the sync server is not simulation-only: cmd/classroomd hosts an actual
+// networked classroom and cmd/loadgen drives it with real clients. Frames
+// are the same protocol.Encode bytes used in simulation, prefixed with a
+// 4-byte big-endian length for stream framing.
+package transport
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+
+	"metaclass/internal/protocol"
+)
+
+// MaxFrame bounds a single wire frame (length prefix included).
+const MaxFrame = 4 + protocol.MaxPayload + 64
+
+// ErrFrameTooLarge reports an oversized incoming frame.
+var ErrFrameTooLarge = errors.New("transport: frame exceeds MaxFrame")
+
+// Conn is a message-oriented connection. Reads must come from a single
+// goroutine; writes are internally serialized and safe from any goroutine.
+type Conn struct {
+	c  net.Conn
+	r  *bufio.Reader
+	mu sync.Mutex // guards writes
+
+	closeOnce sync.Once
+}
+
+// NewConn wraps an established net.Conn.
+func NewConn(c net.Conn) *Conn {
+	return &Conn{c: c, r: bufio.NewReaderSize(c, 64<<10)}
+}
+
+// Dial connects to a classroom server.
+func Dial(addr string) (*Conn, error) {
+	c, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("transport: dial %s: %w", addr, err)
+	}
+	return NewConn(c), nil
+}
+
+// RemoteAddr returns the peer address.
+func (c *Conn) RemoteAddr() net.Addr { return c.c.RemoteAddr() }
+
+// WriteMessage encodes and sends one message.
+func (c *Conn) WriteMessage(msg protocol.Message) error {
+	frame, err := protocol.Encode(msg)
+	if err != nil {
+		return err
+	}
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(frame)))
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, err := c.c.Write(hdr[:]); err != nil {
+		return fmt.Errorf("transport: write header: %w", err)
+	}
+	if _, err := c.c.Write(frame); err != nil {
+		return fmt.Errorf("transport: write frame: %w", err)
+	}
+	return nil
+}
+
+// ReadMessage blocks for the next message. io.EOF signals a clean close.
+func (c *Conn) ReadMessage() (protocol.Message, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(c.r, hdr[:]); err != nil {
+		return nil, err
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n > MaxFrame {
+		return nil, fmt.Errorf("%w: %d bytes", ErrFrameTooLarge, n)
+	}
+	frame := make([]byte, n)
+	if _, err := io.ReadFull(c.r, frame); err != nil {
+		return nil, err
+	}
+	msg, _, err := protocol.Decode(frame)
+	if err != nil {
+		return nil, err
+	}
+	return msg, nil
+}
+
+// Close shuts the connection down. Safe to call repeatedly.
+func (c *Conn) Close() error {
+	var err error
+	c.closeOnce.Do(func() { err = c.c.Close() })
+	return err
+}

@@ -1,0 +1,312 @@
+package transport
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"metaclass/internal/core"
+	"metaclass/internal/protocol"
+)
+
+// RoomConfig parameterizes a hosted classroom room.
+type RoomConfig struct {
+	// Addr is the TCP listen address (e.g. ":7480"; ":0" for tests).
+	Addr string
+	// TickHz is the replication rate (default 30).
+	TickHz float64
+	// Classroom is the room's ID in Hello acks.
+	Classroom protocol.ClassroomID
+}
+
+func (c *RoomConfig) applyDefaults() {
+	if c.Addr == "" {
+		c.Addr = ":7480"
+	}
+	if c.TickHz <= 0 {
+		c.TickHz = 30
+	}
+}
+
+// Room is a real-TCP classroom sync server: clients Hello in, publish
+// PoseUpdate/ExpressionUpdate streams, and receive snapshot/delta
+// replication of everyone else — the cloud VR classroom of Fig. 3 reduced
+// to one process. All state mutations run on the tick goroutine via a
+// serialized command queue, keeping the sync core single-threaded exactly
+// as in simulation.
+type Room struct {
+	cfg RoomConfig
+	ln  net.Listener
+
+	store *core.Store
+	repl  *core.Replicator
+	conns map[string]*client // keyed by peer key; tick-goroutine only
+
+	allMu sync.Mutex
+	all   map[*Conn]struct{} // every open conn, for shutdown
+
+	cmds chan func()
+	done chan struct{}
+	wg   sync.WaitGroup
+
+	mu       sync.Mutex // guards counters below
+	joined   uint64
+	left     uint64
+	poses    uint64
+	closedMu sync.Once
+}
+
+type client struct {
+	conn        *Conn
+	participant protocol.ParticipantID
+	key         string
+}
+
+// ListenRoom starts a room server.
+func ListenRoom(cfg RoomConfig) (*Room, error) {
+	cfg.applyDefaults()
+	ln, err := net.Listen("tcp", cfg.Addr)
+	if err != nil {
+		return nil, fmt.Errorf("transport: listen %s: %w", cfg.Addr, err)
+	}
+	r := &Room{
+		cfg:   cfg,
+		ln:    ln,
+		store: core.NewStore(),
+		conns: make(map[string]*client),
+		all:   make(map[*Conn]struct{}),
+		cmds:  make(chan func(), 1024),
+		done:  make(chan struct{}),
+	}
+	r.repl = core.NewReplicator(r.store, core.ReplConfig{})
+	r.wg.Add(2)
+	go r.acceptLoop()
+	go r.tickLoop()
+	return r, nil
+}
+
+// Addr returns the bound listen address.
+func (r *Room) Addr() string { return r.ln.Addr().String() }
+
+// Close stops the server and waits for all goroutines to exit.
+func (r *Room) Close() error {
+	var err error
+	r.closedMu.Do(func() {
+		close(r.done)
+		err = r.ln.Close()
+		// Closing client conns unblocks their read loops.
+		r.allMu.Lock()
+		for c := range r.all {
+			_ = c.Close()
+		}
+		r.allMu.Unlock()
+	})
+	r.wg.Wait()
+	return err
+}
+
+// RoomStats is a point-in-time server summary. Pose freshness is measured
+// client-side (see cmd/loadgen): clients and server do not share a timebase,
+// so the server cannot compute capture-to-receipt ages itself.
+type RoomStats struct {
+	Joined, Left, Poses uint64
+	Entities            int
+}
+
+// Stats snapshots server counters.
+func (r *Room) Stats() RoomStats {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	st := RoomStats{Joined: r.joined, Left: r.left, Poses: r.poses}
+	done := make(chan int, 1)
+	select {
+	case r.cmds <- func() { done <- r.store.Len() }:
+		select {
+		case st.Entities = <-done:
+		case <-r.done:
+		}
+	case <-r.done:
+	}
+	return st
+}
+
+func (r *Room) acceptLoop() {
+	defer r.wg.Done()
+	for {
+		nc, err := r.ln.Accept()
+		if err != nil {
+			select {
+			case <-r.done:
+				return
+			default:
+			}
+			if errors.Is(err, net.ErrClosed) {
+				return
+			}
+			continue
+		}
+		c := &client{conn: NewConn(nc), key: nc.RemoteAddr().String()}
+		r.allMu.Lock()
+		r.all[c.conn] = struct{}{}
+		r.allMu.Unlock()
+		r.wg.Add(1)
+		go r.serve(c)
+	}
+}
+
+func (r *Room) serve(c *client) {
+	defer r.wg.Done()
+	defer func() {
+		_ = c.conn.Close()
+		r.allMu.Lock()
+		delete(r.all, c.conn)
+		r.allMu.Unlock()
+		r.enqueue(func() { r.dropClient(c) })
+	}()
+	for {
+		msg, err := c.conn.ReadMessage()
+		if err != nil {
+			return
+		}
+		switch m := msg.(type) {
+		case *protocol.Hello:
+			r.enqueue(func() { r.handleHello(c, m) })
+		case *protocol.PoseUpdate:
+			r.mu.Lock()
+			r.poses++
+			r.mu.Unlock()
+			r.enqueue(func() { r.handlePose(c, m) })
+		case *protocol.ExpressionUpdate:
+			r.enqueue(func() { r.handleExpression(c, m) })
+		case *protocol.AudioFrame:
+			// Audio rides the low-latency path: relayed to every other
+			// participant immediately rather than batched into the state
+			// tick (the paper's lip-sync requirement makes audio deadline-
+			// critical in a way pose state is not).
+			r.enqueue(func() { r.relayAudio(c, m) })
+		case *protocol.Ack:
+			r.enqueue(func() { _ = r.repl.Ack(c.key, m.Tick) })
+		case *protocol.Leave:
+			return
+		default:
+			// Ignore everything else; the room is pose-sync only.
+		}
+	}
+}
+
+func (r *Room) enqueue(fn func()) {
+	select {
+	case r.cmds <- fn:
+	case <-r.done:
+	}
+}
+
+func (r *Room) tickLoop() {
+	defer r.wg.Done()
+	interval := time.Duration(float64(time.Second) / r.cfg.TickHz)
+	ticker := time.NewTicker(interval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-r.done:
+			return
+		case fn := <-r.cmds:
+			fn()
+		case <-ticker.C:
+			r.tick()
+		}
+	}
+}
+
+// The methods below run only on the tick goroutine.
+
+func (r *Room) handleHello(c *client, m *protocol.Hello) {
+	if c.participant != 0 {
+		return // duplicate hello
+	}
+	c.participant = m.Participant
+	r.conns[c.key] = c
+	_ = r.repl.AddPeer(c.key, func(id protocol.ParticipantID, _ uint64) bool {
+		return id != c.participant
+	})
+	r.mu.Lock()
+	r.joined++
+	r.mu.Unlock()
+	_ = c.conn.WriteMessage(&protocol.HelloAck{
+		Participant: m.Participant,
+		TickRateHz:  uint16(r.cfg.TickHz),
+		ServerTick:  r.store.Tick(),
+	})
+}
+
+func (r *Room) handlePose(c *client, m *protocol.PoseUpdate) {
+	if c.participant == 0 || m.Participant != c.participant {
+		return // must hello first; no spoofing other participants
+	}
+	e := protocol.EntityState{
+		Participant: m.Participant,
+		CapturedAt:  m.CapturedAt,
+		Pose:        m.Pose,
+		VelMMS:      m.VelMMS,
+	}
+	if old, ok := r.store.Get(m.Participant); ok {
+		e.Expression = old.Expression
+	}
+	r.store.Upsert(e)
+}
+
+func (r *Room) handleExpression(c *client, m *protocol.ExpressionUpdate) {
+	if c.participant == 0 || m.Participant != c.participant {
+		return
+	}
+	if e, ok := r.store.Get(m.Participant); ok {
+		e.Expression = m.Weights
+		r.store.Upsert(e)
+	}
+}
+
+func (r *Room) relayAudio(c *client, m *protocol.AudioFrame) {
+	if c.participant == 0 || m.Participant != c.participant {
+		return
+	}
+	for key, other := range r.conns {
+		if key == c.key {
+			continue
+		}
+		if err := other.conn.WriteMessage(m); err != nil {
+			_ = other.conn.Close()
+		}
+	}
+}
+
+func (r *Room) dropClient(c *client) {
+	if _, ok := r.conns[c.key]; !ok {
+		return
+	}
+	delete(r.conns, c.key)
+	if r.repl.HasPeer(c.key) {
+		_ = r.repl.RemovePeer(c.key)
+	}
+	if c.participant != 0 {
+		r.store.BeginTick()
+		r.store.Remove(c.participant)
+	}
+	r.mu.Lock()
+	r.left++
+	r.mu.Unlock()
+}
+
+func (r *Room) tick() {
+	r.store.BeginTick()
+	for _, pm := range r.repl.PlanTick() {
+		c, ok := r.conns[pm.Peer]
+		if !ok {
+			continue
+		}
+		if err := c.conn.WriteMessage(pm.Msg); err != nil {
+			_ = c.conn.Close() // read loop will observe and drop the client
+		}
+	}
+}

@@ -1,0 +1,363 @@
+package transport
+
+import (
+	"io"
+	"sync"
+	"testing"
+	"time"
+
+	"metaclass/internal/mathx"
+	"metaclass/internal/protocol"
+)
+
+func startRoom(t *testing.T) *Room {
+	t.Helper()
+	r, err := ListenRoom(RoomConfig{Addr: "127.0.0.1:0", TickHz: 60})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = r.Close() })
+	return r
+}
+
+func hello(t *testing.T, addr string, id protocol.ParticipantID) *Conn {
+	t.Helper()
+	c, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.WriteMessage(&protocol.Hello{Participant: id, Role: protocol.RoleLearner, Name: "t"}); err != nil {
+		t.Fatal(err)
+	}
+	msg, err := c.ReadMessage()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ack, ok := msg.(*protocol.HelloAck)
+	if !ok || ack.Participant != id {
+		t.Fatalf("hello ack = %T %+v", msg, msg)
+	}
+	return c
+}
+
+func posePayload(id protocol.ParticipantID, seq uint32, x float64) *protocol.PoseUpdate {
+	return &protocol.PoseUpdate{
+		Participant: id, Seq: seq, CapturedAt: time.Duration(seq) * time.Millisecond,
+		Pose: protocol.QuantizePose(mathx.V3(x, 1.2, 0), mathx.QuatIdentity()),
+	}
+}
+
+// readUntil pumps messages until pred returns true or the deadline passes.
+func readUntil(t *testing.T, c *Conn, timeout time.Duration, pred func(protocol.Message) bool) bool {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	result := make(chan bool, 1)
+	go func() {
+		for {
+			msg, err := c.ReadMessage()
+			if err != nil {
+				result <- false
+				return
+			}
+			// Ack replication so deltas flow.
+			switch m := msg.(type) {
+			case *protocol.Snapshot:
+				_ = c.WriteMessage(&protocol.Ack{Tick: m.Tick})
+			case *protocol.Delta:
+				_ = c.WriteMessage(&protocol.Ack{Tick: m.Tick})
+			}
+			if pred(msg) {
+				result <- true
+				return
+			}
+			if time.Now().After(deadline) {
+				result <- false
+				return
+			}
+		}
+	}()
+	select {
+	case ok := <-result:
+		return ok
+	case <-time.After(timeout):
+		return false
+	}
+}
+
+func TestRoomHelloAndReplication(t *testing.T) {
+	r := startRoom(t)
+	a := hello(t, r.Addr(), 1)
+	defer a.Close()
+	b := hello(t, r.Addr(), 2)
+	defer b.Close()
+
+	// Client 1 publishes; client 2 must see entity 1 in replication.
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		seq := uint32(0)
+		for {
+			select {
+			case <-stop:
+				return
+			case <-time.After(10 * time.Millisecond):
+				seq++
+				if err := a.WriteMessage(posePayload(1, seq, float64(seq)*0.01)); err != nil {
+					return
+				}
+			}
+		}
+	}()
+
+	saw := readUntil(t, b, 5*time.Second, func(msg protocol.Message) bool {
+		switch m := msg.(type) {
+		case *protocol.Snapshot:
+			for _, e := range m.Entities {
+				if e.Participant == 1 {
+					return true
+				}
+			}
+		case *protocol.Delta:
+			for _, e := range m.Changed {
+				if e.Participant == 1 {
+					return true
+				}
+			}
+		}
+		return false
+	})
+	close(stop)
+	wg.Wait()
+	if !saw {
+		t.Fatal("client 2 never saw client 1's entity")
+	}
+	st := r.Stats()
+	if st.Joined != 2 {
+		t.Errorf("joined = %d", st.Joined)
+	}
+	if st.Poses == 0 {
+		t.Error("no poses counted")
+	}
+}
+
+func TestRoomExcludesSelf(t *testing.T) {
+	r := startRoom(t)
+	a := hello(t, r.Addr(), 7)
+	defer a.Close()
+	if err := a.WriteMessage(posePayload(7, 1, 1)); err != nil {
+		t.Fatal(err)
+	}
+	// For a short window, any replication must not contain entity 7.
+	deadline := time.Now().Add(500 * time.Millisecond)
+	for time.Now().Before(deadline) {
+		msg, err := a.ReadMessage()
+		if err != nil {
+			break
+		}
+		switch m := msg.(type) {
+		case *protocol.Snapshot:
+			_ = a.WriteMessage(&protocol.Ack{Tick: m.Tick})
+			for _, e := range m.Entities {
+				if e.Participant == 7 {
+					t.Fatal("room replicated the client to itself")
+				}
+			}
+		case *protocol.Delta:
+			_ = a.WriteMessage(&protocol.Ack{Tick: m.Tick})
+			for _, e := range m.Changed {
+				if e.Participant == 7 {
+					t.Fatal("room replicated the client to itself")
+				}
+			}
+		}
+	}
+}
+
+func TestRoomRejectsSpoofedPoses(t *testing.T) {
+	r := startRoom(t)
+	a := hello(t, r.Addr(), 1)
+	defer a.Close()
+	b := hello(t, r.Addr(), 2)
+	defer b.Close()
+	// Client 2 tries to move client 1.
+	if err := b.WriteMessage(posePayload(1, 1, 99)); err != nil {
+		t.Fatal(err)
+	}
+	// Client 1 publishes honestly.
+	if err := a.WriteMessage(posePayload(1, 1, 0.5)); err != nil {
+		t.Fatal(err)
+	}
+	saw := readUntil(t, b, 3*time.Second, func(msg protocol.Message) bool {
+		check := func(e protocol.EntityState) bool {
+			if e.Participant != 1 {
+				return false
+			}
+			pos, _ := e.Pose.Dequantize()
+			if pos.X > 50 {
+				t.Fatal("spoofed pose accepted")
+			}
+			return pos.X > 0.4 && pos.X < 0.6
+		}
+		switch m := msg.(type) {
+		case *protocol.Snapshot:
+			for _, e := range m.Entities {
+				if check(e) {
+					return true
+				}
+			}
+		case *protocol.Delta:
+			for _, e := range m.Changed {
+				if check(e) {
+					return true
+				}
+			}
+		}
+		return false
+	})
+	if !saw {
+		t.Fatal("honest pose never replicated")
+	}
+}
+
+func TestRoomClientDisconnectRemovesEntity(t *testing.T) {
+	r := startRoom(t)
+	a := hello(t, r.Addr(), 1)
+	defer a.Close()
+	b := hello(t, r.Addr(), 2)
+	_ = b.WriteMessage(posePayload(2, 1, 1))
+
+	// Wait until entity 2 is visible to client 1.
+	if !readUntil(t, a, 3*time.Second, func(msg protocol.Message) bool {
+		switch m := msg.(type) {
+		case *protocol.Snapshot:
+			for _, e := range m.Entities {
+				if e.Participant == 2 {
+					return true
+				}
+			}
+		case *protocol.Delta:
+			for _, e := range m.Changed {
+				if e.Participant == 2 {
+					return true
+				}
+			}
+		}
+		return false
+	}) {
+		t.Fatal("entity 2 never appeared")
+	}
+	_ = b.Close()
+
+	// Entity count must drop to 1.
+	deadline := time.Now().Add(3 * time.Second)
+	for time.Now().Before(deadline) {
+		if r.Stats().Entities == 1 {
+			return
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	t.Fatalf("entities = %d after disconnect, want 1", r.Stats().Entities)
+}
+
+func TestRoomCloseUnblocksClients(t *testing.T) {
+	r := startRoom(t)
+	a := hello(t, r.Addr(), 1)
+	defer a.Close()
+	done := make(chan error, 1)
+	go func() {
+		for {
+			if _, err := a.ReadMessage(); err != nil {
+				done <- err
+				return
+			}
+		}
+	}()
+	if err := r.Close(); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-done:
+		if err == nil {
+			t.Error("read returned nil after close")
+		}
+	case <-time.After(3 * time.Second):
+		t.Fatal("client read not unblocked by server close")
+	}
+}
+
+func TestConnReadWriteRoundTrip(t *testing.T) {
+	r := startRoom(t)
+	c, err := Dial(r.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	// A Leave before Hello simply closes the session server-side.
+	if err := c.WriteMessage(&protocol.Leave{Participant: 5}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.ReadMessage(); err != io.EOF && err == nil {
+		t.Error("expected EOF after Leave")
+	}
+}
+
+func TestRoomRelaysAudio(t *testing.T) {
+	r := startRoom(t)
+	a := hello(t, r.Addr(), 1)
+	defer a.Close()
+	b := hello(t, r.Addr(), 2)
+	defer b.Close()
+
+	// Client 1 speaks; client 2 must receive the audio frame verbatim.
+	send := &protocol.AudioFrame{Participant: 1, Seq: 9,
+		CapturedAt: 123 * time.Millisecond, Data: []byte("opus-frame")}
+	if err := a.WriteMessage(send); err != nil {
+		t.Fatal(err)
+	}
+	// Spoofed audio from client 2 pretending to be 1 must be dropped.
+	if err := b.WriteMessage(&protocol.AudioFrame{Participant: 1, Seq: 10, Data: []byte("fake")}); err != nil {
+		t.Fatal(err)
+	}
+
+	got := readUntil(t, b, 3*time.Second, func(msg protocol.Message) bool {
+		af, ok := msg.(*protocol.AudioFrame)
+		if !ok {
+			return false
+		}
+		if string(af.Data) == "fake" {
+			t.Fatal("spoofed audio relayed")
+		}
+		return af.Participant == 1 && af.Seq == 9 &&
+			af.CapturedAt == 123*time.Millisecond && string(af.Data) == "opus-frame"
+	})
+	if !got {
+		t.Fatal("audio frame never relayed to the other participant")
+	}
+}
+
+func TestRoomAudioNotEchoedToSpeaker(t *testing.T) {
+	r := startRoom(t)
+	a := hello(t, r.Addr(), 1)
+	defer a.Close()
+	if err := a.WriteMessage(&protocol.AudioFrame{Participant: 1, Seq: 1, Data: []byte("x")}); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(400 * time.Millisecond)
+	for time.Now().Before(deadline) {
+		msg, err := a.ReadMessage()
+		if err != nil {
+			break
+		}
+		if _, ok := msg.(*protocol.AudioFrame); ok {
+			t.Fatal("speaker heard their own audio echoed")
+		}
+		switch m := msg.(type) {
+		case *protocol.Snapshot:
+			_ = a.WriteMessage(&protocol.Ack{Tick: m.Tick})
+		case *protocol.Delta:
+			_ = a.WriteMessage(&protocol.Ack{Tick: m.Tick})
+		}
+	}
+}

@@ -1,0 +1,216 @@
+package vclock
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+func TestEventOrdering(t *testing.T) {
+	s := New(1)
+	var order []int
+	s.At(30*time.Millisecond, func() { order = append(order, 3) })
+	s.At(10*time.Millisecond, func() { order = append(order, 1) })
+	s.At(20*time.Millisecond, func() { order = append(order, 2) })
+	if err := s.RunAll(); err != nil {
+		t.Fatal(err)
+	}
+	want := []int{1, 2, 3}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+	if s.Now() != 30*time.Millisecond {
+		t.Errorf("Now = %v, want 30ms", s.Now())
+	}
+}
+
+func TestTieBreakIsInsertionOrder(t *testing.T) {
+	s := New(1)
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		s.At(5*time.Millisecond, func() { order = append(order, i) })
+	}
+	if err := s.RunAll(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		if order[i] != i {
+			t.Fatalf("tie-break violated: %v", order)
+		}
+	}
+}
+
+func TestAfterRelative(t *testing.T) {
+	s := New(1)
+	var at time.Duration
+	s.At(100*time.Millisecond, func() {
+		s.After(50*time.Millisecond, func() { at = s.Now() })
+	})
+	if err := s.RunAll(); err != nil {
+		t.Fatal(err)
+	}
+	if at != 150*time.Millisecond {
+		t.Errorf("nested After fired at %v, want 150ms", at)
+	}
+}
+
+func TestRunHorizon(t *testing.T) {
+	s := New(1)
+	fired := 0
+	s.At(10*time.Millisecond, func() { fired++ })
+	s.At(500*time.Millisecond, func() { fired++ })
+	if err := s.Run(100 * time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	if fired != 1 {
+		t.Errorf("fired = %d, want 1", fired)
+	}
+	if s.Now() != 100*time.Millisecond {
+		t.Errorf("Now = %v, want horizon 100ms", s.Now())
+	}
+	if s.Pending() != 1 {
+		t.Errorf("Pending = %d, want 1", s.Pending())
+	}
+	// Continuing past the horizon fires the remaining event.
+	if err := s.Run(time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if fired != 2 {
+		t.Errorf("fired = %d after second Run, want 2", fired)
+	}
+}
+
+func TestRunIdlesToHorizon(t *testing.T) {
+	s := New(1)
+	if err := s.Run(time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if s.Now() != time.Second {
+		t.Errorf("Now = %v, want 1s", s.Now())
+	}
+}
+
+func TestCancel(t *testing.T) {
+	s := New(1)
+	fired := false
+	e := s.At(10*time.Millisecond, func() { fired = true })
+	s.Cancel(e)
+	if err := s.RunAll(); err != nil {
+		t.Fatal(err)
+	}
+	if fired {
+		t.Error("cancelled event fired")
+	}
+	if !e.Cancelled() {
+		t.Error("event does not report cancelled")
+	}
+	// Double cancel and nil cancel are no-ops.
+	s.Cancel(e)
+	s.Cancel(nil)
+}
+
+func TestStop(t *testing.T) {
+	s := New(1)
+	fired := 0
+	s.At(time.Millisecond, func() { fired++; s.Stop() })
+	s.At(2*time.Millisecond, func() { fired++ })
+	err := s.RunAll()
+	if !errors.Is(err, ErrStopped) {
+		t.Fatalf("err = %v, want ErrStopped", err)
+	}
+	if fired != 1 {
+		t.Errorf("fired = %d, want 1", fired)
+	}
+}
+
+func TestSchedulePastPanics(t *testing.T) {
+	s := New(1)
+	s.At(10*time.Millisecond, func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("scheduling in the past did not panic")
+			}
+		}()
+		s.At(5*time.Millisecond, func() {})
+	})
+	if err := s.RunAll(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTicker(t *testing.T) {
+	s := New(1)
+	var times []time.Duration
+	var cancel func()
+	cancel = s.Ticker(10*time.Millisecond, func() {
+		times = append(times, s.Now())
+		if len(times) == 3 {
+			cancel()
+		}
+	})
+	if err := s.Run(time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if len(times) != 3 {
+		t.Fatalf("ticks = %d, want 3", len(times))
+	}
+	for i, want := range []time.Duration{10, 20, 30} {
+		if times[i] != want*time.Millisecond {
+			t.Errorf("tick %d at %v, want %vms", i, times[i], want)
+		}
+	}
+}
+
+func TestTickerBadInterval(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("zero interval did not panic")
+		}
+	}()
+	New(1).Ticker(0, func() {})
+}
+
+func TestDeterminismAcrossRuns(t *testing.T) {
+	run := func() []float64 {
+		s := New(99)
+		var out []float64
+		s.Ticker(time.Millisecond, func() {
+			out = append(out, s.Rand().Float64())
+			if len(out) >= 100 {
+				s.Stop()
+			}
+		})
+		_ = s.Run(time.Second)
+		return out
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("runs diverged at %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestFiredCounter(t *testing.T) {
+	s := New(1)
+	for i := 0; i < 5; i++ {
+		s.After(time.Duration(i)*time.Millisecond, func() {})
+	}
+	if err := s.RunAll(); err != nil {
+		t.Fatal(err)
+	}
+	if s.Fired() != 5 {
+		t.Errorf("Fired = %d, want 5", s.Fired())
+	}
+}
+
+func BenchmarkScheduleAndFire(b *testing.B) {
+	s := New(1)
+	for i := 0; i < b.N; i++ {
+		s.After(time.Microsecond, func() {})
+		s.Step()
+	}
+}

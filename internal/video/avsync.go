@@ -1,0 +1,152 @@
+package video
+
+import (
+	"fmt"
+	"time"
+
+	"metaclass/internal/mathx"
+)
+
+// The paper requires lecture media to stay aligned with the replicated
+// world: "These video frames need to be transmitted in real-time to match
+// both the avatars' actions and the related audio transmission." AVSync is
+// the receiver-side coordinator that picks one common playout delay for the
+// avatar-state, audio and video streams so a lecturer's gesture, voice and
+// camera feed land on the display in the same instant.
+
+// StreamKind identifies one synchronized stream.
+type StreamKind uint8
+
+// Synchronized streams.
+const (
+	StreamPose StreamKind = iota
+	StreamAudio
+	StreamVideo
+	streamKinds
+)
+
+// String implements fmt.Stringer.
+func (k StreamKind) String() string {
+	switch k {
+	case StreamPose:
+		return "pose"
+	case StreamAudio:
+		return "audio"
+	case StreamVideo:
+		return "video"
+	default:
+		return fmt.Sprintf("StreamKind(%d)", uint8(k))
+	}
+}
+
+// AVSync accumulates per-stream transport delays (arrival minus capture) and
+// derives the common playout point. The zero value is not usable; create
+// with NewAVSync.
+type AVSync struct {
+	minDelay, maxDelay time.Duration
+	coverage           float64
+	delays             [streamKinds][]float64 // seconds
+}
+
+// NewAVSync creates a coordinator whose common delay is clamped to
+// [minDelay, maxDelay] and sized to cover the given delay quantile of every
+// stream (coverage in (0,1]; default 0.95 covers p95 of each stream).
+func NewAVSync(minDelay, maxDelay time.Duration, coverage float64) *AVSync {
+	if minDelay < 0 {
+		minDelay = 0
+	}
+	if maxDelay <= minDelay {
+		maxDelay = minDelay + 400*time.Millisecond
+	}
+	if coverage <= 0 || coverage > 1 {
+		coverage = 0.95
+	}
+	return &AVSync{minDelay: minDelay, maxDelay: maxDelay, coverage: coverage}
+}
+
+// Observe records one unit arriving: captured at capturedAt, received at
+// arrivedAt (same timebase). Late bookkeeping is cheap; call per frame.
+func (s *AVSync) Observe(kind StreamKind, capturedAt, arrivedAt time.Duration) {
+	if kind >= streamKinds {
+		return
+	}
+	d := (arrivedAt - capturedAt).Seconds()
+	if d < 0 {
+		d = 0
+	}
+	s.delays[kind] = append(s.delays[kind], d)
+}
+
+// Samples returns how many arrivals a stream has recorded.
+func (s *AVSync) Samples(kind StreamKind) int {
+	if kind >= streamKinds {
+		return 0
+	}
+	return len(s.delays[kind])
+}
+
+// streamQuantile returns the coverage-quantile delay of one stream.
+func (s *AVSync) streamQuantile(kind StreamKind) time.Duration {
+	xs := s.delays[kind]
+	if len(xs) == 0 {
+		return 0
+	}
+	return time.Duration(mathx.Percentile(xs, s.coverage*100) * float64(time.Second))
+}
+
+// PlayoutDelay returns the common delay: the largest per-stream coverage
+// quantile, clamped to the configured bounds. Rendering capture-time t at
+// wall-time t+PlayoutDelay keeps all streams aligned with (1-coverage)
+// residual late arrivals on the slowest stream.
+func (s *AVSync) PlayoutDelay() time.Duration {
+	var worst time.Duration
+	for k := StreamKind(0); k < streamKinds; k++ {
+		if q := s.streamQuantile(k); q > worst {
+			worst = q
+		}
+	}
+	if worst < s.minDelay {
+		return s.minDelay
+	}
+	if worst > s.maxDelay {
+		return s.maxDelay
+	}
+	return worst
+}
+
+// Skew returns how far apart two streams would land if each played at its
+// own median delay — the lip-sync error an uncoordinated receiver shows.
+func (s *AVSync) Skew(a, b StreamKind) time.Duration {
+	if a >= streamKinds || b >= streamKinds {
+		return 0
+	}
+	pa := time.Duration(mathx.Percentile(s.delays[a], 50) * float64(time.Second))
+	pb := time.Duration(mathx.Percentile(s.delays[b], 50) * float64(time.Second))
+	if pa > pb {
+		return pa - pb
+	}
+	return pb - pa
+}
+
+// LateRate returns the fraction of a stream's units that would miss the
+// current common playout point (arrive after capture+PlayoutDelay).
+func (s *AVSync) LateRate(kind StreamKind) float64 {
+	if kind >= streamKinds || len(s.delays[kind]) == 0 {
+		return 0
+	}
+	budget := s.PlayoutDelay().Seconds()
+	late := 0
+	for _, d := range s.delays[kind] {
+		if d > budget {
+			late++
+		}
+	}
+	return float64(late) / float64(len(s.delays[kind]))
+}
+
+// Reset clears accumulated samples (e.g. after a network migration).
+func (s *AVSync) Reset() {
+	for k := range s.delays {
+		s.delays[k] = nil
+	}
+}

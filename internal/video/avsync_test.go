@@ -1,0 +1,102 @@
+package video
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+)
+
+// feedStreams simulates realistic transport: pose updates ride the low-
+// latency sync path (~20 ms), audio ~45 ms, video frames the FEC-protected
+// path (~90 ms with heavier jitter).
+func feedStreams(s *AVSync, n int, seed int64) {
+	rng := rand.New(rand.NewSource(seed))
+	for i := 0; i < n; i++ {
+		cap := time.Duration(i) * 33 * time.Millisecond
+		s.Observe(StreamPose, cap, cap+20*time.Millisecond+
+			time.Duration(rng.ExpFloat64()*float64(5*time.Millisecond)))
+		s.Observe(StreamAudio, cap, cap+45*time.Millisecond+
+			time.Duration(rng.ExpFloat64()*float64(8*time.Millisecond)))
+		s.Observe(StreamVideo, cap, cap+90*time.Millisecond+
+			time.Duration(rng.ExpFloat64()*float64(15*time.Millisecond)))
+	}
+}
+
+func TestAVSyncCommonDelayCoversSlowestStream(t *testing.T) {
+	s := NewAVSync(0, time.Second, 0.95)
+	feedStreams(s, 500, 1)
+	delay := s.PlayoutDelay()
+	if delay < 90*time.Millisecond {
+		t.Errorf("common delay %v below the video path floor", delay)
+	}
+	// At the common delay every stream's late rate is bounded by 1-coverage
+	// (the slowest stream defines it; faster streams are ~never late).
+	for _, k := range []StreamKind{StreamPose, StreamAudio, StreamVideo} {
+		if lr := s.LateRate(k); lr > 0.06 {
+			t.Errorf("%v late rate %v, want <= 0.06", k, lr)
+		}
+	}
+	if s.LateRate(StreamPose) != 0 {
+		t.Error("pose stream should never be late at a video-sized delay")
+	}
+}
+
+func TestAVSyncSkewReflectsPathDifference(t *testing.T) {
+	s := NewAVSync(0, time.Second, 0.95)
+	feedStreams(s, 500, 2)
+	// Uncoordinated playout would show ~70 ms pose-to-video skew.
+	skew := s.Skew(StreamPose, StreamVideo)
+	if skew < 50*time.Millisecond || skew > 100*time.Millisecond {
+		t.Errorf("pose-video skew = %v, want ~70ms", skew)
+	}
+	if s.Skew(StreamPose, StreamPose) != 0 {
+		t.Error("self skew nonzero")
+	}
+	// Symmetry.
+	if s.Skew(StreamVideo, StreamPose) != skew {
+		t.Error("skew not symmetric")
+	}
+}
+
+func TestAVSyncClamping(t *testing.T) {
+	s := NewAVSync(60*time.Millisecond, 120*time.Millisecond, 0.95)
+	// No samples: floor applies.
+	if got := s.PlayoutDelay(); got != 60*time.Millisecond {
+		t.Errorf("empty delay = %v, want floor 60ms", got)
+	}
+	// A pathological stream cannot push the delay past the ceiling.
+	for i := 0; i < 100; i++ {
+		s.Observe(StreamVideo, 0, 5*time.Second)
+	}
+	if got := s.PlayoutDelay(); got != 120*time.Millisecond {
+		t.Errorf("delay = %v, want ceiling 120ms", got)
+	}
+}
+
+func TestAVSyncDefensiveInputs(t *testing.T) {
+	s := NewAVSync(-5, -10, 7) // all invalid: defaults apply
+	s.Observe(StreamKind(99), 0, time.Second)
+	if s.Samples(StreamKind(99)) != 0 {
+		t.Error("unknown stream recorded")
+	}
+	// Negative transport delay clamps to zero.
+	s.Observe(StreamPose, time.Second, 0)
+	if s.Samples(StreamPose) != 1 {
+		t.Error("sample not recorded")
+	}
+	if s.LateRate(StreamKind(99)) != 0 || s.Skew(StreamKind(99), StreamPose) != 0 {
+		t.Error("unknown stream produced stats")
+	}
+	if StreamPose.String() != "pose" || StreamKind(99).String() == "" {
+		t.Error("stream names wrong")
+	}
+}
+
+func TestAVSyncReset(t *testing.T) {
+	s := NewAVSync(0, time.Second, 0.95)
+	feedStreams(s, 10, 3)
+	s.Reset()
+	if s.Samples(StreamVideo) != 0 {
+		t.Error("reset did not clear samples")
+	}
+}

@@ -1,0 +1,113 @@
+package video
+
+import (
+	"math"
+	"time"
+)
+
+// CodecConfig parameterizes the synthetic lecture-video encoder. The model
+// follows standard streaming practice: constant FPS, a GOP structure of one
+// keyframe followed by delta frames, keyframes ~5x the mean delta size, and
+// quality a saturating function of bitrate (rate-distortion).
+type CodecConfig struct {
+	// FPS is frames per second (default 30).
+	FPS float64
+	// BitrateBps is the target video bitrate in bits per second
+	// (default 2 Mbps — 720p lecture capture).
+	BitrateBps float64
+	// GOP is the keyframe interval in frames (default 30, one per second).
+	GOP int
+}
+
+func (c *CodecConfig) applyDefaults() {
+	if c.FPS <= 0 {
+		c.FPS = 30
+	}
+	if c.BitrateBps <= 0 {
+		c.BitrateBps = 2e6
+	}
+	if c.GOP <= 0 {
+		c.GOP = 30
+	}
+}
+
+// keyframeWeight is the size ratio of keyframes to delta frames.
+const keyframeWeight = 5.0
+
+// Frame is one encoded video frame.
+type Frame struct {
+	ID         uint32
+	Keyframe   bool
+	CapturedAt time.Duration
+	Data       []byte
+}
+
+// Encoder produces synthetic frames whose sizes realize the configured
+// bitrate with the GOP structure. Frame payloads are deterministic filler
+// (the sync system treats them as opaque), sized so that bandwidth and FEC
+// behavior match a real encoder's output.
+type Encoder struct {
+	cfg  CodecConfig
+	next uint32
+}
+
+// NewEncoder creates an encoder.
+func NewEncoder(cfg CodecConfig) *Encoder {
+	cfg.applyDefaults()
+	return &Encoder{cfg: cfg}
+}
+
+// Config returns the effective configuration.
+func (e *Encoder) Config() CodecConfig { return e.cfg }
+
+// FrameInterval returns the time between frames.
+func (e *Encoder) FrameInterval() time.Duration {
+	return time.Duration(float64(time.Second) / e.cfg.FPS)
+}
+
+// frame sizes: per GOP of g frames, 1 keyframe of weight w and g-1 deltas of
+// weight 1 must sum to bitrate/fps*g bits. delta = total / (w + g - 1).
+func (e *Encoder) deltaSize() int {
+	g := float64(e.cfg.GOP)
+	bytesPerGOP := e.cfg.BitrateBps / 8 / e.cfg.FPS * g
+	d := bytesPerGOP / (keyframeWeight + g - 1)
+	if d < 64 {
+		d = 64
+	}
+	return int(d)
+}
+
+// NextFrame produces the frame captured at now.
+func (e *Encoder) NextFrame(now time.Duration) Frame {
+	id := e.next
+	e.next++
+	key := int(id)%e.cfg.GOP == 0
+	size := e.deltaSize()
+	if key {
+		size = int(float64(size) * keyframeWeight)
+	}
+	data := make([]byte, size)
+	// Deterministic filler derived from the frame ID (compressible streams
+	// are irrelevant here; FEC operates on opaque bytes).
+	seed := byte(id)
+	for i := range data {
+		data[i] = seed + byte(i)
+	}
+	return Frame{ID: id, Keyframe: key, CapturedAt: now, Data: data}
+}
+
+// Quality maps a bitrate to normalized delivered quality in [0,1] via a
+// saturating rate-distortion curve calibrated so 2 Mbps ≈ 0.86 and 6 Mbps ≈
+// 0.98 for lecture content.
+func Quality(bitrateBps float64) float64 {
+	if bitrateBps <= 0 {
+		return 0
+	}
+	return 1 - math.Exp(-bitrateBps/1e6)
+}
+
+// BitrateLadder returns the standard step-down encodings the adaptive
+// controller may pick from, descending.
+func BitrateLadder() []float64 {
+	return []float64{6e6, 4e6, 2.5e6, 1.5e6, 1e6, 0.6e6, 0.3e6}
+}

@@ -1,0 +1,137 @@
+package video
+
+import (
+	"math"
+	"time"
+)
+
+// ResidualFrameLoss returns the probability a frame is unrecoverable under
+// independent per-shard loss p with k data and r parity shards: the binomial
+// tail P[X > r] for X ~ Bin(k+r, p).
+func ResidualFrameLoss(p float64, k, r int) float64 {
+	if p <= 0 {
+		return 0
+	}
+	if p >= 1 {
+		return 1
+	}
+	n := k + r
+	// Sum P[X = i] for i in [0, r]; survival is 1 - that.
+	var cdf float64
+	logP, logQ := math.Log(p), math.Log(1-p)
+	for i := 0; i <= r; i++ {
+		cdf += math.Exp(logChoose(n, i) + float64(i)*logP + float64(n-i)*logQ)
+	}
+	if cdf > 1 {
+		cdf = 1
+	}
+	return 1 - cdf
+}
+
+func logChoose(n, k int) float64 {
+	if k < 0 || k > n {
+		return math.Inf(-1)
+	}
+	return logFact(n) - logFact(k) - logFact(n-k)
+}
+
+func logFact(n int) float64 {
+	var s float64
+	for i := 2; i <= n; i++ {
+		s += math.Log(float64(i))
+	}
+	return s
+}
+
+// PlanParity returns the smallest parity count r (capped at maxR) such that
+// the residual frame loss under shard-loss probability p stays below target.
+// If even maxR cannot reach the target, maxR is returned.
+func PlanParity(p float64, k int, target float64, maxR int) int {
+	if maxR < 0 {
+		maxR = 0
+	}
+	for r := 0; r <= maxR; r++ {
+		if ResidualFrameLoss(p, k, r) <= target {
+			return r
+		}
+	}
+	return maxR
+}
+
+// Controller is the adaptive joint source-coding + FEC planner (the paper's
+// Nebula-style strategy): given the measured network state it jointly picks
+// the video bitrate (source coding) and FEC overhead so the protected stream
+// fits the bandwidth budget and meets the residual-loss target, and decides
+// whether retransmission can beat FEC given the playout deadline.
+type Controller struct {
+	// K is the data shard count per frame (default 8).
+	K int
+	// TargetResidual is the acceptable frame-loss probability after
+	// recovery (default 0.005).
+	TargetResidual float64
+	// BudgetBps is the total bandwidth budget including FEC overhead
+	// (default 6 Mbps).
+	BudgetBps float64
+	// MaxR caps parity overhead (default 8 — 100% at K=8).
+	MaxR int
+	// ARQMargin is the scheduling headroom a retransmission round needs
+	// beyond one RTT (default 20 ms).
+	ARQMargin time.Duration
+}
+
+func (c *Controller) applyDefaults() {
+	if c.K <= 0 {
+		c.K = 8
+	}
+	if c.TargetResidual <= 0 {
+		c.TargetResidual = 0.005
+	}
+	if c.BudgetBps <= 0 {
+		c.BudgetBps = 6e6
+	}
+	if c.MaxR <= 0 {
+		c.MaxR = 8
+	}
+	if c.ARQMargin <= 0 {
+		c.ARQMargin = 20 * time.Millisecond
+	}
+}
+
+// Plan is the controller output.
+type Plan struct {
+	BitrateBps float64
+	Parity     int
+	// UseARQ reports whether a retransmission round fits inside the
+	// deadline (in which case parity can be reduced to a safety floor and
+	// lost shards recovered by NACK instead).
+	UseARQ bool
+}
+
+// Decide plans (bitrate, parity, ARQ) for the measured shard-loss rate and
+// RTT under the given playout deadline.
+func (c Controller) Decide(loss float64, rtt, deadline time.Duration) Plan {
+	c.applyDefaults()
+	// ARQ viability: one retransmission round must complete before playout.
+	// The frame needs ~one one-way trip to arrive, then a NACK + resend is a
+	// further full RTT.
+	useARQ := rtt/2+rtt+c.ARQMargin < deadline
+
+	var parity int
+	if useARQ {
+		// Light protection only: ARQ cleans up the tail.
+		parity = PlanParity(loss, c.K, c.TargetResidual*10, c.MaxR)
+	} else {
+		parity = PlanParity(loss, c.K, c.TargetResidual, c.MaxR)
+	}
+
+	// Source rate: largest ladder step whose FEC-expanded rate fits budget.
+	overhead := float64(c.K+parity) / float64(c.K)
+	bitrate := BitrateLadder()[len(BitrateLadder())-1]
+	for _, b := range BitrateLadder() {
+		if b*overhead <= c.BudgetBps {
+			bitrate = b
+			break
+		}
+	}
+	return Plan{BitrateBps: bitrate, Parity: parity, UseARQ: useARQ}
+}

@@ -1,0 +1,76 @@
+// Package video implements the classroom's real-time video path (paper
+// challenge C4): synthetic lecture-video sources, a rate-distortion codec
+// model, a from-scratch Reed–Solomon erasure code over GF(2^8) for
+// application-level forward error correction, sender/receiver endpoints with
+// ARQ and FEC recovery strategies, and the adaptive joint source-coding +
+// FEC controller the paper points to (its ref [46], Nebula) for "maximizing
+// video quality while minimizing latency".
+package video
+
+// GF(2^8) arithmetic with the AES/QR polynomial x^8+x^4+x^3+x^2+1 (0x11d),
+// implemented with exp/log tables built at package init from the generator 2.
+
+const gfPoly = 0x11d
+
+var (
+	gfExp [512]byte // doubled to avoid mod-255 in mul
+	gfLog [256]byte
+)
+
+func init() {
+	x := 1
+	for i := 0; i < 255; i++ {
+		gfExp[i] = byte(x)
+		gfLog[x] = byte(i)
+		x <<= 1
+		if x&0x100 != 0 {
+			x ^= gfPoly
+		}
+	}
+	for i := 255; i < 512; i++ {
+		gfExp[i] = gfExp[i-255]
+	}
+}
+
+// gfMul multiplies two field elements.
+func gfMul(a, b byte) byte {
+	if a == 0 || b == 0 {
+		return 0
+	}
+	return gfExp[int(gfLog[a])+int(gfLog[b])]
+}
+
+// gfDiv divides a by b; division by zero panics (programming error in the
+// caller — the RS matrices guarantee nonzero pivots).
+func gfDiv(a, b byte) byte {
+	if b == 0 {
+		panic("video: GF(256) division by zero")
+	}
+	if a == 0 {
+		return 0
+	}
+	return gfExp[int(gfLog[a])+255-int(gfLog[b])]
+}
+
+// gfInv returns the multiplicative inverse.
+func gfInv(a byte) byte { return gfDiv(1, a) }
+
+// gfMulSlice computes dst ^= c * src for byte slices (the hot loop of
+// encode/decode). dst and src must be the same length.
+func gfMulSlice(c byte, src, dst []byte) {
+	if c == 0 {
+		return
+	}
+	if c == 1 {
+		for i, s := range src {
+			dst[i] ^= s
+		}
+		return
+	}
+	logC := int(gfLog[c])
+	for i, s := range src {
+		if s != 0 {
+			dst[i] ^= gfExp[logC+int(gfLog[s])]
+		}
+	}
+}

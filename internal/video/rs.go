@@ -1,0 +1,274 @@
+package video
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Reed–Solomon erasure coding: K data shards are extended with R parity
+// shards; any K of the K+R shards reconstruct the data. The code is
+// systematic (data shards pass through unmodified), built from a Vandermonde
+// matrix normalized so its top K×K block is the identity.
+
+// RS coding errors.
+var (
+	ErrBadShardCounts  = errors.New("video: invalid shard counts")
+	ErrShardSize       = errors.New("video: shards must be equal, nonzero length")
+	ErrTooFewShards    = errors.New("video: not enough shards to reconstruct")
+	ErrSingularMatrix  = errors.New("video: singular decode matrix")
+	ErrShardSetInvalid = errors.New("video: shard set inconsistent")
+)
+
+// MaxShards bounds K+R (field size constraint).
+const MaxShards = 255
+
+// RS is an encoder/decoder for a fixed (K, R) geometry. Safe for concurrent
+// use after construction (all state is read-only).
+type RS struct {
+	k, r   int
+	matrix [][]byte // (k+r) x k; top k rows are identity
+}
+
+// NewRS builds a code with k data and r parity shards.
+func NewRS(k, r int) (*RS, error) {
+	if k < 1 || r < 0 || k+r > MaxShards {
+		return nil, fmt.Errorf("%w: k=%d r=%d", ErrBadShardCounts, k, r)
+	}
+	n := k + r
+	// Vandermonde matrix V[i][j] = alpha_i^j with distinct alpha_i.
+	v := make([][]byte, n)
+	for i := range v {
+		v[i] = make([]byte, k)
+		x := byte(1)
+		alpha := gfExp[i] // distinct nonzero points
+		for j := 0; j < k; j++ {
+			v[i][j] = x
+			x = gfMul(x, alpha)
+		}
+	}
+	// Normalize: M = V * inv(V_top) so the top k rows become identity.
+	top := make([][]byte, k)
+	for i := range top {
+		top[i] = make([]byte, k)
+		copy(top[i], v[i])
+	}
+	inv, err := invertMatrix(top)
+	if err != nil {
+		return nil, err
+	}
+	m := make([][]byte, n)
+	for i := 0; i < n; i++ {
+		m[i] = make([]byte, k)
+		for j := 0; j < k; j++ {
+			var acc byte
+			for t := 0; t < k; t++ {
+				acc ^= gfMul(v[i][t], inv[t][j])
+			}
+			m[i][j] = acc
+		}
+	}
+	return &RS{k: k, r: r, matrix: m}, nil
+}
+
+// K returns the data shard count.
+func (rs *RS) K() int { return rs.k }
+
+// R returns the parity shard count.
+func (rs *RS) R() int { return rs.r }
+
+// Encode appends r parity shards to the k data shards, returning the full
+// shard set of length k+r. Data shards are not copied; parity shards are
+// freshly allocated. All shards must have equal nonzero length.
+func (rs *RS) Encode(data [][]byte) ([][]byte, error) {
+	if len(data) != rs.k {
+		return nil, fmt.Errorf("%w: got %d data shards, want %d", ErrShardSetInvalid, len(data), rs.k)
+	}
+	size, err := shardSize(data)
+	if err != nil {
+		return nil, err
+	}
+	out := make([][]byte, rs.k+rs.r)
+	copy(out, data)
+	for p := 0; p < rs.r; p++ {
+		parity := make([]byte, size)
+		row := rs.matrix[rs.k+p]
+		for j := 0; j < rs.k; j++ {
+			gfMulSlice(row[j], data[j], parity)
+		}
+		out[rs.k+p] = parity
+	}
+	return out, nil
+}
+
+// Reconstruct recovers the original k data shards from any k present shards.
+// shards has length k+r with nil entries for missing shards; present shards
+// must all share one nonzero length. The returned slice holds the k data
+// shards; present data shards are reused, missing ones freshly decoded.
+func (rs *RS) Reconstruct(shards [][]byte) ([][]byte, error) {
+	if len(shards) != rs.k+rs.r {
+		return nil, fmt.Errorf("%w: got %d shards, want %d", ErrShardSetInvalid, len(shards), rs.k+rs.r)
+	}
+	present := make([]int, 0, rs.k)
+	var size int
+	for i, s := range shards {
+		if s == nil {
+			continue
+		}
+		if size == 0 {
+			size = len(s)
+		}
+		if len(s) != size || size == 0 {
+			return nil, ErrShardSize
+		}
+		if len(present) < rs.k {
+			present = append(present, i)
+		}
+	}
+	if len(present) < rs.k {
+		return nil, fmt.Errorf("%w: have %d, need %d", ErrTooFewShards, len(present), rs.k)
+	}
+
+	// Fast path: all data shards survive.
+	allData := true
+	for i := 0; i < rs.k; i++ {
+		if shards[i] == nil {
+			allData = false
+			break
+		}
+	}
+	if allData {
+		return shards[:rs.k], nil
+	}
+
+	// Build the submatrix of rows for the shards we actually have, invert it,
+	// and multiply by the present shard vector to recover the data shards.
+	sub := make([][]byte, rs.k)
+	for i, idx := range present {
+		sub[i] = make([]byte, rs.k)
+		copy(sub[i], rs.matrix[idx])
+	}
+	inv, err := invertMatrix(sub)
+	if err != nil {
+		return nil, err
+	}
+	data := make([][]byte, rs.k)
+	for i := 0; i < rs.k; i++ {
+		if shards[i] != nil {
+			data[i] = shards[i]
+			continue
+		}
+		buf := make([]byte, size)
+		for j, idx := range present {
+			gfMulSlice(inv[i][j], shards[idx], buf)
+		}
+		data[i] = buf
+	}
+	return data, nil
+}
+
+func shardSize(shards [][]byte) (int, error) {
+	if len(shards) == 0 || len(shards[0]) == 0 {
+		return 0, ErrShardSize
+	}
+	size := len(shards[0])
+	for _, s := range shards[1:] {
+		if len(s) != size {
+			return 0, ErrShardSize
+		}
+	}
+	return size, nil
+}
+
+// invertMatrix performs Gauss–Jordan elimination over GF(256).
+func invertMatrix(m [][]byte) ([][]byte, error) {
+	n := len(m)
+	// Augment with identity.
+	aug := make([][]byte, n)
+	for i := range aug {
+		aug[i] = make([]byte, 2*n)
+		copy(aug[i], m[i])
+		aug[i][n+i] = 1
+	}
+	for col := 0; col < n; col++ {
+		// Find pivot.
+		pivot := -1
+		for row := col; row < n; row++ {
+			if aug[row][col] != 0 {
+				pivot = row
+				break
+			}
+		}
+		if pivot == -1 {
+			return nil, ErrSingularMatrix
+		}
+		aug[col], aug[pivot] = aug[pivot], aug[col]
+		// Scale pivot row to 1.
+		inv := gfInv(aug[col][col])
+		for j := 0; j < 2*n; j++ {
+			aug[col][j] = gfMul(aug[col][j], inv)
+		}
+		// Eliminate other rows.
+		for row := 0; row < n; row++ {
+			if row == col || aug[row][col] == 0 {
+				continue
+			}
+			factor := aug[row][col]
+			for j := 0; j < 2*n; j++ {
+				aug[row][j] ^= gfMul(factor, aug[col][j])
+			}
+		}
+	}
+	out := make([][]byte, n)
+	for i := range out {
+		out[i] = aug[i][n:]
+	}
+	return out, nil
+}
+
+// SplitFrame chops an encoded frame into k equal shards, zero-padding the
+// tail; JoinFrame reverses it given the original length.
+func SplitFrame(frame []byte, k int) ([][]byte, error) {
+	if k < 1 {
+		return nil, ErrBadShardCounts
+	}
+	if len(frame) == 0 {
+		return nil, ErrShardSize
+	}
+	shardLen := (len(frame) + k - 1) / k
+	out := make([][]byte, k)
+	for i := 0; i < k; i++ {
+		s := make([]byte, shardLen)
+		start := i * shardLen
+		if start < len(frame) {
+			copy(s, frame[start:])
+		}
+		out[i] = s
+	}
+	return out, nil
+}
+
+// JoinFrame reassembles a frame of origLen bytes from its data shards.
+func JoinFrame(shards [][]byte, origLen int) ([]byte, error) {
+	if len(shards) == 0 || origLen < 0 {
+		return nil, ErrShardSetInvalid
+	}
+	size, err := shardSize(shards)
+	if err != nil {
+		return nil, err
+	}
+	if size*len(shards) < origLen {
+		return nil, fmt.Errorf("%w: %d shards of %d bytes < frame %d", ErrShardSetInvalid, len(shards), size, origLen)
+	}
+	out := make([]byte, 0, origLen)
+	for _, s := range shards {
+		need := origLen - len(out)
+		if need <= 0 {
+			break
+		}
+		if need > len(s) {
+			need = len(s)
+		}
+		out = append(out, s[:need]...)
+	}
+	return out, nil
+}

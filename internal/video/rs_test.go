@@ -1,0 +1,299 @@
+package video
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"testing"
+)
+
+func TestGFFieldProperties(t *testing.T) {
+	// Multiplicative inverses: a * inv(a) == 1 for all nonzero a.
+	for a := 1; a < 256; a++ {
+		if got := gfMul(byte(a), gfInv(byte(a))); got != 1 {
+			t.Fatalf("a*inv(a) = %d for a=%d", got, a)
+		}
+	}
+	// Distributivity spot checks.
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 1000; i++ {
+		a, b, c := byte(rng.Intn(256)), byte(rng.Intn(256)), byte(rng.Intn(256))
+		left := gfMul(a, b^c)
+		right := gfMul(a, b) ^ gfMul(a, c)
+		if left != right {
+			t.Fatalf("distributivity failed: a=%d b=%d c=%d", a, b, c)
+		}
+	}
+	if gfMul(0, 7) != 0 || gfMul(7, 0) != 0 {
+		t.Error("zero multiplication wrong")
+	}
+	if gfDiv(0, 5) != 0 {
+		t.Error("0/x != 0")
+	}
+}
+
+func TestGFDivByZeroPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("division by zero did not panic")
+		}
+	}()
+	gfDiv(3, 0)
+}
+
+func TestRSEncodeReconstructAllErasurePatterns(t *testing.T) {
+	const k, r = 4, 2
+	rs, err := NewRS(k, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(2))
+	data := make([][]byte, k)
+	for i := range data {
+		data[i] = make([]byte, 64)
+		rng.Read(data[i])
+	}
+	shards, err := rs.Encode(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every way of losing up to r shards must reconstruct.
+	n := k + r
+	for mask := 0; mask < 1<<n; mask++ {
+		lost := 0
+		for b := 0; b < n; b++ {
+			if mask&(1<<b) != 0 {
+				lost++
+			}
+		}
+		if lost > r {
+			continue
+		}
+		damaged := make([][]byte, n)
+		for i := 0; i < n; i++ {
+			if mask&(1<<i) == 0 {
+				damaged[i] = shards[i]
+			}
+		}
+		got, err := rs.Reconstruct(damaged)
+		if err != nil {
+			t.Fatalf("mask %b: %v", mask, err)
+		}
+		for i := 0; i < k; i++ {
+			if !bytes.Equal(got[i], data[i]) {
+				t.Fatalf("mask %b: shard %d corrupted", mask, i)
+			}
+		}
+	}
+}
+
+func TestRSTooManyErasures(t *testing.T) {
+	rs, _ := NewRS(3, 2)
+	data := [][]byte{{1, 2}, {3, 4}, {5, 6}}
+	shards, _ := rs.Encode(data)
+	damaged := make([][]byte, 5)
+	damaged[0] = shards[0]
+	damaged[3] = shards[3] // only 2 of 5 present, need 3
+	if _, err := rs.Reconstruct(damaged); !errors.Is(err, ErrTooFewShards) {
+		t.Errorf("err = %v, want ErrTooFewShards", err)
+	}
+}
+
+func TestRSParameterValidation(t *testing.T) {
+	tests := []struct{ k, r int }{
+		{0, 1}, {-1, 0}, {200, 100}, {1, 255},
+	}
+	for _, tt := range tests {
+		if _, err := NewRS(tt.k, tt.r); !errors.Is(err, ErrBadShardCounts) {
+			t.Errorf("NewRS(%d,%d) err = %v", tt.k, tt.r, err)
+		}
+	}
+	if _, err := NewRS(1, 0); err != nil {
+		t.Errorf("minimal code rejected: %v", err)
+	}
+	rs, _ := NewRS(2, 1)
+	if rs.K() != 2 || rs.R() != 1 {
+		t.Error("K/R accessors wrong")
+	}
+}
+
+func TestRSShardValidation(t *testing.T) {
+	rs, _ := NewRS(2, 1)
+	if _, err := rs.Encode([][]byte{{1}}); !errors.Is(err, ErrShardSetInvalid) {
+		t.Errorf("wrong count err = %v", err)
+	}
+	if _, err := rs.Encode([][]byte{{1, 2}, {3}}); !errors.Is(err, ErrShardSize) {
+		t.Errorf("ragged err = %v", err)
+	}
+	if _, err := rs.Encode([][]byte{{}, {}}); !errors.Is(err, ErrShardSize) {
+		t.Errorf("empty err = %v", err)
+	}
+	if _, err := rs.Reconstruct([][]byte{{1}}); !errors.Is(err, ErrShardSetInvalid) {
+		t.Errorf("reconstruct count err = %v", err)
+	}
+	if _, err := rs.Reconstruct([][]byte{{1, 2}, {3}, nil}); !errors.Is(err, ErrShardSize) {
+		t.Errorf("reconstruct ragged err = %v", err)
+	}
+}
+
+func TestRSFastPathNoErasures(t *testing.T) {
+	rs, _ := NewRS(3, 2)
+	data := [][]byte{{1}, {2}, {3}}
+	shards, _ := rs.Encode(data)
+	got, err := rs.Reconstruct(shards)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range data {
+		if !bytes.Equal(got[i], data[i]) {
+			t.Fatal("fast path corrupted data")
+		}
+	}
+}
+
+func TestRSPropertyRandomGeometry(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 30; trial++ {
+		k := 1 + rng.Intn(10)
+		r := rng.Intn(6)
+		rs, err := NewRS(k, r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		data := make([][]byte, k)
+		for i := range data {
+			data[i] = make([]byte, 1+rng.Intn(200))
+		}
+		size := len(data[0])
+		for i := range data {
+			data[i] = data[i][:0]
+			for j := 0; j < size; j++ {
+				data[i] = append(data[i], byte(rng.Intn(256)))
+			}
+		}
+		shards, err := rs.Encode(data)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Drop r random distinct shards.
+		perm := rng.Perm(k + r)
+		damaged := make([][]byte, k+r)
+		copy(damaged, shards)
+		for _, idx := range perm[:r] {
+			damaged[idx] = nil
+		}
+		got, err := rs.Reconstruct(damaged)
+		if err != nil {
+			t.Fatalf("trial %d (k=%d r=%d): %v", trial, k, r, err)
+		}
+		for i := 0; i < k; i++ {
+			if !bytes.Equal(got[i], data[i]) {
+				t.Fatalf("trial %d: data shard %d wrong", trial, i)
+			}
+		}
+	}
+}
+
+func TestSplitJoinFrame(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	for _, size := range []int{1, 7, 64, 1000, 1001, 4096} {
+		for _, k := range []int{1, 2, 3, 8} {
+			frame := make([]byte, size)
+			rng.Read(frame)
+			shards, err := SplitFrame(frame, k)
+			if err != nil {
+				t.Fatalf("size=%d k=%d: %v", size, k, err)
+			}
+			if len(shards) != k {
+				t.Fatalf("got %d shards", len(shards))
+			}
+			back, err := JoinFrame(shards, size)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(back, frame) {
+				t.Fatalf("size=%d k=%d: round trip failed", size, k)
+			}
+		}
+	}
+}
+
+func TestSplitJoinErrors(t *testing.T) {
+	if _, err := SplitFrame(nil, 2); !errors.Is(err, ErrShardSize) {
+		t.Errorf("empty frame err = %v", err)
+	}
+	if _, err := SplitFrame([]byte{1}, 0); !errors.Is(err, ErrBadShardCounts) {
+		t.Errorf("k=0 err = %v", err)
+	}
+	if _, err := JoinFrame(nil, 5); err == nil {
+		t.Error("join empty accepted")
+	}
+	if _, err := JoinFrame([][]byte{{1}}, 5); err == nil {
+		t.Error("join undersized accepted")
+	}
+}
+
+func TestFECEndToEndThroughSplit(t *testing.T) {
+	// Full pipeline: frame -> split k -> encode k+r -> lose r -> reconstruct
+	// -> join. This is exactly what the video sender/receiver do.
+	rng := rand.New(rand.NewSource(9))
+	frame := make([]byte, 3000)
+	rng.Read(frame)
+	const k, r = 8, 3
+	rs, _ := NewRS(k, r)
+	data, err := SplitFrame(frame, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	shards, err := rs.Encode(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	shards[0], shards[4], shards[9] = nil, nil, nil
+	rec, err := rs.Reconstruct(shards)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := JoinFrame(rec, len(frame))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(back, frame) {
+		t.Fatal("end-to-end FEC pipeline corrupted the frame")
+	}
+}
+
+func BenchmarkRSEncode8x3_1KB(b *testing.B) {
+	rs, _ := NewRS(8, 3)
+	data := make([][]byte, 8)
+	for i := range data {
+		data[i] = make([]byte, 1024)
+	}
+	b.SetBytes(8 * 1024)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := rs.Encode(data); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkRSReconstruct8x3_1KB(b *testing.B) {
+	rs, _ := NewRS(8, 3)
+	data := make([][]byte, 8)
+	for i := range data {
+		data[i] = make([]byte, 1024)
+		data[i][0] = byte(i)
+	}
+	shards, _ := rs.Encode(data)
+	b.SetBytes(8 * 1024)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		damaged := make([][]byte, len(shards))
+		copy(damaged, shards)
+		damaged[1], damaged[5], damaged[8] = nil, nil, nil
+		if _, err := rs.Reconstruct(damaged); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
