@@ -1,0 +1,3 @@
+module metaclass
+
+go 1.24

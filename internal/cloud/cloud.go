@@ -14,7 +14,6 @@ package cloud
 import (
 	"errors"
 	"fmt"
-	"math"
 	"sort"
 	"time"
 
@@ -28,6 +27,31 @@ import (
 	"metaclass/internal/seat"
 	"metaclass/internal/vclock"
 )
+
+// fanoutMetrics caches Counter/Histogram handles for the per-tick and
+// per-message paths, so the hot loops never re-hash metric name strings.
+type fanoutMetrics struct {
+	encodeErrors  *metrics.Counter
+	syncMsgsSent  *metrics.Counter
+	syncBytesSent *metrics.Counter
+	sendErrors    *metrics.Counter
+	decodeErrors  *metrics.Counter
+	recvGaps      *metrics.Counter
+	recvUnknown   *metrics.Counter
+}
+
+func newFanoutMetrics(reg *metrics.Registry) fanoutMetrics {
+	return fanoutMetrics{
+		encodeErrors:  reg.Counter("encode.errors"),
+		syncMsgsSent:  reg.Counter("sync.msgs.sent"),
+		syncBytesSent: reg.Counter("sync.bytes.sent"),
+		sendErrors:    reg.Counter("send.errors"),
+		decodeErrors:  reg.Counter("decode.errors"),
+		recvGaps:      reg.Counter("recv.gaps"),
+		recvUnknown:   reg.Counter("recv.unknown_peer"),
+	}
+}
+
 
 // Cloud server errors.
 var (
@@ -82,6 +106,8 @@ type vrClient struct {
 	addr       netsim.Addr
 	correction mathx.Transform
 	seated     bool
+	// iset caches this client's allowed sources, rebuilt once per tick.
+	iset *interest.Set
 }
 
 // Server is the cloud VR classroom host.
@@ -99,6 +125,17 @@ type Server struct {
 	seats   *seat.Map
 	grid    *interest.Grid
 	reg     *metrics.Registry
+
+	fm            fanoutMetrics
+	frames        core.FrameCache
+	mSyncMsgsRecv *metrics.Counter
+	mClientPoses  *metrics.Counter
+	hClientAge    *metrics.Histogram
+	// scratch buffers reused every tick (valid only within one tick).
+	liveScratch     map[protocol.ParticipantID]bool
+	neighborScratch []protocol.ParticipantID
+	edgeScratch     []netsim.Addr
+	removeScratch   []protocol.ParticipantID
 
 	cancel func()
 }
@@ -118,7 +155,13 @@ func New(sim *vclock.Sim, net *netsim.Network, cfg Config) (*Server, error) {
 		seats:   seat.NewGrid(0, cfg.VRRows, cfg.VRCols, cfg.VRPitch),
 		grid:    interest.NewGrid(4),
 		reg:     metrics.NewRegistry(string(cfg.Addr)),
+
+		liveScratch: make(map[protocol.ParticipantID]bool),
 	}
+	s.fm = newFanoutMetrics(s.reg)
+	s.mSyncMsgsRecv = s.reg.Counter("sync.msgs.recv")
+	s.mClientPoses = s.reg.Counter("client.poses")
+	s.hClientAge = s.reg.Histogram("client.pose.age")
 	s.repl = core.NewReplicator(s.world, cfg.Repl)
 	if !net.HasHost(cfg.Addr) {
 		if err := net.AddHost(cfg.Addr, s); err != nil {
@@ -176,10 +219,10 @@ func (s *Server) AddClient(id protocol.ParticipantID, addr netsim.Addr) error {
 	if _, ok := s.clients[id]; ok {
 		return fmt.Errorf("%w: %d", ErrClientExists, id)
 	}
-	c := &vrClient{id: id, addr: addr}
+	c := &vrClient{id: id, addr: addr, iset: interest.NewSet()}
 	s.clients[id] = c
 	s.byAddr[addr] = c
-	return s.repl.AddPeer(string(addr), s.clientFilter(id))
+	return s.repl.AddPeer(string(addr), s.clientFilter(c))
 }
 
 // RegisterRelayClient records a client whose pose updates will arrive via a
@@ -189,6 +232,8 @@ func (s *Server) RegisterRelayClient(id protocol.ParticipantID, relay netsim.Add
 	if _, ok := s.clients[id]; ok {
 		return fmt.Errorf("%w: %d", ErrClientExists, id)
 	}
+	// iset stays nil: relay-routed clients get their interest management at
+	// the relay, never a cloud-side clientFilter.
 	c := &vrClient{id: id, addr: relay}
 	s.clients[id] = c
 	return nil
@@ -212,26 +257,20 @@ func (s *Server) RemoveClient(id protocol.ParticipantID) error {
 	return nil
 }
 
-// clientFilter builds the interest-management gate for one client.
-func (s *Server) clientFilter(clientID protocol.ParticipantID) core.FilterFunc {
+// clientFilter builds the interest-management gate for one client. Instead
+// of an all-pairs sqrt distance test per (client, source), the filter
+// consults the client's interest.Set, rebuilt once per tick from a Grid
+// spatial query and squared-distance classification.
+func (s *Server) clientFilter(c *vrClient) core.FilterFunc {
 	return func(id protocol.ParticipantID, tick uint64) bool {
-		if id == clientID {
+		if id == c.id {
 			return false // clients predict themselves locally
 		}
 		if s.cfg.Interest == nil {
 			return true // broadcast mode
 		}
-		recvPos, ok := s.grid.Position(clientID)
-		if !ok {
-			return true // not yet seated: send everything until placed
-		}
-		srcPos, ok := s.grid.Position(id)
-		if !ok {
-			return true
-		}
-		dx, dz := srcPos.X-recvPos.X, srcPos.Z-recvPos.Z
-		dist := math.Sqrt(dx*dx + dz*dz)
-		return interest.ShouldSend(s.cfg.Interest.Classify(id, dist), tick)
+		s.neighborScratch = c.iset.Refresh(s.grid, s.cfg.Interest, c.id, tick, s.neighborScratch)
+		return c.iset.Allows(s.grid, id)
 	}
 }
 
@@ -265,52 +304,55 @@ func (s *Server) tick() {
 	s.world.BeginTick()
 
 	// Mirror edge-authored entities into the world.
-	live := make(map[protocol.ParticipantID]bool)
+	live := s.liveScratch
+	clear(live)
 	for _, addr := range s.edgeAddrs() {
 		ep := s.edges[addr]
-		st := ep.replica.Store()
-		for _, id := range st.IDs() {
-			e, _ := st.Get(id)
+		ep.replica.Store().Range(func(id protocol.ParticipantID, e protocol.EntityState) {
 			live[id] = true
 			if s.world.UpsertIfChanged(e) {
 				pos, _ := e.Pose.Dequantize()
 				s.grid.Update(id, pos)
 			}
-		}
+		})
 	}
 	// Propagate edge-side departures: any edge-authored world entity no
 	// longer present in its replica has left the classroom.
-	for _, id := range s.world.IDs() {
-		if live[id] {
-			continue
+	s.removeScratch = s.removeScratch[:0]
+	s.world.Range(func(id protocol.ParticipantID, e protocol.EntityState) {
+		if !live[id] && e.Home != 0 {
+			s.removeScratch = append(s.removeScratch, id)
 		}
-		if e, ok := s.world.Get(id); ok && e.Home != 0 {
-			s.world.Remove(id)
-			s.grid.Remove(id)
-		}
+	})
+	for _, id := range s.removeScratch {
+		s.world.Remove(id)
+		s.grid.Remove(id)
 	}
 
-	// Fan out.
+	// Fan out: encode each cohort's payload once, send the identical frame
+	// to every cohort member.
+	s.frames.Reset()
 	for _, pm := range s.repl.PlanTick() {
-		frame, err := protocol.Encode(pm.Msg)
-		if err != nil {
-			s.reg.Counter("encode.errors").Inc()
+		frame := s.frames.FrameFor(pm)
+		if frame == nil {
+			s.fm.encodeErrors.Inc()
 			continue
 		}
-		s.reg.Counter("sync.msgs.sent").Inc()
-		s.reg.Counter("sync.bytes.sent").Add(uint64(len(frame)))
+		s.fm.syncMsgsSent.Inc()
+		s.fm.syncBytesSent.Add(uint64(len(frame)))
 		if err := s.net.Send(s.cfg.Addr, netsim.Addr(pm.Peer), frame); err != nil {
-			s.reg.Counter("send.errors").Inc()
+			s.fm.sendErrors.Inc()
 		}
 	}
 }
 
 func (s *Server) edgeAddrs() []netsim.Addr {
-	out := make([]netsim.Addr, 0, len(s.edges))
+	out := s.edgeScratch[:0]
 	for a := range s.edges {
 		out = append(out, a)
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	s.edgeScratch = out
 	return out
 }
 
@@ -318,20 +360,20 @@ func (s *Server) edgeAddrs() []netsim.Addr {
 func (s *Server) HandleMessage(from netsim.Addr, payload []byte) {
 	msg, _, err := protocol.Decode(payload)
 	if err != nil {
-		s.reg.Counter("decode.errors").Inc()
+		s.fm.decodeErrors.Inc()
 		return
 	}
-	s.reg.Counter("sync.msgs.recv").Inc()
+	s.mSyncMsgsRecv.Inc()
 	switch m := msg.(type) {
 	case *protocol.Snapshot, *protocol.Delta:
 		ep, ok := s.edges[from]
 		if !ok {
-			s.reg.Counter("recv.unknown_peer").Inc()
+			s.fm.recvUnknown.Inc()
 			return
 		}
 		ackTick, applied := ep.replica.Apply(msg, s.sim.Now())
 		if !applied {
-			s.reg.Counter("recv.gaps").Inc()
+			s.fm.recvGaps.Inc()
 			return
 		}
 		if frame, err := protocol.Encode(&protocol.Ack{Tick: ackTick}); err == nil {
@@ -339,7 +381,7 @@ func (s *Server) HandleMessage(from netsim.Addr, payload []byte) {
 		}
 	case *protocol.Ack:
 		if err := s.repl.Ack(string(from), m.Tick); err != nil {
-			s.reg.Counter("recv.unknown_peer").Inc()
+			s.fm.recvUnknown.Inc()
 		}
 	case *protocol.PoseUpdate:
 		s.ingestClientPose(m)
@@ -395,8 +437,8 @@ func (s *Server) ingestClientPose(m *protocol.PoseUpdate) {
 		Seat: seatIdx,
 	})
 	s.grid.Update(m.Participant, p.Position)
-	s.reg.Counter("client.poses").Inc()
-	s.reg.Histogram("client.pose.age").Observe(s.sim.Now() - m.CapturedAt)
+	s.mClientPoses.Inc()
+	s.hClientAge.Observe(s.sim.Now() - m.CapturedAt)
 }
 
 func (s *Server) ingestClientExpression(m *protocol.ExpressionUpdate) {

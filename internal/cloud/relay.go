@@ -3,7 +3,6 @@ package cloud
 import (
 	"errors"
 	"fmt"
-	"math"
 	"time"
 
 	"metaclass/internal/core"
@@ -44,6 +43,13 @@ func (c *RelayConfig) applyDefaults() {
 	}
 }
 
+// relayClient is one locally-served client plus its per-tick interest set.
+type relayClient struct {
+	id   protocol.ParticipantID
+	addr netsim.Addr
+	iset *interest.Set
+}
+
 // Relay mirrors the cloud world for one region.
 type Relay struct {
 	cfg RelayConfig
@@ -53,11 +59,19 @@ type Relay struct {
 	upstream *core.Replica
 	mirror   *core.Store
 	repl     *core.Replicator
-	clients  map[protocol.ParticipantID]netsim.Addr
+	clients  map[protocol.ParticipantID]*relayClient
 	byAddr   map[netsim.Addr]protocol.ParticipantID
 	grid     *interest.Grid
 	reg      *metrics.Registry
-	cancel   func()
+
+	fm     fanoutMetrics
+	frames core.FrameCache
+	// scratch buffers reused every tick (valid only within one tick).
+	liveScratch     map[protocol.ParticipantID]bool
+	neighborScratch []protocol.ParticipantID
+	removeScratch   []protocol.ParticipantID
+
+	cancel func()
 }
 
 // NewRelay creates a relay and registers it on the network.
@@ -69,11 +83,14 @@ func NewRelay(sim *vclock.Sim, net *netsim.Network, cfg RelayConfig) (*Relay, er
 		net:      net,
 		upstream: core.NewReplica(cfg.InterpDelay, pose.Linear{}),
 		mirror:   core.NewStore(),
-		clients:  make(map[protocol.ParticipantID]netsim.Addr),
+		clients:  make(map[protocol.ParticipantID]*relayClient),
 		byAddr:   make(map[netsim.Addr]protocol.ParticipantID),
 		grid:     interest.NewGrid(4),
 		reg:      metrics.NewRegistry(string(cfg.Addr)),
+
+		liveScratch: make(map[protocol.ParticipantID]bool),
 	}
+	r.fm = newFanoutMetrics(r.reg)
 	r.repl = core.NewReplicator(r.mirror, cfg.Repl)
 	r.upstream.Latency = r.reg.Histogram("upstream.pose.age")
 	if !net.HasHost(cfg.Addr) {
@@ -97,30 +114,25 @@ func (r *Relay) AddClient(id protocol.ParticipantID, addr netsim.Addr) error {
 	if _, ok := r.clients[id]; ok {
 		return fmt.Errorf("%w: %d", ErrClientExists, id)
 	}
-	r.clients[id] = addr
+	c := &relayClient{id: id, addr: addr, iset: interest.NewSet()}
+	r.clients[id] = c
 	r.byAddr[addr] = id
-	return r.repl.AddPeer(string(addr), r.clientFilter(id))
+	return r.repl.AddPeer(string(addr), r.clientFilter(c))
 }
 
-func (r *Relay) clientFilter(clientID protocol.ParticipantID) core.FilterFunc {
+// clientFilter mirrors the cloud server's set-based interest gate: one Grid
+// spatial query plus squared-distance classification per client per tick,
+// instead of an all-pairs sqrt test per (client, source).
+func (r *Relay) clientFilter(c *relayClient) core.FilterFunc {
 	return func(id protocol.ParticipantID, tick uint64) bool {
-		if id == clientID {
+		if id == c.id {
 			return false
 		}
 		if r.cfg.Interest == nil {
 			return true
 		}
-		recvPos, ok := r.grid.Position(clientID)
-		if !ok {
-			return true
-		}
-		srcPos, ok := r.grid.Position(id)
-		if !ok {
-			return true
-		}
-		dx, dz := srcPos.X-recvPos.X, srcPos.Z-recvPos.Z
-		dist := math.Sqrt(dx*dx + dz*dz)
-		return interest.ShouldSend(r.cfg.Interest.Classify(id, dist), tick)
+		r.neighborScratch = c.iset.Refresh(r.grid, r.cfg.Interest, c.id, tick, r.neighborScratch)
+		return c.iset.Allows(r.grid, id)
 	}
 }
 
@@ -144,33 +156,38 @@ func (r *Relay) Stop() {
 
 func (r *Relay) tick() {
 	r.mirror.BeginTick()
-	st := r.upstream.Store()
-	live := make(map[protocol.ParticipantID]bool)
-	for _, id := range st.IDs() {
-		e, _ := st.Get(id)
+	live := r.liveScratch
+	clear(live)
+	r.upstream.Store().Range(func(id protocol.ParticipantID, e protocol.EntityState) {
 		live[id] = true
 		if r.mirror.UpsertIfChanged(e) {
 			pos, _ := e.Pose.Dequantize()
 			r.grid.Update(id, pos)
 		}
-	}
+	})
 	// Propagate upstream removals into the mirror.
-	for _, id := range r.mirror.IDs() {
+	r.removeScratch = r.removeScratch[:0]
+	r.mirror.Range(func(id protocol.ParticipantID, _ protocol.EntityState) {
 		if !live[id] {
-			r.mirror.Remove(id)
-			r.grid.Remove(id)
+			r.removeScratch = append(r.removeScratch, id)
 		}
+	})
+	for _, id := range r.removeScratch {
+		r.mirror.Remove(id)
+		r.grid.Remove(id)
 	}
+	// Fan out: encode once per cohort, send the shared frame to members.
+	r.frames.Reset()
 	for _, pm := range r.repl.PlanTick() {
-		frame, err := protocol.Encode(pm.Msg)
-		if err != nil {
-			r.reg.Counter("encode.errors").Inc()
+		frame := r.frames.FrameFor(pm)
+		if frame == nil {
+			r.fm.encodeErrors.Inc()
 			continue
 		}
-		r.reg.Counter("sync.msgs.sent").Inc()
-		r.reg.Counter("sync.bytes.sent").Add(uint64(len(frame)))
+		r.fm.syncMsgsSent.Inc()
+		r.fm.syncBytesSent.Add(uint64(len(frame)))
 		if err := r.net.Send(r.cfg.Addr, netsim.Addr(pm.Peer), frame); err != nil {
-			r.reg.Counter("send.errors").Inc()
+			r.fm.sendErrors.Inc()
 		}
 	}
 }
@@ -180,14 +197,14 @@ func (r *Relay) HandleMessage(from netsim.Addr, payload []byte) {
 	if from == r.cfg.Upstream {
 		msg, _, err := protocol.Decode(payload)
 		if err != nil {
-			r.reg.Counter("decode.errors").Inc()
+			r.fm.decodeErrors.Inc()
 			return
 		}
 		switch msg.(type) {
 		case *protocol.Snapshot, *protocol.Delta:
 			ackTick, applied := r.upstream.Apply(msg, r.sim.Now())
 			if !applied {
-				r.reg.Counter("recv.gaps").Inc()
+				r.fm.recvGaps.Inc()
 				return
 			}
 			if frame, err := protocol.Encode(&protocol.Ack{Tick: ackTick}); err == nil {
@@ -202,12 +219,12 @@ func (r *Relay) HandleMessage(from netsim.Addr, payload []byte) {
 	// streams) forwards upstream unchanged.
 	msg, _, err := protocol.Decode(payload)
 	if err != nil {
-		r.reg.Counter("decode.errors").Inc()
+		r.fm.decodeErrors.Inc()
 		return
 	}
 	if ack, ok := msg.(*protocol.Ack); ok {
 		if err := r.repl.Ack(string(from), ack.Tick); err != nil {
-			r.reg.Counter("recv.unknown_peer").Inc()
+			r.fm.recvUnknown.Inc()
 		}
 		return
 	}

@@ -1,0 +1,268 @@
+package core
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"metaclass/internal/protocol"
+)
+
+// referencePlanTick reimplements the seed's per-peer planner (one Delta or
+// Snapshot built independently for every peer, no cohorts) against a shadow
+// of the peer table. The cohort planner must emit byte-identical frames in
+// the same peer order.
+type refPeer struct {
+	ackTick      uint64
+	acked        bool
+	lastSnapshot uint64
+}
+
+func referencePlanTick(s *Store, cfg ReplConfig, peers map[string]*refPeer, order []string) []PeerMessage {
+	cfg.applyDefaults()
+	tick := s.Tick()
+	var out []PeerMessage
+	for _, id := range order {
+		p := peers[id]
+		wantSnapshot := !p.acked ||
+			tick-p.ackTick > cfg.MaxDeltaWindow ||
+			(cfg.SnapshotEvery > 0 && tick-p.lastSnapshot >= cfg.SnapshotEvery)
+		if wantSnapshot {
+			snap := s.Snapshot(nil)
+			p.lastSnapshot = tick
+			out = append(out, PeerMessage{Peer: id, Msg: snap})
+			continue
+		}
+		delta := s.DeltaSince(p.ackTick, nil)
+		if len(delta.Changed) == 0 && len(delta.Removed) == 0 {
+			continue
+		}
+		out = append(out, PeerMessage{Peer: id, Msg: delta})
+	}
+	return out
+}
+
+// TestCohortPlanMatchesPerPeerPlanBroadcast churns a store for hundreds of
+// ticks while peers ack at different cadences (including one that never
+// acks and a keyframe schedule), and asserts every tick that the cohort
+// planner sends exactly the frames — and therefore exactly the
+// sync.bytes.sent — the seed's per-peer planner would have sent.
+func TestCohortPlanMatchesPerPeerPlanBroadcast(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	cfg := ReplConfig{MaxDeltaWindow: 40, SnapshotEvery: 90}
+
+	src := NewStore()
+	repl := NewReplicator(src, cfg)
+	shadow := NewStore()
+	refPeers := make(map[string]*refPeer)
+	var order []string
+	for i := 0; i < 12; i++ {
+		id := fmt.Sprintf("peer-%02d", i)
+		if err := repl.AddPeer(id, nil); err != nil {
+			t.Fatal(err)
+		}
+		refPeers[id] = &refPeer{}
+		order = append(order, id)
+	}
+
+	var cohortBytes, refBytes uint64
+	for tick := 0; tick < 300; tick++ {
+		// Identical mutations on both stores.
+		mutate := func(s *Store) {
+			s.BeginTick()
+			for i := 0; i < 5; i++ {
+				id := protocol.ParticipantID(rng.Intn(30))
+				switch {
+				case rng.Float64() < 0.1:
+					s.Remove(id)
+				default:
+					s.Upsert(ent(id, rng.Float64()*10))
+				}
+			}
+		}
+		seed := rng.Int63()
+		rng = rand.New(rand.NewSource(seed))
+		mutate(src)
+		rng = rand.New(rand.NewSource(seed))
+		mutate(shadow)
+
+		plan := repl.PlanTick()
+		ref := referencePlanTick(shadow, cfg, refPeers, order)
+		if len(plan) != len(ref) {
+			t.Fatalf("tick %d: cohort planned %d messages, reference %d", tick, len(plan), len(ref))
+		}
+		for i := range plan {
+			if plan[i].Peer != ref[i].Peer {
+				t.Fatalf("tick %d: message %d to %s, reference to %s", tick, i, plan[i].Peer, ref[i].Peer)
+			}
+			got, err := protocol.Encode(plan[i].Msg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want, err := protocol.Encode(ref[i].Msg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(got, want) {
+				t.Fatalf("tick %d: frame to %s diverged from per-peer planning", tick, plan[i].Peer)
+			}
+			cohortBytes += uint64(len(got))
+			refBytes += uint64(len(want))
+		}
+
+		// Peers ack at mixed cadences; peer-00 never acks, exercising the
+		// un-acked snapshot path alongside delta cohorts.
+		for i, id := range order {
+			if i == 0 {
+				continue
+			}
+			if tick%(i+1) == 0 {
+				if err := repl.Ack(id, src.Tick()); err != nil {
+					t.Fatal(err)
+				}
+				refPeers[id].ackTick = shadow.Tick()
+				refPeers[id].acked = true
+			}
+		}
+	}
+	if cohortBytes != refBytes {
+		t.Fatalf("sync.bytes.sent diverged: cohort=%d per-peer=%d", cohortBytes, refBytes)
+	}
+	if cohortBytes == 0 {
+		t.Fatal("test drove no replication traffic")
+	}
+}
+
+// TestCohortSharing asserts the fan-out contract: unfiltered peers with the
+// same ack baseline share one Msg pointer and cohort ID, and filtered peers
+// get singleton cohorts.
+func TestCohortSharing(t *testing.T) {
+	s := NewStore()
+	r := NewReplicator(s, ReplConfig{})
+	for _, id := range []string{"a", "b", "c"} {
+		if err := r.AddPeer(id, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	evens := func(id protocol.ParticipantID, _ uint64) bool { return id%2 == 0 }
+	if err := r.AddPeer("filtered", evens); err != nil {
+		t.Fatal(err)
+	}
+
+	s.BeginTick()
+	for i := 1; i <= 4; i++ {
+		s.Upsert(ent(protocol.ParticipantID(i), 0))
+	}
+
+	// First contact: all unfiltered peers share one snapshot cohort.
+	plan := r.PlanTick()
+	if len(plan) != 4 {
+		t.Fatalf("planned %d messages, want 4", len(plan))
+	}
+	byPeer := map[string]PeerMessage{}
+	for _, pm := range plan {
+		byPeer[pm.Peer] = pm
+	}
+	if byPeer["a"].Msg != byPeer["b"].Msg || byPeer["b"].Msg != byPeer["c"].Msg {
+		t.Error("unfiltered snapshot peers did not share one message")
+	}
+	if byPeer["a"].Cohort != byPeer["b"].Cohort || byPeer["b"].Cohort != byPeer["c"].Cohort {
+		t.Error("unfiltered snapshot peers did not share one cohort")
+	}
+	if byPeer["filtered"].Cohort == byPeer["a"].Cohort {
+		t.Error("filtered peer shared the broadcast cohort")
+	}
+	if snap := byPeer["filtered"].Msg.(*protocol.Snapshot); len(snap.Entities) != 2 {
+		t.Errorf("filtered snapshot has %d entities, want 2", len(snap.Entities))
+	}
+
+	// a and b ack the same tick, c stays one behind: two delta cohorts.
+	_ = r.Ack("a", s.Tick())
+	_ = r.Ack("b", s.Tick())
+	_ = r.Ack("filtered", s.Tick())
+	cTick := s.Tick()
+	s.BeginTick()
+	s.Upsert(ent(1, 1))
+	_ = r.Ack("c", cTick) // c acks the older tick after a/b move ahead
+	_ = r.PlanTick()
+	_ = r.Ack("a", s.Tick())
+	_ = r.Ack("b", s.Tick())
+	s.BeginTick()
+	s.Upsert(ent(2, 2))
+	plan = r.PlanTick()
+	byPeer = map[string]PeerMessage{}
+	for _, pm := range plan {
+		byPeer[pm.Peer] = pm
+	}
+	if byPeer["a"].Msg != byPeer["b"].Msg {
+		t.Error("same-ack peers a/b did not share a delta")
+	}
+	if byPeer["c"].Msg == byPeer["a"].Msg {
+		t.Error("stale peer c shared the fresh cohort's delta")
+	}
+	da := byPeer["a"].Msg.(*protocol.Delta)
+	dc := byPeer["c"].Msg.(*protocol.Delta)
+	if da.BaseTick == dc.BaseTick {
+		t.Errorf("expected distinct ack baselines, both %d", da.BaseTick)
+	}
+}
+
+// TestPlanReuseInvalidation: the plan scratch and cached peer list must
+// stay correct across peer membership changes.
+func TestPlanReuseInvalidation(t *testing.T) {
+	s := NewStore()
+	r := NewReplicator(s, ReplConfig{})
+	_ = r.AddPeer("a", nil)
+	_ = r.AddPeer("b", nil)
+	s.BeginTick()
+	s.Upsert(ent(1, 0))
+	if got := len(r.PlanTick()); got != 2 {
+		t.Fatalf("planned %d, want 2", got)
+	}
+	if err := r.RemovePeer("a"); err != nil {
+		t.Fatal(err)
+	}
+	_ = r.AddPeer("z", nil)
+	s.BeginTick()
+	s.Upsert(ent(1, 1))
+	plan := r.PlanTick()
+	var peers []string
+	for _, pm := range plan {
+		peers = append(peers, pm.Peer)
+	}
+	if len(peers) != 2 || peers[0] != "b" || peers[1] != "z" {
+		t.Fatalf("plan peers = %v, want [b z]", peers)
+	}
+	if got := r.Peers(); len(got) != 2 || got[0] != "b" || got[1] != "z" {
+		t.Fatalf("Peers() = %v, want [b z]", got)
+	}
+}
+
+// BenchmarkPlanTickBroadcast100Peers measures the cohort win: 100 unfiltered
+// peers sharing one ack baseline cost one delta build, not 100.
+func BenchmarkPlanTickBroadcast100Peers(b *testing.B) {
+	s := NewStore()
+	r := NewReplicator(s, ReplConfig{})
+	for i := 0; i < 100; i++ {
+		_ = r.AddPeer(fmt.Sprintf("peer-%03d", i), nil)
+	}
+	s.BeginTick()
+	for i := 0; i < 100; i++ {
+		s.Upsert(ent(protocol.ParticipantID(i), float64(i)))
+	}
+	_ = r.PlanTick()
+	for _, p := range r.Peers() {
+		_ = r.Ack(p, s.Tick())
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.BeginTick()
+		s.Upsert(ent(protocol.ParticipantID(i%100), float64(i)))
+		msgs := r.PlanTick()
+		for _, m := range msgs {
+			_ = r.Ack(m.Peer, s.Tick())
+		}
+	}
+}

@@ -1,0 +1,47 @@
+package core
+
+import "metaclass/internal/protocol"
+
+// encodeFailed marks a cohort whose payload could not be encoded (a real
+// frame is never empty).
+var encodeFailed = []byte{}
+
+// FrameCache turns a PlanTick result into wire frames, encoding each
+// distinct cohort payload exactly once per tick and handing the identical
+// frame to every cohort member. The cohort->frame table is recycled across
+// ticks; the frames themselves are freshly allocated (the network layer
+// retains them until delivery).
+type FrameCache struct {
+	frames [][]byte
+}
+
+// Reset clears the table for a new tick. Call before iterating a new
+// PlanTick result.
+func (c *FrameCache) Reset() {
+	for i := range c.frames {
+		c.frames[i] = nil
+	}
+	c.frames = c.frames[:0]
+}
+
+// FrameFor returns the encoded frame for pm, encoding its cohort's payload
+// on first use this tick. It returns nil when encoding failed (callers
+// should count an encode error per affected peer, matching per-peer
+// encoding semantics).
+func (c *FrameCache) FrameFor(pm PeerMessage) []byte {
+	for pm.Cohort >= len(c.frames) {
+		c.frames = append(c.frames, nil)
+	}
+	frame := c.frames[pm.Cohort]
+	if frame == nil {
+		var err error
+		if frame, err = protocol.Encode(pm.Msg); err != nil {
+			frame = encodeFailed
+		}
+		c.frames[pm.Cohort] = frame
+	}
+	if len(frame) == 0 {
+		return nil
+	}
+	return frame
+}

@@ -39,23 +39,57 @@ func (c *ReplConfig) applyDefaults() {
 type peerState struct {
 	ackTick      uint64
 	acked        bool
-	filter       FilterFunc
 	lastSnapshot uint64
 	snapshots    uint64
 	deltas       uint64
+	// boundFilter adapts the peer's FilterFunc to the single-argument Store
+	// signature (nil when the peer is unfiltered). It is built once at
+	// AddPeer — reading the replicator's current plan tick — so PlanTick
+	// allocates no closures.
+	boundFilter func(protocol.ParticipantID) bool
+}
+
+// deltaCohort memoizes one distinct delta built during a PlanTick. A nil msg
+// records that the delta against this ack baseline was empty.
+type deltaCohort struct {
+	msg    *protocol.Delta
+	cohort int
 }
 
 // Replicator plans per-peer replication messages from a Store.
+//
+// Peers with no interest filter that share the same ack baseline form an
+// ack-cohort: PlanTick builds each distinct Snapshot/Delta once per cohort
+// and hands the same Message to every member, tagged with a cohort ID so
+// callers can also encode each payload exactly once (see PeerMessage.Cohort).
 type Replicator struct {
 	store *Store
 	cfg   ReplConfig
 	peers map[string]*peerState
+
+	// planTick is the store tick of the PlanTick in progress; bound filters
+	// read it instead of capturing the tick per call.
+	planTick uint64
+
+	// sortedIDs caches the sorted peer-ID slice between membership changes.
+	sortedIDs []string
+	idsDirty  bool
+
+	// plan and deltaCohorts are per-tick scratch, reused across PlanTick
+	// calls to keep the hot path allocation-free.
+	plan         []PeerMessage
+	deltaCohorts map[uint64]deltaCohort
 }
 
 // NewReplicator creates a replicator over store.
 func NewReplicator(store *Store, cfg ReplConfig) *Replicator {
 	cfg.applyDefaults()
-	return &Replicator{store: store, cfg: cfg, peers: make(map[string]*peerState)}
+	return &Replicator{
+		store:        store,
+		cfg:          cfg,
+		peers:        make(map[string]*peerState),
+		deltaCohorts: make(map[uint64]deltaCohort),
+	}
 }
 
 // AddPeer registers a downstream peer. filter may be nil (no interest
@@ -65,7 +99,12 @@ func (r *Replicator) AddPeer(id string, filter FilterFunc) error {
 	if _, ok := r.peers[id]; ok {
 		return fmt.Errorf("%w: %s", ErrPeerExists, id)
 	}
-	r.peers[id] = &peerState{filter: filter}
+	p := &peerState{}
+	if filter != nil {
+		p.boundFilter = func(eid protocol.ParticipantID) bool { return filter(eid, r.planTick) }
+	}
+	r.peers[id] = p
+	r.idsDirty = true
 	return nil
 }
 
@@ -75,6 +114,7 @@ func (r *Replicator) RemovePeer(id string) error {
 		return fmt.Errorf("%w: %s", ErrUnknownPeer, id)
 	}
 	delete(r.peers, id)
+	r.idsDirty = true
 	return nil
 }
 
@@ -84,13 +124,25 @@ func (r *Replicator) HasPeer(id string) bool {
 	return ok
 }
 
+// sortedPeerIDs returns the cached sorted peer-ID slice, rebuilding it only
+// after membership changes.
+func (r *Replicator) sortedPeerIDs() []string {
+	if r.idsDirty {
+		r.sortedIDs = r.sortedIDs[:0]
+		for id := range r.peers {
+			r.sortedIDs = append(r.sortedIDs, id)
+		}
+		sort.Strings(r.sortedIDs)
+		r.idsDirty = false
+	}
+	return r.sortedIDs
+}
+
 // Peers returns registered peer IDs, sorted.
 func (r *Replicator) Peers() []string {
-	out := make([]string, 0, len(r.peers))
-	for id := range r.peers {
-		out = append(out, id)
-	}
-	sort.Strings(out)
+	ids := r.sortedPeerIDs()
+	out := make([]string, len(ids))
+	copy(out, ids)
 	return out
 }
 
@@ -123,10 +175,15 @@ func (r *Replicator) prune() {
 	r.store.PruneRemovals(min)
 }
 
-// PeerMessage is one planned transmission.
+// PeerMessage is one planned transmission. Cohort identifies the distinct
+// message within one PlanTick result: peers sharing a cohort carry the same
+// Msg pointer, so a caller can encode the payload once per cohort and send
+// the identical frame to every member. Cohort IDs are dense and ascend in
+// first-use order.
 type PeerMessage struct {
-	Peer string
-	Msg  protocol.Message
+	Peer   string
+	Msg    protocol.Message
+	Cohort int
 }
 
 // PlanTick builds the replication message for every peer at the store's
@@ -134,44 +191,79 @@ type PeerMessage struct {
 // ack is older than MaxDeltaWindow, or a periodic keyframe is due;
 // otherwise a Delta since their ack. Peers with nothing to send (empty
 // delta) are skipped.
+//
+// Unfiltered peers are grouped into ack-cohorts: one shared Snapshot for all
+// snapshot-due peers and one shared Delta per distinct ack baseline. Peers
+// with an interest filter fall back to per-peer builds (their payloads are
+// peer-specific by construction) and get singleton cohorts.
+//
+// The returned slice and the Messages it shares are valid until the next
+// PlanTick call; callers must not mutate shared Messages.
 func (r *Replicator) PlanTick() []PeerMessage {
 	tick := r.store.Tick()
-	ids := make([]string, 0, len(r.peers))
-	for id := range r.peers {
-		ids = append(ids, id)
-	}
-	sort.Strings(ids)
+	r.planTick = tick
 
-	out := make([]PeerMessage, 0, len(ids))
-	for _, id := range ids {
+	out := r.plan[:0]
+	var sharedSnap *protocol.Snapshot
+	sharedSnapCohort := 0
+	clear(r.deltaCohorts)
+	nextCohort := 0
+
+	for _, id := range r.sortedPeerIDs() {
 		p := r.peers[id]
 		wantSnapshot := !p.acked ||
 			tick-p.ackTick > r.cfg.MaxDeltaWindow ||
 			(r.cfg.SnapshotEvery > 0 && tick-p.lastSnapshot >= r.cfg.SnapshotEvery)
 		if wantSnapshot {
-			var filter func(protocol.ParticipantID) bool
-			if p.filter != nil {
-				f := p.filter
-				filter = func(eid protocol.ParticipantID) bool { return f(eid, tick) }
+			var snap *protocol.Snapshot
+			var cohort int
+			if p.boundFilter != nil {
+				snap = r.store.Snapshot(p.boundFilter)
+				cohort = nextCohort
+				nextCohort++
+			} else {
+				if sharedSnap == nil {
+					sharedSnap = r.store.Snapshot(nil)
+					sharedSnapCohort = nextCohort
+					nextCohort++
+				}
+				snap = sharedSnap
+				cohort = sharedSnapCohort
 			}
-			snap := r.store.Snapshot(filter)
 			p.lastSnapshot = tick
 			p.snapshots++
-			out = append(out, PeerMessage{Peer: id, Msg: snap})
+			out = append(out, PeerMessage{Peer: id, Msg: snap, Cohort: cohort})
 			continue
 		}
-		var filter func(protocol.ParticipantID) bool
-		if p.filter != nil {
-			f := p.filter
-			filter = func(eid protocol.ParticipantID) bool { return f(eid, tick) }
+		if p.boundFilter != nil {
+			delta := r.store.DeltaSince(p.ackTick, p.boundFilter)
+			if len(delta.Changed) == 0 && len(delta.Removed) == 0 {
+				continue
+			}
+			p.deltas++
+			out = append(out, PeerMessage{Peer: id, Msg: delta, Cohort: nextCohort})
+			nextCohort++
+			continue
 		}
-		delta := r.store.DeltaSince(p.ackTick, filter)
-		if len(delta.Changed) == 0 && len(delta.Removed) == 0 {
+		dc, ok := r.deltaCohorts[p.ackTick]
+		if !ok {
+			delta := r.store.DeltaSince(p.ackTick, nil)
+			if len(delta.Changed) == 0 && len(delta.Removed) == 0 {
+				delta = nil // memoize emptiness for cohort mates
+			} else {
+				dc.cohort = nextCohort
+				nextCohort++
+			}
+			dc.msg = delta
+			r.deltaCohorts[p.ackTick] = dc
+		}
+		if dc.msg == nil {
 			continue
 		}
 		p.deltas++
-		out = append(out, PeerMessage{Peer: id, Msg: delta})
+		out = append(out, PeerMessage{Peer: id, Msg: dc.msg, Cohort: dc.cohort})
 	}
+	r.plan = out
 	return out
 }
 

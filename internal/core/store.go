@@ -16,7 +16,7 @@ package core
 
 import (
 	"bytes"
-	"sort"
+	"slices"
 
 	"metaclass/internal/protocol"
 )
@@ -37,6 +37,11 @@ type Store struct {
 	tick     uint64
 	entities map[protocol.ParticipantID]*record
 	removals []removal // ascending by tick
+
+	// ids caches the ascending participant-ID slice between membership
+	// changes, so per-tick Snapshot/DeltaSince scans allocate nothing.
+	ids      []protocol.ParticipantID
+	idsDirty bool
 }
 
 // NewStore creates an empty store at tick zero.
@@ -61,6 +66,7 @@ func (s *Store) Upsert(e protocol.EntityState) {
 	if !ok {
 		r = &record{}
 		s.entities[e.Participant] = r
+		s.idsDirty = true
 	}
 	r.state = e
 	r.changedTick = s.tick
@@ -106,6 +112,7 @@ func (s *Store) Remove(id protocol.ParticipantID) bool {
 		return false
 	}
 	delete(s.entities, id)
+	s.idsDirty = true
 	s.removals = append(s.removals, removal{id: id, tick: s.tick})
 	return true
 }
@@ -122,21 +129,47 @@ func (s *Store) Get(id protocol.ParticipantID) (protocol.EntityState, bool) {
 // Len returns the number of live entities.
 func (s *Store) Len() int { return len(s.entities) }
 
-// IDs returns all live participant IDs in ascending order.
-func (s *Store) IDs() []protocol.ParticipantID {
-	out := make([]protocol.ParticipantID, 0, len(s.entities))
-	for id := range s.entities {
-		out = append(out, id)
+// sortedIDs returns the cached ascending ID slice, rebuilding it only after
+// membership changes. The result is owned by the store and valid until the
+// next Upsert of a new entity, Remove, or snapshot/delta application.
+func (s *Store) sortedIDs() []protocol.ParticipantID {
+	if s.idsDirty {
+		s.ids = s.ids[:0]
+		for id := range s.entities {
+			s.ids = append(s.ids, id)
+		}
+		slices.Sort(s.ids)
+		s.idsDirty = false
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return s.ids
+}
+
+// IDs returns all live participant IDs in ascending order. The slice is a
+// copy; callers may mutate the store while iterating it.
+func (s *Store) IDs() []protocol.ParticipantID {
+	ids := s.sortedIDs()
+	out := make([]protocol.ParticipantID, len(ids))
+	copy(out, ids)
 	return out
+}
+
+// Range calls fn for every live entity in ascending participant order
+// without allocating. fn must not mutate the store.
+func (s *Store) Range(fn func(id protocol.ParticipantID, e protocol.EntityState)) {
+	for _, id := range s.sortedIDs() {
+		fn(id, s.entities[id].state)
+	}
 }
 
 // Snapshot builds a full-state message at the current tick. If filter is
 // non-nil, only entities it admits are included.
 func (s *Store) Snapshot(filter func(protocol.ParticipantID) bool) *protocol.Snapshot {
+	ids := s.sortedIDs()
 	msg := &protocol.Snapshot{Tick: s.tick}
-	for _, id := range s.IDs() {
+	if filter == nil {
+		msg.Entities = make([]protocol.EntityState, 0, len(ids))
+	}
+	for _, id := range ids {
 		if filter != nil && !filter(id) {
 			continue
 		}
@@ -149,21 +182,38 @@ func (s *Store) Snapshot(filter func(protocol.ParticipantID) bool) *protocol.Sna
 // If filter is non-nil it gates which changed entities are included
 // (interest management); removals are never filtered — every peer must
 // learn about departures.
+// DeltaSince may invoke filter twice per candidate (a sizing pass then a
+// fill pass), so filters must be pure within a tick.
 func (s *Store) DeltaSince(base uint64, filter func(protocol.ParticipantID) bool) *protocol.Delta {
+	ids := s.sortedIDs()
 	msg := &protocol.Delta{BaseTick: base, Tick: s.tick}
-	for _, id := range s.IDs() {
-		r := s.entities[id]
-		if r.changedTick <= base {
-			continue
+	changed := 0
+	for _, id := range ids {
+		if s.entities[id].changedTick > base && (filter == nil || filter(id)) {
+			changed++
 		}
-		if filter != nil && !filter(id) {
-			continue
-		}
-		msg.Changed = append(msg.Changed, r.state)
 	}
+	if changed > 0 {
+		msg.Changed = make([]protocol.EntityState, 0, changed)
+		for _, id := range ids {
+			r := s.entities[id]
+			if r.changedTick > base && (filter == nil || filter(id)) {
+				msg.Changed = append(msg.Changed, r.state)
+			}
+		}
+	}
+	removed := 0
 	for _, rm := range s.removals {
 		if rm.tick > base {
-			msg.Removed = append(msg.Removed, rm.id)
+			removed++
+		}
+	}
+	if removed > 0 {
+		msg.Removed = make([]protocol.ParticipantID, 0, removed)
+		for _, rm := range s.removals {
+			if rm.tick > base {
+				msg.Removed = append(msg.Removed, rm.id)
+			}
 		}
 	}
 	return msg
@@ -195,6 +245,7 @@ func (s *Store) ApplySnapshot(snap *protocol.Snapshot) {
 	}
 	s.tick = snap.Tick
 	s.removals = nil
+	s.idsDirty = true
 }
 
 // ApplyDelta merges a delta into the store (receiver side). It returns false
@@ -211,10 +262,21 @@ func (s *Store) ApplyDelta(d *protocol.Delta) bool {
 	}
 	s.tick = d.Tick
 	for _, e := range d.Changed {
+		if rec, ok := s.entities[e.Participant]; ok {
+			// Reuse the existing record: replicas apply a delta per peer per
+			// tick, so this path must not allocate for known entities.
+			rec.state = e
+			rec.changedTick = d.Tick
+			continue
+		}
 		s.entities[e.Participant] = &record{state: e, changedTick: d.Tick}
+		s.idsDirty = true
 	}
 	for _, id := range d.Removed {
-		delete(s.entities, id)
+		if _, ok := s.entities[id]; ok {
+			delete(s.entities, id)
+			s.idsDirty = true
+		}
 	}
 	return true
 }

@@ -15,6 +15,7 @@ package edge
 import (
 	"errors"
 	"fmt"
+	"slices"
 	"sort"
 	"time"
 
@@ -107,6 +108,18 @@ type Server struct {
 	avatars *avatar.Registry
 	reg     *metrics.Registry
 
+	// Hot-path caches: metric handles resolved once, per-tick scratch
+	// slices reused, and the cohort frame table for encode-once fan-out.
+	mSyncMsgsSent  *metrics.Counter
+	mSyncBytesSent *metrics.Counter
+	mSyncMsgsRecv  *metrics.Counter
+	mEncodeErrors  *metrics.Counter
+	mSendErrors    *metrics.Counter
+	mDecodeErrors  *metrics.Counter
+	mLocalDespawn  *metrics.Counter
+	idScratch      []protocol.ParticipantID
+	frames         core.FrameCache
+
 	cancel  func()
 	started bool
 }
@@ -130,6 +143,13 @@ func New(sim *vclock.Sim, net *netsim.Network, cfg Config) (*Server, error) {
 		avatars: avatar.NewRegistry(),
 		reg:     metrics.NewRegistry(string(cfg.Addr)),
 	}
+	s.mSyncMsgsSent = s.reg.Counter("sync.msgs.sent")
+	s.mSyncBytesSent = s.reg.Counter("sync.bytes.sent")
+	s.mSyncMsgsRecv = s.reg.Counter("sync.msgs.recv")
+	s.mEncodeErrors = s.reg.Counter("encode.errors")
+	s.mSendErrors = s.reg.Counter("send.errors")
+	s.mDecodeErrors = s.reg.Counter("decode.errors")
+	s.mLocalDespawn = s.reg.Counter("local.despawned")
 	s.repl = core.NewReplicator(s.local, cfg.Repl)
 	if !net.HasHost(cfg.Addr) {
 		if err := net.AddHost(cfg.Addr, s); err != nil {
@@ -288,17 +308,18 @@ func (s *Server) tick() {
 	s.local.BeginTick()
 
 	// Author local participants from fused sensor state.
-	ids := make([]protocol.ParticipantID, 0, len(s.fusers))
+	ids := s.idScratch[:0]
 	for id := range s.fusers {
 		ids = append(ids, id)
 	}
-	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	slices.Sort(ids)
+	s.idScratch = ids
 	for _, id := range ids {
 		f := s.fusers[id]
 		if f.Stale(now, s.cfg.StaleAfter) {
 			if _, present := s.local.Get(id); present {
 				s.local.Remove(id)
-				s.reg.Counter("local.despawned").Inc()
+				s.mLocalDespawn.Inc()
 			}
 			continue
 		}
@@ -321,17 +342,19 @@ func (s *Server) tick() {
 		})
 	}
 
-	// Replicate to peers.
+	// Replicate to peers: encode once per cohort (both sync partners share
+	// the same frame whenever their ack baselines coincide).
+	s.frames.Reset()
 	for _, pm := range s.repl.PlanTick() {
-		frame, err := protocol.Encode(pm.Msg)
-		if err != nil {
-			s.reg.Counter("encode.errors").Inc()
+		frame := s.frames.FrameFor(pm)
+		if frame == nil {
+			s.mEncodeErrors.Inc()
 			continue
 		}
-		s.reg.Counter("sync.msgs.sent").Inc()
-		s.reg.Counter("sync.bytes.sent").Add(uint64(len(frame)))
+		s.mSyncMsgsSent.Inc()
+		s.mSyncBytesSent.Add(uint64(len(frame)))
 		if err := s.net.Send(s.cfg.Addr, netsim.Addr(pm.Peer), frame); err != nil {
-			s.reg.Counter("send.errors").Inc()
+			s.mSendErrors.Inc()
 		}
 	}
 }
@@ -340,10 +363,10 @@ func (s *Server) tick() {
 func (s *Server) HandleMessage(from netsim.Addr, payload []byte) {
 	msg, _, err := protocol.Decode(payload)
 	if err != nil {
-		s.reg.Counter("decode.errors").Inc()
+		s.mDecodeErrors.Inc()
 		return
 	}
-	s.reg.Counter("sync.msgs.recv").Inc()
+	s.mSyncMsgsRecv.Inc()
 	switch m := msg.(type) {
 	case *protocol.Snapshot, *protocol.Delta:
 		rp, ok := s.peers[from]

@@ -8,7 +8,7 @@ package interest
 
 import (
 	"math"
-	"sort"
+	"slices"
 
 	"metaclass/internal/mathx"
 	"metaclass/internal/protocol"
@@ -93,26 +93,36 @@ func (g *Grid) Position(id protocol.ParticipantID) (mathx.Vec3, bool) {
 // sorted by ID for determinism. The center entity itself is included if
 // indexed and in range.
 func (g *Grid) QueryRadius(center mathx.Vec3, radius float64) []protocol.ParticipantID {
+	return g.Neighbors(center, radius, nil)
+}
+
+// Neighbors appends all entities within radius of center (2D, X/Z plane) to
+// buf and returns the extended slice, sorted by ID for determinism. The
+// center entity itself is included if indexed and in range. Passing a reused
+// buf (sliced to length zero) makes repeated queries allocation-free; the
+// spatial hash visits only the cells overlapping the query square, so cost
+// scales with local density instead of total population.
+func (g *Grid) Neighbors(center mathx.Vec3, radius float64, buf []protocol.ParticipantID) []protocol.ParticipantID {
 	if radius < 0 {
-		return nil
+		return buf
 	}
+	base := len(buf)
 	r2 := radius * radius
 	lo := g.key(center.Sub(mathx.V3(radius, 0, radius)))
 	hi := g.key(center.Add(mathx.V3(radius, 0, radius)))
-	var out []protocol.ParticipantID
 	for cx := lo[0]; cx <= hi[0]; cx++ {
 		for cz := lo[1]; cz <= hi[1]; cz++ {
 			for _, id := range g.grid[[2]int32{cx, cz}] {
 				p := g.pos[id]
 				dx, dz := p.X-center.X, p.Z-center.Z
 				if dx*dx+dz*dz <= r2 {
-					out = append(out, id)
+					buf = append(buf, id)
 				}
 			}
 		}
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
-	return out
+	slices.Sort(buf[base:])
+	return buf
 }
 
 // Tier classifies how relevant a source entity is to a receiver.
@@ -205,6 +215,26 @@ func (p *Policy) Classify(source protocol.ParticipantID, distance float64) Tier 
 	}
 }
 
+// ClassifySq is Classify taking the squared distance, letting hot fan-out
+// paths skip the sqrt of a Euclidean distance computation entirely.
+func (p *Policy) ClassifySq(source protocol.ParticipantID, distSq float64) Tier {
+	if p.Pinned[source] {
+		return TierFocus
+	}
+	switch {
+	case distSq <= p.FocusRadius*p.FocusRadius:
+		return TierFocus
+	case distSq <= p.NearRadius*p.NearRadius:
+		return TierNear
+	case distSq <= p.FarRadius*p.FarRadius:
+		return TierFar
+	case distSq <= p.CullRadius*p.CullRadius:
+		return TierAmbient
+	default:
+		return TierCulled
+	}
+}
+
 // ShouldSend reports whether a source in tier t should be included in the
 // update sent at the given tick.
 func ShouldSend(t Tier, tick uint64) bool {
@@ -213,6 +243,69 @@ func ShouldSend(t Tier, tick uint64) bool {
 		return false
 	}
 	return tick%d == 0
+}
+
+// Set is a per-receiver cache of the sources whose update is due at the
+// current tick, rebuilt at most once per tick from one spatial query. It
+// replaces an all-pairs distance test per (receiver, source) with a
+// Neighbors query plus squared-distance classification, then answers each
+// source in O(1). Servers keep one Set per subscribed client.
+type Set struct {
+	allowed  map[protocol.ParticipantID]bool
+	allowAll bool
+	tick     uint64
+}
+
+// NewSet returns an empty, ready-to-refresh set.
+func NewSet() *Set {
+	return &Set{allowed: make(map[protocol.ParticipantID]bool)}
+}
+
+// Refresh rebuilds the set for receiver recv at tick, at most once per tick
+// (ticks start at 1; zero means never built). While recv is not indexed in
+// g the set admits everything — a just-joined receiver needs the full world
+// until placed. scratch is the caller's reusable neighbor buffer; the grown
+// buffer is returned for the caller to keep.
+func (s *Set) Refresh(g *Grid, p *Policy, recv protocol.ParticipantID, tick uint64, scratch []protocol.ParticipantID) []protocol.ParticipantID {
+	if s.tick == tick {
+		return scratch
+	}
+	s.tick = tick
+	recvPos, ok := g.Position(recv)
+	if !ok {
+		s.allowAll = true
+		return scratch
+	}
+	s.allowAll = false
+	clear(s.allowed)
+	scratch = g.Neighbors(recvPos, p.CullRadius, scratch[:0])
+	for _, id := range scratch {
+		pos, _ := g.Position(id)
+		dx, dz := pos.X-recvPos.X, pos.Z-recvPos.Z
+		if ShouldSend(p.ClassifySq(id, dx*dx+dz*dz), tick) {
+			s.allowed[id] = true
+		}
+	}
+	// Pinned sources are focus-tier regardless of distance.
+	for id := range p.Pinned {
+		if _, indexed := g.Position(id); indexed {
+			s.allowed[id] = true
+		}
+	}
+	return scratch
+}
+
+// Allows reports whether source id should be sent this tick. Sources not
+// indexed in g bypass interest management (the caller cannot place them).
+// Refresh must have been called for the current tick.
+func (s *Set) Allows(g *Grid, id protocol.ParticipantID) bool {
+	if s.allowAll {
+		return true
+	}
+	if _, indexed := g.Position(id); !indexed {
+		return true
+	}
+	return s.allowed[id]
 }
 
 // Plan computes, for a receiver at recv, the set of source IDs to include at
@@ -226,8 +319,7 @@ func Plan(g *Grid, p *Policy, recv protocol.ParticipantID, recvPos mathx.Vec3, t
 		}
 		pos, _ := g.Position(id)
 		dx, dz := pos.X-recvPos.X, pos.Z-recvPos.Z
-		dist := math.Sqrt(dx*dx + dz*dz)
-		if ShouldSend(p.Classify(id, dist), tick) {
+		if ShouldSend(p.ClassifySq(id, dx*dx+dz*dz), tick) {
 			out = append(out, id)
 		}
 	}
@@ -250,6 +342,6 @@ func Plan(g *Grid, p *Policy, recv protocol.ParticipantID, recvPos mathx.Vec3, t
 			out = append(out, id)
 		}
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	slices.Sort(out)
 	return out
 }

@@ -237,3 +237,65 @@ func BenchmarkPlan1000(b *testing.B) {
 		Plan(g, p, 0, pos, uint64(i))
 	}
 }
+
+func TestClassifySqMatchesClassify(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	p := NewPolicy()
+	p.Pin(42)
+	for i := 0; i < 5000; i++ {
+		id := protocol.ParticipantID(rng.Intn(100))
+		d := rng.Float64() * 80
+		if got, want := p.ClassifySq(id, d*d), p.Classify(id, d); got != want {
+			t.Fatalf("ClassifySq(%d, %v²) = %v, Classify = %v", id, d, got, want)
+		}
+	}
+	// Exact tier boundaries.
+	for _, d := range []float64{0, 3, 8, 20, 60, 60.0001} {
+		if got, want := p.ClassifySq(1, d*d), p.Classify(1, d); got != want {
+			t.Fatalf("boundary %v: ClassifySq = %v, Classify = %v", d, got, want)
+		}
+	}
+}
+
+func TestNeighborsMatchesQueryRadius(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	g := NewGrid(4)
+	for i := 0; i < 500; i++ {
+		g.Update(protocol.ParticipantID(i), mathx.V3(rng.Float64()*100-50, 0, rng.Float64()*100-50))
+	}
+	var buf []protocol.ParticipantID
+	for trial := 0; trial < 50; trial++ {
+		center := mathx.V3(rng.Float64()*100-50, 0, rng.Float64()*100-50)
+		radius := rng.Float64() * 30
+		want := g.QueryRadius(center, radius)
+		buf = g.Neighbors(center, radius, buf[:0])
+		if len(want) != len(buf) {
+			t.Fatalf("trial %d: Neighbors found %d, QueryRadius %d", trial, len(buf), len(want))
+		}
+		for i := range want {
+			if want[i] != buf[i] {
+				t.Fatalf("trial %d: order diverged at %d: %v vs %v", trial, i, buf[i], want[i])
+			}
+		}
+	}
+	// A reused buffer with leftover capacity must not leak stale IDs.
+	buf = g.Neighbors(mathx.V3(1000, 0, 1000), 1, buf[:0])
+	if len(buf) != 0 {
+		t.Errorf("query far away returned %v", buf)
+	}
+}
+
+func BenchmarkNeighbors1000(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	g := NewGrid(8)
+	for i := 0; i < 1000; i++ {
+		g.Update(protocol.ParticipantID(i), mathx.V3(rng.Float64()*400-200, 0, rng.Float64()*400-200))
+	}
+	pos, _ := g.Position(0)
+	var buf []protocol.ParticipantID
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf = g.Neighbors(pos, 60, buf[:0])
+	}
+}

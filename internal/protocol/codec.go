@@ -1,29 +1,94 @@
 package protocol
 
 import (
+	"encoding/binary"
 	"fmt"
 	"hash/crc32"
+	"sync"
 )
 
 // headerSize is magic(2) + version(1) + type(1); the length varint and
 // trailing crc32(4) are variable/fixed additions.
 const headerSize = 4
 
-// Encode serializes msg into a self-delimiting, checksummed frame.
-func Encode(msg Message) ([]byte, error) {
-	var payload Writer
-	msg.encode(&payload)
-	if payload.Len() > MaxPayload {
-		return nil, fmt.Errorf("%w: %d bytes", ErrTooLarge, payload.Len())
-	}
-	w := NewWriterSize(headerSize + payload.Len() + 10)
+// maxLenVarint is the widest length varint a legal frame can carry:
+// MaxPayload (1<<20) fits in 3 varint bytes. The encoder reserves this many
+// bytes for the length field and shifts the payload down when the actual
+// varint is shorter, keeping the wire format's minimal-varint encoding.
+const maxLenVarint = 3
+
+// lenReserve is the placeholder written where the length varint will go.
+var lenReserve [maxLenVarint]byte
+
+// writerPool recycles encode scratch so steady-state encoding does not
+// allocate intermediate buffers. Writers grow to the largest frame seen and
+// are reused across all messages via the goroutine-safe pool.
+var writerPool = sync.Pool{New: func() any { return &Writer{} }}
+
+// appendFrame writes msg as one frame at the end of w.buf (which must start
+// at offset base for this frame). It is single-pass: header and payload go
+// into the same buffer, and the payload-length varint is patched in place.
+// On error w.buf is truncated back to base.
+func appendFrame(w *Writer, msg Message, base int) error {
 	w.U16(Magic)
 	w.U8(Version)
 	w.U8(uint8(msg.Type()))
-	w.UVarint(uint64(payload.Len()))
-	w.Raw(payload.Bytes())
-	w.U32(crc32.ChecksumIEEE(w.Bytes()))
-	return w.Bytes(), nil
+	lenOff := w.Len()
+	w.Raw(lenReserve[:])
+	payStart := w.Len()
+	msg.encode(w)
+	plen := w.Len() - payStart
+	if plen > MaxPayload {
+		w.buf = w.buf[:base]
+		return fmt.Errorf("%w: %d bytes", ErrTooLarge, plen)
+	}
+	buf := w.buf
+	if n := sizeUvarint(uint64(plen)); n < maxLenVarint {
+		// Shift the payload down over the unused reserved bytes so the
+		// length varint stays minimal (byte-identical to the two-pass form).
+		copy(buf[lenOff+n:], buf[payStart:])
+		buf = buf[:len(buf)-(maxLenVarint-n)]
+	}
+	binary.PutUvarint(buf[lenOff:], uint64(plen))
+	sum := crc32.ChecksumIEEE(buf[base:])
+	w.buf = binary.BigEndian.AppendUint32(buf, sum)
+	return nil
+}
+
+// AppendEncode serializes msg into a self-delimiting, checksummed frame
+// appended to dst, returning the extended slice. On error dst is returned
+// unchanged. Callers that reuse dst across ticks get allocation-free
+// encoding once the buffer has grown to the working frame size.
+func AppendEncode(dst []byte, msg Message) ([]byte, error) {
+	w := writerPool.Get().(*Writer)
+	w.count = false
+	w.buf = dst
+	err := appendFrame(w, msg, len(dst))
+	out := w.buf
+	w.buf = nil // never retain caller memory in the pool
+	writerPool.Put(w)
+	if err != nil {
+		return dst, err
+	}
+	return out, nil
+}
+
+// Encode serializes msg into a self-delimiting, checksummed frame. The frame
+// is built in pooled scratch and copied into one exact-size allocation, so
+// the returned slice never aliases pool memory.
+func Encode(msg Message) ([]byte, error) {
+	w := writerPool.Get().(*Writer)
+	w.count = false
+	w.buf = w.buf[:0]
+	err := appendFrame(w, msg, 0)
+	if err != nil {
+		writerPool.Put(w)
+		return nil, err
+	}
+	out := make([]byte, len(w.buf))
+	copy(out, w.buf)
+	writerPool.Put(w)
+	return out, nil
 }
 
 // Decode parses a frame produced by Encode, validating magic, version,
@@ -56,8 +121,7 @@ func Decode(frame []byte) (Message, int, error) {
 	}
 	bodyEnd := len(frame) - r.Remaining() + int(plen)
 	payload := frame[len(frame)-r.Remaining() : bodyEnd]
-	sumReader := NewReader(frame[bodyEnd : bodyEnd+4])
-	want := sumReader.U32()
+	want := binary.BigEndian.Uint32(frame[bodyEnd : bodyEnd+4])
 	if got := crc32.ChecksumIEEE(frame[:bodyEnd]); got != want {
 		return nil, 0, ErrBadChecksum
 	}
@@ -72,11 +136,19 @@ func Decode(frame []byte) (Message, int, error) {
 }
 
 // EncodedSize returns the frame size Encode would produce for msg, without
-// allocating the frame (used by bandwidth accounting).
+// allocating or materializing the frame (used by bandwidth accounting): the
+// payload is measured with a pooled writer in counting mode.
 func EncodedSize(msg Message) (int, error) {
-	b, err := Encode(msg)
-	if err != nil {
-		return 0, err
+	w := writerPool.Get().(*Writer)
+	w.count = true
+	w.n = 0
+	msg.encode(w)
+	plen := w.Len()
+	w.count = false
+	w.n = 0
+	writerPool.Put(w)
+	if plen > MaxPayload {
+		return 0, fmt.Errorf("%w: %d bytes", ErrTooLarge, plen)
 	}
-	return len(b), nil
+	return headerSize + sizeUvarint(uint64(plen)) + plen + 4, nil
 }

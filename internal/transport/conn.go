@@ -26,9 +26,10 @@ var ErrFrameTooLarge = errors.New("transport: frame exceeds MaxFrame")
 // Conn is a message-oriented connection. Reads must come from a single
 // goroutine; writes are internally serialized and safe from any goroutine.
 type Conn struct {
-	c  net.Conn
-	r  *bufio.Reader
-	mu sync.Mutex // guards writes
+	c    net.Conn
+	r    *bufio.Reader
+	mu   sync.Mutex // guards writes and wbuf
+	wbuf []byte     // reusable write buffer: length prefix + frame
 
 	closeOnce sync.Once
 }
@@ -50,20 +51,19 @@ func Dial(addr string) (*Conn, error) {
 // RemoteAddr returns the peer address.
 func (c *Conn) RemoteAddr() net.Addr { return c.c.RemoteAddr() }
 
-// WriteMessage encodes and sends one message.
+// WriteMessage encodes and sends one message. The frame is appended after
+// its length prefix into a reusable per-connection buffer, so steady-state
+// sends allocate nothing and hit the socket with a single write.
 func (c *Conn) WriteMessage(msg protocol.Message) error {
-	frame, err := protocol.Encode(msg)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	buf, err := protocol.AppendEncode(append(c.wbuf[:0], 0, 0, 0, 0), msg)
 	if err != nil {
 		return err
 	}
-	var hdr [4]byte
-	binary.BigEndian.PutUint32(hdr[:], uint32(len(frame)))
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if _, err := c.c.Write(hdr[:]); err != nil {
-		return fmt.Errorf("transport: write header: %w", err)
-	}
-	if _, err := c.c.Write(frame); err != nil {
+	binary.BigEndian.PutUint32(buf[:4], uint32(len(buf)-4))
+	c.wbuf = buf
+	if _, err := c.c.Write(buf); err != nil {
 		return fmt.Errorf("transport: write frame: %w", err)
 	}
 	return nil

@@ -1,0 +1,57 @@
+#!/usr/bin/env bash
+# bench.sh — run the root E1–E10 benchmark suite with -benchmem and emit
+# BENCH_<n>.json recording name, ns/op, B/op, allocs/op and each bench's
+# headline metric (e.g. cloud-egress-KB/s). The JSON files form the repo's
+# perf trajectory: BENCH_1.json is this PR's floor; later perf PRs append
+# BENCH_2.json, BENCH_3.json, ... and get judged against the previous file.
+#
+# Usage: scripts/bench.sh [n]      (default n=1)
+#   BENCHTIME=10x scripts/bench.sh  to override -benchtime
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+N="${1:-1}"
+OUT="BENCH_${N}.json"
+RAW="$(mktemp)"
+trap 'rm -f "$RAW"' EXIT
+
+go test -bench 'BenchmarkE[0-9]' -benchmem -run '^$' ${BENCHTIME:+-benchtime "$BENCHTIME"} . | tee "$RAW" >&2
+
+awk -v goversion="$(go version | awk '{print $3}')" '
+BEGIN { n = 0 }
+/^Benchmark/ {
+    name = $1
+    sub(/^Benchmark/, "", name)
+    sub(/-[0-9]+$/, "", name) # strip -GOMAXPROCS suffix if present
+    iters = $2
+    ns = ""; bytes = ""; allocs = ""; extra = ""
+    for (i = 3; i + 1 <= NF; i += 2) {
+        val = $i; unit = $(i + 1)
+        if (unit == "ns/op") ns = val
+        else if (unit == "B/op") bytes = val
+        else if (unit == "allocs/op") allocs = val
+        else {
+            if (extra != "") extra = extra ", "
+            extra = extra "\"" unit "\": " val
+        }
+    }
+    line = sprintf("    {\"name\": \"%s\", \"iterations\": %s", name, iters)
+    if (ns != "") line = line sprintf(", \"ns_per_op\": %s", ns)
+    if (bytes != "") line = line sprintf(", \"bytes_per_op\": %s", bytes)
+    if (allocs != "") line = line sprintf(", \"allocs_per_op\": %s", allocs)
+    if (extra != "") line = line sprintf(", \"metrics\": {%s}", extra)
+    line = line "}"
+    bench[n++] = line
+}
+END {
+    print "{"
+    printf "  \"suite\": \"E1-E10 root benchmarks\",\n"
+    printf "  \"go\": \"%s\",\n", goversion
+    printf "  \"command\": \"go test -bench BenchmarkE[0-9] -benchmem -run ^$ .\",\n"
+    print  "  \"benchmarks\": ["
+    for (i = 0; i < n; i++) print bench[i] (i < n - 1 ? "," : "")
+    print "  ]"
+    print "}"
+}' "$RAW" > "$OUT"
+
+echo "wrote $OUT" >&2
