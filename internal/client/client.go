@@ -68,6 +68,8 @@ type VR struct {
 	net        *netsim.Network
 	replica    *core.Replica
 	reg        *metrics.Registry
+	dec        protocol.Decoder
+	ackScratch protocol.Ack
 	seq        uint32
 	exprSeq    uint32
 	nonce      uint64
@@ -89,6 +91,10 @@ func NewVR(sim *vclock.Sim, net *netsim.Network, cfg VRConfig) (*VR, error) {
 		reg:     metrics.NewRegistry(string(cfg.Addr)),
 	}
 	v.replica.Latency = v.reg.Histogram("pose.age")
+	// The cloud/relay filters this client's snapshots by interest: an entity
+	// omitted from a snapshot is out of tier, not departed, so its playout
+	// buffer keeps extrapolating instead of churning.
+	v.replica.RetainOmitted = true
 	if !net.HasHost(cfg.Addr) {
 		if err := net.AddHost(cfg.Addr, v); err != nil {
 			return nil, err
@@ -172,7 +178,7 @@ func (v *VR) publish() {
 
 // HandleMessage implements netsim.Handler: replication ingest + ack.
 func (v *VR) HandleMessage(from netsim.Addr, payload []byte) {
-	msg, _, err := protocol.Decode(payload)
+	msg, _, err := v.dec.Decode(payload)
 	if err != nil {
 		v.reg.Counter("decode.errors").Inc()
 		return
@@ -187,7 +193,8 @@ func (v *VR) HandleMessage(from netsim.Addr, payload []byte) {
 			return
 		}
 		v.reg.Counter("recv.updates").Inc()
-		if frame, err := protocol.Encode(&protocol.Ack{Participant: v.cfg.Participant, Tick: ackTick}); err == nil {
+		v.ackScratch = protocol.Ack{Participant: v.cfg.Participant, Tick: ackTick}
+		if frame, err := protocol.Encode(&v.ackScratch); err == nil {
 			_ = v.net.Send(v.cfg.Addr, from, frame)
 		}
 	default:
@@ -205,6 +212,9 @@ func (v *VR) DisplayedPose(id protocol.ParticipantID, at time.Duration) (pose.Po
 func (v *VR) VisibleParticipants() []protocol.ParticipantID {
 	return v.replica.Participants()
 }
+
+// ReplicaStats exposes the client's replication apply/buffer-churn counters.
+func (v *VR) ReplicaStats() core.ReplicaStats { return v.replica.Stats() }
 
 // OwnPose returns the client's locally-predicted own pose — rendered with
 // zero latency, which is why clients exclude themselves from replication.

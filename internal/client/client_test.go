@@ -257,3 +257,110 @@ func TestVRPingDisabled(t *testing.T) {
 		t.Error("pings sent despite PingEvery < 0")
 	}
 }
+
+// entity builds a minimal EntityState for receive-path tests.
+func entity(id protocol.ParticipantID, at time.Duration) protocol.EntityState {
+	return protocol.EntityState{
+		Participant: id,
+		CapturedAt:  at,
+		Pose:        protocol.QuantizePose(mathx.V3(float64(id), 0, 0), mathx.QuatIdentity()),
+		VelMMS:      [3]int64{1000, 0, 0},
+	}
+}
+
+// TestVRRetainsOmittedEntitiesAcrossFilteredSnapshots locks in the pooled
+// receive path's interest behavior: when the server's interest-filtered
+// snapshot omits a far-tier entity, the client must keep extrapolating it
+// from its retained playout buffer instead of dropping and re-creating the
+// buffer when the entity flickers back into tier (no InterpBuffer churn).
+func TestVRRetainsOmittedEntitiesAcrossFilteredSnapshots(t *testing.T) {
+	sim := vclock.New(1)
+	net := netsim.New(sim)
+	fs := newFakeServer(t, sim, net)
+	// A short playout delay so display time runs ahead of the omitted
+	// entity's last sample and dead reckoning visibly engages.
+	v := newVRUnderTest(t, sim, net, VRConfig{InterpDelay: 10 * time.Millisecond})
+
+	// Tick 1: both the near entity 1 and the far entity 2 are in tier.
+	fs.push(t, &protocol.Snapshot{Tick: 1, Entities: []protocol.EntityState{
+		entity(1, 0), entity(2, 0),
+	}})
+	_ = sim.Run(20 * time.Millisecond)
+	if st := v.ReplicaStats(); st.BufferCreates != 2 || st.BufferDrops != 0 {
+		t.Fatalf("after first snapshot: creates=%d drops=%d, want 2/0",
+			st.BufferCreates, st.BufferDrops)
+	}
+
+	// Tick 2: entity 2 drifted into the far tier — the filtered snapshot
+	// omits it. The buffer must survive and keep answering pose queries.
+	fs.push(t, &protocol.Snapshot{Tick: 2, Entities: []protocol.EntityState{
+		entity(1, 30*time.Millisecond),
+	}})
+	_ = sim.Run(40 * time.Millisecond)
+	st := v.ReplicaStats()
+	if st.BufferDrops != 0 {
+		t.Fatalf("omitted far-tier entity dropped its buffer (drops=%d)", st.BufferDrops)
+	}
+	if st.Retained == 0 {
+		t.Fatal("snapshot omission was not accounted as retained")
+	}
+	// The retained entity stays enumerable: renderers walking the visible
+	// set must not lose it while it is out of tier.
+	if got := v.VisibleParticipants(); len(got) != 2 {
+		t.Fatalf("VisibleParticipants = %v, want retained entity 2 included", got)
+	}
+	p, ok := v.DisplayedPose(2, sim.Now())
+	if !ok {
+		t.Fatal("client stopped extrapolating the omitted entity")
+	}
+	if p.Position.X <= 2 {
+		t.Errorf("extrapolation stalled: X = %v, want > 2 (1 m/s dead reckoning)", p.Position.X)
+	}
+
+	// Tick 3: entity 2 returns to tier. Its buffer must be the same one —
+	// no create churn, and the old motion history still seeds interpolation.
+	fs.push(t, &protocol.Snapshot{Tick: 3, Entities: []protocol.EntityState{
+		entity(1, 60*time.Millisecond), entity(2, 60*time.Millisecond),
+	}})
+	_ = sim.Run(60 * time.Millisecond)
+	if st := v.ReplicaStats(); st.BufferCreates != 2 || st.BufferDrops != 0 {
+		t.Fatalf("re-entry churned buffers: creates=%d drops=%d, want 2/0",
+			st.BufferCreates, st.BufferDrops)
+	}
+
+	// A true departure still drops: deltas carry explicit removals.
+	fs.push(t, &protocol.Delta{BaseTick: 3, Tick: 4, Removed: []protocol.ParticipantID{2}})
+	_ = sim.Run(80 * time.Millisecond)
+	if st := v.ReplicaStats(); st.BufferDrops != 1 {
+		t.Fatalf("explicit removal did not drop the buffer (drops=%d)", st.BufferDrops)
+	}
+	if _, ok := v.DisplayedPose(2, sim.Now()); ok {
+		t.Error("departed entity still renders")
+	}
+
+	// A departure conveyed only by snapshot omission (the sender pruned the
+	// removal from its delta log) must not ghost forever: once the retained
+	// entity stays capture-silent past the retention TTL, a later apply
+	// expires it.
+	fs.push(t, &protocol.Snapshot{Tick: 5, Entities: []protocol.EntityState{
+		entity(1, 100*time.Millisecond), entity(3, 100*time.Millisecond),
+	}})
+	fs.push(t, &protocol.Snapshot{Tick: 6, Entities: []protocol.EntityState{
+		entity(1, 120*time.Millisecond),
+	}})
+	_ = sim.Run(150 * time.Millisecond)
+	if _, ok := v.DisplayedPose(3, sim.Now()); !ok {
+		t.Fatal("freshly-omitted entity 3 should still extrapolate")
+	}
+	_ = sim.Run(3 * time.Second) // entity 3 stays silent well past the 2s TTL
+	fs.push(t, &protocol.Delta{BaseTick: 6, Tick: 7, Changed: []protocol.EntityState{
+		entity(1, 3*time.Second),
+	}})
+	_ = sim.Run(3100 * time.Millisecond)
+	if _, ok := v.DisplayedPose(3, sim.Now()); ok {
+		t.Error("silent retained entity was never expired (ghost avatar)")
+	}
+	if got := v.VisibleParticipants(); len(got) != 1 || got[0] != 1 {
+		t.Errorf("VisibleParticipants = %v, want only the live entity 1", got)
+	}
+}

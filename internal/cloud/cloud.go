@@ -52,7 +52,6 @@ func newFanoutMetrics(reg *metrics.Registry) fanoutMetrics {
 	}
 }
 
-
 // Cloud server errors.
 var (
 	ErrClientExists = errors.New("cloud: client already registered")
@@ -128,6 +127,9 @@ type Server struct {
 
 	fm            fanoutMetrics
 	frames        core.FrameCache
+	dec           protocol.Decoder
+	ackScratch    protocol.Ack
+	pongScratch   protocol.Pong
 	mSyncMsgsRecv *metrics.Counter
 	mClientPoses  *metrics.Counter
 	hClientAge    *metrics.Histogram
@@ -358,7 +360,7 @@ func (s *Server) edgeAddrs() []netsim.Addr {
 
 // HandleMessage implements netsim.Handler.
 func (s *Server) HandleMessage(from netsim.Addr, payload []byte) {
-	msg, _, err := protocol.Decode(payload)
+	msg, _, err := s.dec.Decode(payload)
 	if err != nil {
 		s.fm.decodeErrors.Inc()
 		return
@@ -376,7 +378,8 @@ func (s *Server) HandleMessage(from netsim.Addr, payload []byte) {
 			s.fm.recvGaps.Inc()
 			return
 		}
-		if frame, err := protocol.Encode(&protocol.Ack{Tick: ackTick}); err == nil {
+		s.ackScratch = protocol.Ack{Tick: ackTick}
+		if frame, err := protocol.Encode(&s.ackScratch); err == nil {
 			_ = s.net.Send(s.cfg.Addr, from, frame)
 		}
 	case *protocol.Ack:
@@ -388,7 +391,8 @@ func (s *Server) HandleMessage(from netsim.Addr, payload []byte) {
 	case *protocol.ExpressionUpdate:
 		s.ingestClientExpression(m)
 	case *protocol.Ping:
-		if frame, err := protocol.Encode(&protocol.Pong{Nonce: m.Nonce, SentAt: m.SentAt}); err == nil {
+		s.pongScratch = protocol.Pong{Nonce: m.Nonce, SentAt: m.SentAt}
+		if frame, err := protocol.Encode(&s.pongScratch); err == nil {
 			_ = s.net.Send(s.cfg.Addr, from, frame)
 		}
 	default:

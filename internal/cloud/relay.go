@@ -64,8 +64,11 @@ type Relay struct {
 	grid     *interest.Grid
 	reg      *metrics.Registry
 
-	fm     fanoutMetrics
-	frames core.FrameCache
+	fm          fanoutMetrics
+	frames      core.FrameCache
+	dec         protocol.Decoder
+	ackScratch  protocol.Ack
+	pongScratch protocol.Pong
 	// scratch buffers reused every tick (valid only within one tick).
 	liveScratch     map[protocol.ParticipantID]bool
 	neighborScratch []protocol.ParticipantID
@@ -195,7 +198,7 @@ func (r *Relay) tick() {
 // HandleMessage implements netsim.Handler.
 func (r *Relay) HandleMessage(from netsim.Addr, payload []byte) {
 	if from == r.cfg.Upstream {
-		msg, _, err := protocol.Decode(payload)
+		msg, _, err := r.dec.Decode(payload)
 		if err != nil {
 			r.fm.decodeErrors.Inc()
 			return
@@ -207,7 +210,8 @@ func (r *Relay) HandleMessage(from netsim.Addr, payload []byte) {
 				r.fm.recvGaps.Inc()
 				return
 			}
-			if frame, err := protocol.Encode(&protocol.Ack{Tick: ackTick}); err == nil {
+			r.ackScratch = protocol.Ack{Tick: ackTick}
+			if frame, err := protocol.Encode(&r.ackScratch); err == nil {
 				_ = r.net.Send(r.cfg.Addr, from, frame)
 			}
 		default:
@@ -217,7 +221,7 @@ func (r *Relay) HandleMessage(from netsim.Addr, payload []byte) {
 	}
 	// From a client: acks terminate here; everything else (pose/expression
 	// streams) forwards upstream unchanged.
-	msg, _, err := protocol.Decode(payload)
+	msg, _, err := r.dec.Decode(payload)
 	if err != nil {
 		r.fm.decodeErrors.Inc()
 		return
@@ -229,7 +233,8 @@ func (r *Relay) HandleMessage(from netsim.Addr, payload []byte) {
 		return
 	}
 	if ping, ok := msg.(*protocol.Ping); ok {
-		if frame, err := protocol.Encode(&protocol.Pong{Nonce: ping.Nonce, SentAt: ping.SentAt}); err == nil {
+		r.pongScratch = protocol.Pong{Nonce: ping.Nonce, SentAt: ping.SentAt}
+		if frame, err := protocol.Encode(&r.pongScratch); err == nil {
 			_ = r.net.Send(r.cfg.Addr, from, frame)
 		}
 		return

@@ -26,10 +26,41 @@ type Replica struct {
 	OnRemove func(id protocol.ParticipantID)
 	// Latency, if set, records capture-to-apply age of every entity update.
 	Latency *metrics.Histogram
+	// RetainOmitted keeps an entity (store record, playout buffer, latency
+	// watermark) when a Snapshot omits it instead of dropping everything.
+	// Set it when the upstream filters snapshots by interest: an omitted
+	// entity is merely out of the interest tier, not departed, so it stays
+	// enumerable, the display keeps extrapolating it, and its buffer must
+	// not churn when it flickers back in. OnRemove is not fired for
+	// omissions. True departures still arrive as Delta removals, which
+	// always drop the buffer — and a retained entity whose updates stay
+	// silent past RetainFor (a pruned removal the snapshot could not convey)
+	// is expired on a later apply, so ghosts cannot accumulate.
+	RetainOmitted bool
+	// RetainFor bounds how long a retained entity may stay capture-silent
+	// before it is presumed departed and dropped (default 2s — the same
+	// horizon edge servers use to despawn silent local participants). Live
+	// entities in the rate-divided interest tiers (focus through ambient)
+	// never hit it; a fully culled live entity is indistinguishable from a
+	// departed one (both are silent) and expires too — the same drop the
+	// pre-retention code made immediately, just TTL-delayed — and is
+	// rebuilt normally if it re-enters interest range.
+	RetainFor time.Duration
 
-	applied   uint64
-	rejected  uint64
-	snapshots uint64
+	applied    uint64
+	rejected   uint64
+	snapshots  uint64
+	bufCreates uint64
+	bufDrops   uint64
+	retained   uint64
+
+	// knownScratch is the reusable present-in-snapshot set; retainedIDs
+	// tracks entities currently retained through snapshot omission (cleared
+	// when an update arrives for them); retainScratch carries their states
+	// across ApplySnapshot's store rebuild.
+	knownScratch  map[protocol.ParticipantID]bool
+	retainedIDs   map[protocol.ParticipantID]bool
+	retainScratch []protocol.EntityState
 }
 
 // NewReplica creates a replica whose playout buffers render delay behind
@@ -56,13 +87,31 @@ func (r *Replica) Store() *Store { return r.store }
 func (r *Replica) Apply(msg protocol.Message, now time.Duration) (uint64, bool) {
 	switch m := msg.(type) {
 	case *protocol.Snapshot:
-		known := make(map[protocol.ParticipantID]bool, len(m.Entities))
+		if r.knownScratch == nil {
+			r.knownScratch = make(map[protocol.ParticipantID]bool, len(m.Entities))
+		}
+		known := r.knownScratch
+		clear(known)
 		for i := range m.Entities {
 			known[m.Entities[i].Participant] = true
 		}
-		// Entities absent from the snapshot are gone.
+		// Entities absent from the snapshot are gone — unless the upstream
+		// filters by interest, in which case they are carried across the
+		// store rebuild and keep extrapolating.
+		r.retainScratch = r.retainScratch[:0]
 		for _, id := range r.store.IDs() {
 			if !known[id] {
+				if r.RetainOmitted {
+					r.retained++
+					if r.retainedIDs == nil {
+						r.retainedIDs = make(map[protocol.ParticipantID]bool)
+					}
+					r.retainedIDs[id] = true
+					if e, ok := r.store.Get(id); ok {
+						r.retainScratch = append(r.retainScratch, e)
+					}
+					continue
+				}
 				r.dropEntity(id)
 			}
 		}
@@ -70,6 +119,10 @@ func (r *Replica) Apply(msg protocol.Message, now time.Duration) (uint64, bool) 
 			r.noteEntity(m.Entities[i], now)
 		}
 		r.store.ApplySnapshot(m)
+		for _, e := range r.retainScratch {
+			r.store.Upsert(e)
+		}
+		r.expireRetained(now)
 		r.snapshots++
 		r.applied++
 		return m.Tick, true
@@ -89,6 +142,7 @@ func (r *Replica) Apply(msg protocol.Message, now time.Duration) (uint64, bool) 
 		for _, id := range m.Removed {
 			r.dropEntity(id)
 		}
+		r.expireRetained(now)
 		r.applied++
 		return m.Tick, true
 	default:
@@ -102,10 +156,12 @@ func (r *Replica) noteEntity(e protocol.EntityState, now time.Duration) {
 	if !ok {
 		buf = pose.NewInterpBuffer(r.delay, 64, r.extrap)
 		r.buffers[e.Participant] = buf
+		r.bufCreates++
 		if r.OnNew != nil {
 			r.OnNew(e)
 		}
 	}
+	delete(r.retainedIDs, e.Participant) // an update ends the omission
 	pos, rot := e.Pose.Dequantize()
 	p := pose.Pose{
 		Time:     e.CapturedAt,
@@ -133,8 +189,32 @@ func (r *Replica) dropEntity(id protocol.ParticipantID) {
 	}
 	delete(r.buffers, id)
 	delete(r.lastCaptured, id)
+	delete(r.retainedIDs, id)
+	r.bufDrops++
 	if r.OnRemove != nil {
 		r.OnRemove(id)
+	}
+}
+
+// expireRetained drops retained entities whose updates have been silent past
+// RetainFor: their removal was conveyed only by snapshot omission (the
+// sender pruned it from the delta log), so without this sweep they would
+// dead-reckon as ghosts forever. Runs on every apply; the retained set is
+// empty in steady state. Iteration order is irrelevant — each entity's
+// verdict depends only on its own watermark.
+func (r *Replica) expireRetained(now time.Duration) {
+	if len(r.retainedIDs) == 0 {
+		return
+	}
+	ttl := r.RetainFor
+	if ttl <= 0 {
+		ttl = 2 * time.Second
+	}
+	for id := range r.retainedIDs {
+		if now-r.lastCaptured[id] > ttl {
+			r.store.removeSilent(id)
+			r.dropEntity(id)
+		}
 	}
 }
 
@@ -151,14 +231,23 @@ func (r *Replica) Pose(id protocol.ParticipantID, at time.Duration) (pose.Pose, 
 // Participants lists replicated participant IDs, ascending.
 func (r *Replica) Participants() []protocol.ParticipantID { return r.store.IDs() }
 
-// ReplicaStats reports apply accounting.
+// ReplicaStats reports apply accounting. BufferCreates/BufferDrops expose
+// playout-buffer churn (a create after a drop of the same entity means the
+// interpolation history was lost); Retained counts snapshot omissions that
+// kept their buffer under RetainOmitted.
 type ReplicaStats struct {
-	Applied   uint64
-	Rejected  uint64
-	Snapshots uint64
+	Applied       uint64
+	Rejected      uint64
+	Snapshots     uint64
+	BufferCreates uint64
+	BufferDrops   uint64
+	Retained      uint64
 }
 
 // Stats returns counters.
 func (r *Replica) Stats() ReplicaStats {
-	return ReplicaStats{Applied: r.applied, Rejected: r.rejected, Snapshots: r.snapshots}
+	return ReplicaStats{
+		Applied: r.applied, Rejected: r.rejected, Snapshots: r.snapshots,
+		BufferCreates: r.bufCreates, BufferDrops: r.bufDrops, Retained: r.retained,
+	}
 }

@@ -47,6 +47,11 @@ type peerState struct {
 	// AddPeer — reading the replicator's current plan tick — so PlanTick
 	// allocates no closures.
 	boundFilter func(protocol.ParticipantID) bool
+	// scratch is the reusable per-peer Delta for filtered peers (their
+	// payloads are peer-specific, so the message cannot be cohort-shared).
+	// Valid until the peer's next planned delta, matching the PlanTick
+	// result contract.
+	scratch *protocol.Delta
 }
 
 // deltaCohort memoizes one distinct delta built during a PlanTick. A nil msg
@@ -76,9 +81,18 @@ type Replicator struct {
 	idsDirty  bool
 
 	// plan and deltaCohorts are per-tick scratch, reused across PlanTick
-	// calls to keep the hot path allocation-free.
-	plan         []PeerMessage
-	deltaCohorts map[uint64]deltaCohort
+	// calls to keep the hot path allocation-free. cohortScratch recycles the
+	// shared cohort Delta messages tick to tick (a cohort message is valid
+	// until the next PlanTick, per the result contract).
+	plan          []PeerMessage
+	deltaCohorts  map[uint64]deltaCohort
+	cohortScratch []*protocol.Delta
+	cohortsUsed   int
+
+	// pruneDirty defers removal-log pruning to once per PlanTick: acks only
+	// record their tick, so a fully-acking classroom costs O(peers) per tick
+	// instead of O(peers²) (one O(peers) min-scan per Ack).
+	pruneDirty bool
 }
 
 // NewReplicator creates a replicator over store.
@@ -158,11 +172,20 @@ func (r *Replicator) Ack(peer string, tick uint64) error {
 		p.ackTick = tick
 		p.acked = true
 	}
-	r.prune()
+	r.pruneDirty = true
 	return nil
 }
 
+// prune trims the store's removal log below the minimum acked tick. It runs
+// lazily — once per PlanTick after any Ack — so a tick where every peer acks
+// costs one O(peers) scan, not one per Ack. Deferral never changes emitted
+// deltas: prunable entries are at or below every peer's baseline, so no
+// DeltaSince call could have included them anyway.
 func (r *Replicator) prune() {
+	if !r.pruneDirty {
+		return
+	}
+	r.pruneDirty = false
 	min := r.store.Tick()
 	for _, p := range r.peers {
 		if !p.acked {
@@ -202,11 +225,13 @@ type PeerMessage struct {
 func (r *Replicator) PlanTick() []PeerMessage {
 	tick := r.store.Tick()
 	r.planTick = tick
+	r.prune()
 
 	out := r.plan[:0]
 	var sharedSnap *protocol.Snapshot
 	sharedSnapCohort := 0
 	clear(r.deltaCohorts)
+	r.cohortsUsed = 0
 	nextCohort := 0
 
 	for _, id := range r.sortedPeerIDs() {
@@ -236,21 +261,26 @@ func (r *Replicator) PlanTick() []PeerMessage {
 			continue
 		}
 		if p.boundFilter != nil {
-			delta := r.store.DeltaSince(p.ackTick, p.boundFilter)
-			if len(delta.Changed) == 0 && len(delta.Removed) == 0 {
+			if p.scratch == nil {
+				p.scratch = &protocol.Delta{}
+			}
+			r.store.DeltaSinceInto(p.ackTick, p.boundFilter, p.scratch)
+			if len(p.scratch.Changed) == 0 && len(p.scratch.Removed) == 0 {
 				continue
 			}
 			p.deltas++
-			out = append(out, PeerMessage{Peer: id, Msg: delta, Cohort: nextCohort})
+			out = append(out, PeerMessage{Peer: id, Msg: p.scratch, Cohort: nextCohort})
 			nextCohort++
 			continue
 		}
 		dc, ok := r.deltaCohorts[p.ackTick]
 		if !ok {
-			delta := r.store.DeltaSince(p.ackTick, nil)
+			delta := r.nextCohortDelta()
+			r.store.DeltaSinceInto(p.ackTick, nil, delta)
 			if len(delta.Changed) == 0 && len(delta.Removed) == 0 {
 				delta = nil // memoize emptiness for cohort mates
 			} else {
+				r.cohortsUsed++ // consume the scratch slot
 				dc.cohort = nextCohort
 				nextCohort++
 			}
@@ -265,6 +295,18 @@ func (r *Replicator) PlanTick() []PeerMessage {
 	}
 	r.plan = out
 	return out
+}
+
+// nextCohortDelta hands out the next recycled shared-cohort Delta. Slots are
+// consumed (cohortsUsed) only when the built delta is non-empty; an empty
+// build leaves the slot for the next distinct baseline.
+func (r *Replicator) nextCohortDelta() *protocol.Delta {
+	if r.cohortsUsed < len(r.cohortScratch) {
+		return r.cohortScratch[r.cohortsUsed]
+	}
+	d := &protocol.Delta{}
+	r.cohortScratch = append(r.cohortScratch, d)
+	return d
 }
 
 // PeerStats reports replication counters for a peer.

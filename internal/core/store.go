@@ -17,6 +17,7 @@ package core
 import (
 	"bytes"
 	"slices"
+	"sort"
 
 	"metaclass/internal/protocol"
 )
@@ -31,6 +32,12 @@ type removal struct {
 	tick uint64
 }
 
+// dirtyRingCap is the number of recent ticks the changed-entity ring covers.
+// It comfortably exceeds the default replication MaxDeltaWindow (150): any
+// ack horizon older than the ring falls back to a full scan, and the
+// replicator would be sending such a peer a snapshot anyway.
+const dirtyRingCap = 256
+
 // Store is the authoritative entity state, indexed by participant. Not safe
 // for concurrent use: each server owns one on its simulation goroutine.
 type Store struct {
@@ -42,11 +49,21 @@ type Store struct {
 	// changes, so per-tick Snapshot/DeltaSince scans allocate nothing.
 	ids      []protocol.ParticipantID
 	idsDirty bool
+
+	// dirty is the changed-entity ring: slot t%dirtyRingCap lists the IDs
+	// first changed at tick t, so DeltaSince walks only entities changed
+	// inside the ack window instead of the whole population. The ring covers
+	// ticks [ringLo, tick] contiguously; receiver-side tick jumps
+	// (ApplySnapshot/ApplyDelta) invalidate it, and it is allocated lazily on
+	// the first BeginTick so pure-receiver stores never pay for it.
+	dirty       [][]protocol.ParticipantID
+	ringLo      uint64
+	candScratch []protocol.ParticipantID
 }
 
 // NewStore creates an empty store at tick zero.
 func NewStore() *Store {
-	return &Store{entities: make(map[protocol.ParticipantID]*record)}
+	return &Store{entities: make(map[protocol.ParticipantID]*record), ringLo: 1}
 }
 
 // Tick returns the current tick number.
@@ -56,7 +73,27 @@ func (s *Store) Tick() uint64 { return s.tick }
 // tick before applying that tick's updates.
 func (s *Store) BeginTick() uint64 {
 	s.tick++
+	if s.dirty == nil {
+		s.dirty = make([][]protocol.ParticipantID, dirtyRingCap)
+	}
+	s.dirty[s.tick%dirtyRingCap] = s.dirty[s.tick%dirtyRingCap][:0]
+	if lo := s.tick - min(s.tick, dirtyRingCap-1); lo > s.ringLo {
+		s.ringLo = lo
+	}
 	return s.tick
+}
+
+// markChanged stamps r changed at the current tick and records the entity in
+// the dirty ring (once per tick; re-stamping within a tick is a no-op).
+func (s *Store) markChanged(id protocol.ParticipantID, r *record) {
+	if r.changedTick == s.tick {
+		return
+	}
+	r.changedTick = s.tick
+	if s.dirty != nil && s.ringLo <= s.tick {
+		slot := s.tick % dirtyRingCap
+		s.dirty[slot] = append(s.dirty[slot], id)
+	}
 }
 
 // Upsert inserts or replaces an entity's state, stamping it changed at the
@@ -69,7 +106,7 @@ func (s *Store) Upsert(e protocol.EntityState) {
 		s.idsDirty = true
 	}
 	r.state = e
-	r.changedTick = s.tick
+	s.markChanged(e.Participant, r)
 }
 
 // UpsertIfChanged inserts or replaces an entity only if its state actually
@@ -101,7 +138,7 @@ func (s *Store) Touch(id protocol.ParticipantID) bool {
 	if !ok {
 		return false
 	}
-	r.changedTick = s.tick
+	s.markChanged(id, r)
 	return true
 }
 
@@ -115,6 +152,17 @@ func (s *Store) Remove(id protocol.ParticipantID) bool {
 	s.idsDirty = true
 	s.removals = append(s.removals, removal{id: id, tick: s.tick})
 	return true
+}
+
+// removeSilent deletes an entity without logging a removal (receiver-side
+// housekeeping, e.g. a replica expiring a retained entity: the store is not
+// serving deltas for the dropped entry, and the log must not grow unpruned).
+func (s *Store) removeSilent(id protocol.ParticipantID) {
+	if _, ok := s.entities[id]; !ok {
+		return
+	}
+	delete(s.entities, id)
+	s.idsDirty = true
 }
 
 // Get returns an entity's current state.
@@ -181,42 +229,72 @@ func (s *Store) Snapshot(filter func(protocol.ParticipantID) bool) *protocol.Sna
 // DeltaSince builds a delta of changes after base, up to the current tick.
 // If filter is non-nil it gates which changed entities are included
 // (interest management); removals are never filtered — every peer must
-// learn about departures.
-// DeltaSince may invoke filter twice per candidate (a sizing pass then a
-// fill pass), so filters must be pure within a tick.
+// learn about departures. Filters are invoked once per candidate and must be
+// pure within a tick.
 func (s *Store) DeltaSince(base uint64, filter func(protocol.ParticipantID) bool) *protocol.Delta {
-	ids := s.sortedIDs()
-	msg := &protocol.Delta{BaseTick: base, Tick: s.tick}
-	changed := 0
-	for _, id := range ids {
-		if s.entities[id].changedTick > base && (filter == nil || filter(id)) {
-			changed++
+	msg := &protocol.Delta{}
+	s.DeltaSinceInto(base, filter, msg)
+	return msg
+}
+
+// DeltaSinceInto is DeltaSince building into msg, reusing its
+// Changed/Removed capacity; the replicator threads per-peer scratch messages
+// through it so steady-state delta planning allocates nothing.
+//
+// When the ack horizon lies inside the dirty ring the candidate set is the
+// ring's changed-ID union — O(changed in window) — instead of a scan of the
+// whole population; older baselines fall back to the full scan.
+func (s *Store) DeltaSinceInto(base uint64, filter func(protocol.ParticipantID) bool, msg *protocol.Delta) {
+	msg.BaseTick, msg.Tick = base, s.tick
+	msg.Changed = msg.Changed[:0]
+	msg.Removed = msg.Removed[:0]
+
+	if cands, ok := s.changedSince(base); ok {
+		for _, id := range cands {
+			if filter == nil || filter(id) {
+				msg.Changed = append(msg.Changed, s.entities[id].state)
+			}
 		}
-	}
-	if changed > 0 {
-		msg.Changed = make([]protocol.EntityState, 0, changed)
-		for _, id := range ids {
+	} else {
+		for _, id := range s.sortedIDs() {
 			r := s.entities[id]
 			if r.changedTick > base && (filter == nil || filter(id)) {
 				msg.Changed = append(msg.Changed, r.state)
 			}
 		}
 	}
-	removed := 0
-	for _, rm := range s.removals {
-		if rm.tick > base {
-			removed++
-		}
+	// removals is ascending by tick: binary-search the first entry newer
+	// than base instead of scanning the whole log.
+	first := sort.Search(len(s.removals), func(i int) bool { return s.removals[i].tick > base })
+	for _, rm := range s.removals[first:] {
+		msg.Removed = append(msg.Removed, rm.id)
 	}
-	if removed > 0 {
-		msg.Removed = make([]protocol.ParticipantID, 0, removed)
-		for _, rm := range s.removals {
-			if rm.tick > base {
-				msg.Removed = append(msg.Removed, rm.id)
+}
+
+// changedSince returns the ascending IDs of live entities changed after base
+// via the dirty ring; ok is false when the ring does not cover (base, tick]
+// and the caller must fall back to a full scan. The returned slice is store
+// scratch, valid until the next changedSince call.
+func (s *Store) changedSince(base uint64) ([]protocol.ParticipantID, bool) {
+	if s.dirty == nil || base+1 < s.ringLo || base > s.tick {
+		return nil, false
+	}
+	cands := s.candScratch[:0]
+	for t := base + 1; t <= s.tick; t++ {
+		for _, id := range s.dirty[t%dirtyRingCap] {
+			// An entity appears in every slot it changed at; keep only the
+			// occurrence matching its latest change so each live entity
+			// contributes exactly once (removed entities drop out here).
+			if r, ok := s.entities[id]; ok && r.changedTick == t {
+				cands = append(cands, id)
 			}
 		}
 	}
-	return msg
+	slices.Sort(cands)
+	// A remove+re-add within one tick can duplicate an ID inside a slot.
+	cands = slices.Compact(cands)
+	s.candScratch = cands
+	return cands, true
 }
 
 // PruneRemovals discards removal log entries at or before minAck (the
@@ -246,6 +324,7 @@ func (s *Store) ApplySnapshot(snap *protocol.Snapshot) {
 	s.tick = snap.Tick
 	s.removals = nil
 	s.idsDirty = true
+	s.ringLo = s.tick + 1 // tick jump: the ring no longer covers any window
 }
 
 // ApplyDelta merges a delta into the store (receiver side). It returns false
@@ -261,6 +340,7 @@ func (s *Store) ApplyDelta(d *protocol.Delta) bool {
 		return true // stale duplicate; nothing newer to learn
 	}
 	s.tick = d.Tick
+	s.ringLo = s.tick + 1 // tick jump: the ring no longer covers any window
 	for _, e := range d.Changed {
 		if rec, ok := s.entities[e.Participant]; ok {
 			// Reuse the existing record: replicas apply a delta per peer per

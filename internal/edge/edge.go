@@ -119,6 +119,9 @@ type Server struct {
 	mLocalDespawn  *metrics.Counter
 	idScratch      []protocol.ParticipantID
 	frames         core.FrameCache
+	dec            protocol.Decoder
+	ackScratch     protocol.Ack
+	pongScratch    protocol.Pong
 
 	cancel  func()
 	started bool
@@ -361,7 +364,7 @@ func (s *Server) tick() {
 
 // HandleMessage implements netsim.Handler: the server's receive path.
 func (s *Server) HandleMessage(from netsim.Addr, payload []byte) {
-	msg, _, err := protocol.Decode(payload)
+	msg, _, err := s.dec.Decode(payload)
 	if err != nil {
 		s.mDecodeErrors.Inc()
 		return
@@ -379,8 +382,8 @@ func (s *Server) HandleMessage(from netsim.Addr, payload []byte) {
 			s.reg.Counter("recv.gaps").Inc()
 			return
 		}
-		ack := &protocol.Ack{Tick: ackTick}
-		if frame, err := protocol.Encode(ack); err == nil {
+		s.ackScratch = protocol.Ack{Tick: ackTick}
+		if frame, err := protocol.Encode(&s.ackScratch); err == nil {
 			_ = s.net.Send(s.cfg.Addr, from, frame)
 		}
 	case *protocol.Ack:
@@ -388,7 +391,8 @@ func (s *Server) HandleMessage(from netsim.Addr, payload []byte) {
 			s.reg.Counter("recv.unknown_peer").Inc()
 		}
 	case *protocol.Ping:
-		if frame, err := protocol.Encode(&protocol.Pong{Nonce: m.Nonce, SentAt: m.SentAt}); err == nil {
+		s.pongScratch = protocol.Pong{Nonce: m.Nonce, SentAt: m.SentAt}
+		if frame, err := protocol.Encode(&s.pongScratch); err == nil {
 			_ = s.net.Send(s.cfg.Addr, from, frame)
 		}
 	default:

@@ -1,0 +1,99 @@
+package experiments
+
+import (
+	"fmt"
+	"slices"
+	"strings"
+	"testing"
+	"time"
+
+	"metaclass/classroom"
+	"metaclass/internal/mathx"
+	"metaclass/internal/netsim"
+	"metaclass/internal/trace"
+)
+
+// metricsFingerprint runs a short E4-style deployment (the C2 scale
+// experiment: one cloud, n remote VR learners) and renders every counter and
+// histogram the deployment produced — cloud sync bytes/msgs, seat counters,
+// per-client pose-age histograms — into one canonical multi-line string.
+func metricsFingerprint(t *testing.T, seed int64, n int, interest bool) string {
+	t.Helper()
+	d, err := classroom.NewDeployment(classroom.Config{Seed: seed, EnableInterest: interest})
+	if err != nil {
+		t.Fatalf("build deployment: %v", err)
+	}
+	for i := 0; i < n; i++ {
+		if _, _, err := d.AddRemoteLearner("u", trace.Seated{
+			Anchor: mathx.V3(float64(i%25)*1.2, 0, float64(i/25)*1.2), Phase: float64(i),
+		}, netsim.ResidentialBroadband(25*time.Millisecond)); err != nil {
+			t.Fatalf("add learner %d: %v", i, err)
+		}
+	}
+	if err := d.Run(2 * time.Second); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+
+	var b strings.Builder
+	b.WriteString(d.Cloud().Metrics().String())
+	ids := make([]classroom.ParticipantID, 0, len(d.Clients()))
+	for id := range d.Clients() {
+		ids = append(ids, id)
+	}
+	slices.Sort(ids)
+	for _, id := range ids {
+		b.WriteString(d.Clients()[id].Metrics().String())
+	}
+	st := d.Network().Stats()
+	fmt.Fprintf(&b, "network: delivered=%d dropped=%d bytes=%d latency=%s\n",
+		st.Delivered, st.Dropped, st.SentBytes, st.Latency.String())
+	return b.String()
+}
+
+// diffLines renders the first mismatching lines of two fingerprints.
+func diffLines(a, b string) string {
+	al, bl := strings.Split(a, "\n"), strings.Split(b, "\n")
+	var out strings.Builder
+	for i := 0; i < len(al) || i < len(bl); i++ {
+		var l1, l2 string
+		if i < len(al) {
+			l1 = al[i]
+		}
+		if i < len(bl) {
+			l2 = bl[i]
+		}
+		if l1 != l2 {
+			fmt.Fprintf(&out, "line %d:\n  run1: %s\n  run2: %s\n", i+1, l1, l2)
+			if out.Len() > 2000 {
+				out.WriteString("  ...\n")
+				break
+			}
+		}
+	}
+	return out.String()
+}
+
+// TestE4CrossRunDeterminism is the repo's golden determinism gate: two runs
+// of the same seeded deployment must produce byte-identical metrics — every
+// counter, every histogram quantile, every network stat — with interest
+// management on and off. Any hidden source of nondeterminism (map iteration
+// reaching the RNG, pooling changing event order, host-time leakage) shows
+// up here as a readable diff.
+func TestE4CrossRunDeterminism(t *testing.T) {
+	for _, interest := range []bool{true, false} {
+		mode := "broadcast"
+		if interest {
+			mode = "interest"
+		}
+		t.Run(mode, func(t *testing.T) {
+			run1 := metricsFingerprint(t, 42, 12, interest)
+			run2 := metricsFingerprint(t, 42, 12, interest)
+			if run1 != run2 {
+				t.Fatalf("same-seed runs diverged (%s mode):\n%s", mode, diffLines(run1, run2))
+			}
+			if !strings.Contains(run1, "sync.bytes.sent") || !strings.Contains(run1, "pose.age") {
+				t.Fatalf("fingerprint is missing expected metrics:\n%s", run1)
+			}
+		})
+	}
+}

@@ -100,6 +100,34 @@ type host struct {
 	links   map[Addr]*link // destination -> link
 }
 
+// delivery is the in-flight state of one Send, recycled through the
+// network's freelist so steady-state traffic allocates neither a closure nor
+// a timer event per message (it rides vclock's pooled AfterCall path).
+type delivery struct {
+	n       *Network
+	l       *link
+	src     Addr
+	dst     Addr
+	payload []byte
+	sentAt  time.Duration
+	size    int
+	queued  bool // size was added to the link's serialization queue
+}
+
+// runDelivery is the shared pooled-event callback: a package-level function
+// (no capture), with the per-message state threaded through the argument.
+func runDelivery(a any) {
+	d := a.(*delivery)
+	if d.queued {
+		d.l.queued -= d.size
+	}
+	n := d.n
+	n.deliver(d.src, d.dst, d.payload, d.sentAt)
+	d.payload = nil // never retain message bytes in the pool
+	d.n, d.l = nil, nil
+	n.freeDeliveries = append(n.freeDeliveries, d)
+}
+
 // Network is the simulated fabric. Not safe for concurrent use; all calls
 // must come from the simulation goroutine.
 type Network struct {
@@ -109,6 +137,8 @@ type Network struct {
 
 	delivered metrics.Counter
 	latency   metrics.Histogram
+
+	freeDeliveries []*delivery
 }
 
 // New creates an empty network on the given simulator.
@@ -248,13 +278,18 @@ func (n *Network) Send(src, dst Addr, payload []byte) error {
 
 	l.sent.Inc()
 	l.bytes.Add(uint64(size))
-	sentAt := now
-	n.sim.After(delay, func() {
-		if l.cfg.Bandwidth > 0 {
-			l.queued -= size
-		}
-		n.deliver(src, dst, payload, sentAt)
-	})
+	var d *delivery
+	if k := len(n.freeDeliveries); k > 0 {
+		d = n.freeDeliveries[k-1]
+		n.freeDeliveries = n.freeDeliveries[:k-1]
+	} else {
+		d = &delivery{}
+	}
+	*d = delivery{
+		n: n, l: l, src: src, dst: dst, payload: payload,
+		sentAt: now, size: size, queued: l.cfg.Bandwidth > 0,
+	}
+	n.sim.AfterCall(delay, runDelivery, d)
 	return nil
 }
 

@@ -32,7 +32,12 @@ func NewInterpBuffer(delay time.Duration, capacity int, extrap Extrapolator) *In
 	if extrap == nil {
 		extrap = Linear{}
 	}
-	return &InterpBuffer{cap: capacity, delay: delay, extrap: extrap}
+	// capacity+1: Push appends before trimming to cap, so one spare slot
+	// keeps the full buffer from ever re-growing (and re-allocating) the ring.
+	return &InterpBuffer{
+		samples: make([]Pose, 0, capacity+1),
+		cap:     capacity, delay: delay, extrap: extrap,
+	}
 }
 
 // Push inserts a sample. Out-of-order samples older than the newest are

@@ -91,39 +91,52 @@ func Encode(msg Message) ([]byte, error) {
 	return out, nil
 }
 
-// Decode parses a frame produced by Encode, validating magic, version,
-// length, and checksum. It returns the decoded message and the total frame
-// size consumed, allowing streams of concatenated frames to be parsed.
-func Decode(frame []byte) (Message, int, error) {
-	r := NewReader(frame)
+// parseFrame validates a frame's magic, version, length, and checksum,
+// returning the message type, the payload bytes (aliasing frame), and the
+// total frame size consumed. It allocates nothing.
+func parseFrame(frame []byte) (t MsgType, payload []byte, size int, err error) {
+	r := Reader{buf: frame}
 	if magic := r.U16(); r.Err() != nil || magic != Magic {
 		if r.Err() != nil {
-			return nil, 0, ErrShortFrame
+			return 0, nil, 0, ErrShortFrame
 		}
-		return nil, 0, ErrBadMagic
+		return 0, nil, 0, ErrBadMagic
 	}
 	if v := r.U8(); r.Err() != nil || v != Version {
 		if r.Err() != nil {
-			return nil, 0, ErrShortFrame
+			return 0, nil, 0, ErrShortFrame
 		}
-		return nil, 0, fmt.Errorf("%w: %d", ErrBadVersion, v)
+		return 0, nil, 0, fmt.Errorf("%w: %d", ErrBadVersion, v)
 	}
-	t := MsgType(r.U8())
+	t = MsgType(r.U8())
 	plen := r.UVarint()
 	if r.Err() != nil {
-		return nil, 0, ErrShortFrame
+		return 0, nil, 0, ErrShortFrame
 	}
 	if plen > MaxPayload {
-		return nil, 0, fmt.Errorf("%w: %d bytes", ErrTooLarge, plen)
+		return 0, nil, 0, fmt.Errorf("%w: %d bytes", ErrTooLarge, plen)
 	}
 	if uint64(r.Remaining()) < plen+4 {
-		return nil, 0, ErrShortFrame
+		return 0, nil, 0, ErrShortFrame
 	}
 	bodyEnd := len(frame) - r.Remaining() + int(plen)
-	payload := frame[len(frame)-r.Remaining() : bodyEnd]
+	payload = frame[len(frame)-r.Remaining() : bodyEnd]
 	want := binary.BigEndian.Uint32(frame[bodyEnd : bodyEnd+4])
 	if got := crc32.ChecksumIEEE(frame[:bodyEnd]); got != want {
-		return nil, 0, ErrBadChecksum
+		return 0, nil, 0, ErrBadChecksum
+	}
+	return t, payload, bodyEnd + 4, nil
+}
+
+// Decode parses a frame produced by Encode, validating magic, version,
+// length, and checksum. It returns the decoded message and the total frame
+// size consumed, allowing streams of concatenated frames to be parsed.
+// The message is freshly allocated; receive loops that can respect the
+// Decoder contract should prefer Decoder.Decode, which allocates nothing.
+func Decode(frame []byte) (Message, int, error) {
+	t, payload, size, err := parseFrame(frame)
+	if err != nil {
+		return nil, 0, err
 	}
 	msg, err := newMessage(t)
 	if err != nil {
@@ -132,7 +145,99 @@ func Decode(frame []byte) (Message, int, error) {
 	if err := msg.decode(NewReader(payload)); err != nil {
 		return nil, 0, fmt.Errorf("decoding %v: %w", t, err)
 	}
-	return msg, bodyEnd + 4, nil
+	return msg, size, nil
+}
+
+// Decoder is the pooled receive path: it owns one reusable message value per
+// wire type plus a reusable payload reader, so steady-state decoding
+// allocates nothing (byte-slice message fields — expressions, media data —
+// are still fresh copies and safe to retain).
+//
+// The returned Message is valid until the Decoder's next Decode call; callers
+// must consume (or copy) it before decoding the next frame. A Decoder is not
+// safe for concurrent use — one per receive goroutine.
+type Decoder struct {
+	r        Reader
+	hello    Hello
+	helloAck HelloAck
+	join     Join
+	leave    Leave
+	pose     PoseUpdate
+	expr     ExpressionUpdate
+	seat     SeatAssign
+	snapshot Snapshot
+	delta    Delta
+	ack      Ack
+	ping     Ping
+	pong     Pong
+	video    VideoChunk
+	audio    AudioFrame
+	activity ActivityEvent
+	nack     Nack
+}
+
+// message returns the Decoder's reusable value for a wire type.
+func (d *Decoder) message(t MsgType) (Message, error) {
+	switch t {
+	case TypeHello:
+		return &d.hello, nil
+	case TypeHelloAck:
+		return &d.helloAck, nil
+	case TypeJoin:
+		return &d.join, nil
+	case TypeLeave:
+		return &d.leave, nil
+	case TypePoseUpdate:
+		return &d.pose, nil
+	case TypeExpressionUpdate:
+		return &d.expr, nil
+	case TypeSeatAssign:
+		return &d.seat, nil
+	case TypeSnapshot:
+		return &d.snapshot, nil
+	case TypeDelta:
+		return &d.delta, nil
+	case TypeAck:
+		return &d.ack, nil
+	case TypePing:
+		return &d.ping, nil
+	case TypePong:
+		return &d.pong, nil
+	case TypeVideoChunk:
+		return &d.video, nil
+	case TypeAudioFrame:
+		return &d.audio, nil
+	case TypeActivityEvent:
+		return &d.activity, nil
+	case TypeNack:
+		return &d.nack, nil
+	default:
+		return nil, fmt.Errorf("%w: unknown type %d", ErrBadMessage, uint8(t))
+	}
+}
+
+// Decode parses a frame like the package-level Decode but into the Decoder's
+// reusable message values. Message decode methods reuse slice capacity
+// (Snapshot.Entities, Delta.Changed/Removed) across calls, so the hot
+// replication receive path performs zero allocations per frame.
+func (d *Decoder) Decode(frame []byte) (Message, int, error) {
+	t, payload, size, err := parseFrame(frame)
+	if err != nil {
+		return nil, 0, err
+	}
+	msg, err := d.message(t)
+	if err != nil {
+		return nil, 0, err
+	}
+	d.r = Reader{buf: payload}
+	if err := msg.decode(&d.r); err != nil {
+		// Never retain scratch grown for a frame that failed to decode: a
+		// malformed frame must not pin oversized slices in the pool.
+		d.snapshot.Entities = nil
+		d.delta.Changed, d.delta.Removed = nil, nil
+		return nil, 0, fmt.Errorf("decoding %v: %w", t, err)
+	}
+	return msg, size, nil
 }
 
 // EncodedSize returns the frame size Encode would produce for msg, without

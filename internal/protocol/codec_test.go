@@ -310,3 +310,27 @@ func BenchmarkEncodeSnapshot100(b *testing.B) {
 		}
 	}
 }
+
+// TestDecoderCoversAllWireTypes locks the pooled Decoder's type dispatch to
+// newMessage's: a wire type added to one but not the other (which would make
+// every production receive loop reject it while one-shot tests pass) fails
+// here instead of silently drifting.
+func TestDecoderCoversAllWireTypes(t *testing.T) {
+	var dec Decoder
+	for mt := TypeHello; mt < typeMax; mt++ {
+		m1, err1 := newMessage(mt)
+		m2, err2 := dec.message(mt)
+		if err1 != nil || err2 != nil {
+			t.Fatalf("type %v: newMessage err=%v, Decoder.message err=%v", mt, err1, err2)
+		}
+		if m1.Type() != mt || m2.Type() != mt {
+			t.Fatalf("type %v: newMessage -> %v, Decoder.message -> %v", mt, m1.Type(), m2.Type())
+		}
+	}
+	if _, err := dec.message(typeMax); err == nil {
+		t.Error("Decoder.message accepted an unknown type")
+	}
+	if _, err := newMessage(typeMax); err == nil {
+		t.Error("newMessage accepted an unknown type")
+	}
+}

@@ -1,0 +1,174 @@
+package protocol
+
+import (
+	"bytes"
+	"testing"
+	"time"
+)
+
+// fuzzSeedMessages is one representative message per wire type, covering
+// every decode path (strings, byte blobs, entity lists, varint extremes).
+func fuzzSeedMessages() []Message {
+	return []Message{
+		&Hello{Participant: 7, Classroom: 2, Role: RoleEducator, Name: "prof"},
+		&HelloAck{Participant: 7, TickRateHz: 30, ServerTick: 1 << 40},
+		&Join{Participant: 9, Classroom: 1, Role: RoleLearner, Name: "学生", AvatarLoD: 2},
+		&Leave{Participant: 9, Reason: "left"},
+		&PoseUpdate{
+			Participant: 3, Seq: 1000, CapturedAt: 90 * time.Second,
+			Pose:   WirePose{PosMM: [3]int64{-1200, 0, 34000}, Quat: [4]int16{32767, -1, 2, -3}},
+			VelMMS: [3]int64{-50, 0, 1400},
+		},
+		&ExpressionUpdate{Participant: 3, Seq: 2, Weights: []byte{0, 128, 255}},
+		&SeatAssign{Participant: 3, Classroom: 2, SeatIndex: 17,
+			Correction: WirePose{PosMM: [3]int64{1, 2, 3}, Quat: [4]int16{32767, 0, 0, 0}}},
+		&Snapshot{Tick: 5, Entities: []EntityState{
+			{Participant: 1, Home: 1, CapturedAt: time.Second,
+				Pose:   WirePose{PosMM: [3]int64{10, 20, 30}, Quat: [4]int16{32767, 0, 0, 0}},
+				VelMMS: [3]int64{1, 2, 3}, Expression: []byte{9}, Seat: 4, Flags: FlagSpeaking},
+			{Participant: 2},
+		}},
+		&Delta{BaseTick: 4, Tick: 6,
+			Changed: []EntityState{{Participant: 2, CapturedAt: 2 * time.Second}},
+			Removed: []ParticipantID{1, 99}},
+		&Ack{Participant: 5, Tick: 77},
+		&Ping{Nonce: 42, SentAt: 3 * time.Second},
+		&Pong{Nonce: 42, SentAt: 3 * time.Second},
+		&VideoChunk{Stream: 1, FrameID: 2, GroupK: 8, GroupR: 3, ShardIndex: 9,
+			Keyframe: true, Deadline: time.Second, Data: []byte{1, 2, 3, 4}},
+		&AudioFrame{Participant: 4, Seq: 6, CapturedAt: time.Second, Data: []byte{5, 6}},
+		&ActivityEvent{Participant: 4, Activity: 1, Kind: "quiz", Payload: []byte("a=1")},
+		&Nack{Stream: 1, FrameID: 2, Missing: []byte{0, 9}},
+	}
+}
+
+func addSeedFrames(f *testing.F) {
+	f.Helper()
+	for _, msg := range fuzzSeedMessages() {
+		frame, err := Encode(msg)
+		if err != nil {
+			f.Fatalf("encoding %v seed: %v", msg.Type(), err)
+		}
+		f.Add(frame)
+		// A truncated and a corrupted variant steer the fuzzer toward the
+		// bounds-checking and checksum paths from the start.
+		f.Add(frame[:len(frame)/2])
+		flipped := bytes.Clone(frame)
+		flipped[len(flipped)/2] ^= 0x40
+		f.Add(flipped)
+	}
+	f.Add([]byte{})
+	f.Add([]byte{0x4D, 0x43, 1, 0xFF})
+}
+
+// FuzzDecode feeds arbitrary bytes to both decode paths: neither may panic,
+// over-read, or disagree with the other about validity and result.
+func FuzzDecode(f *testing.F) {
+	addSeedFrames(f)
+	f.Fuzz(func(t *testing.T, frame []byte) {
+		msg, n, err := Decode(frame)
+		var dec Decoder
+		pmsg, pn, perr := dec.Decode(frame)
+		if (err == nil) != (perr == nil) {
+			t.Fatalf("Decode err = %v but Decoder err = %v", err, perr)
+		}
+		if err != nil {
+			return
+		}
+		if n <= 0 || n > len(frame) {
+			t.Fatalf("consumed %d bytes of a %d-byte input", n, len(frame))
+		}
+		if pn != n {
+			t.Fatalf("Decoder consumed %d, Decode consumed %d", pn, n)
+		}
+		if msg.Type() != pmsg.Type() {
+			t.Fatalf("Decode type %v != Decoder type %v", msg.Type(), pmsg.Type())
+		}
+		// Both decodes of the same frame must re-encode identically.
+		f1, err1 := Encode(msg)
+		f2, err2 := Encode(pmsg)
+		if err1 != nil || err2 != nil {
+			t.Fatalf("re-encode failed: %v / %v", err1, err2)
+		}
+		if !bytes.Equal(f1, f2) {
+			t.Fatalf("one-shot and pooled decodes re-encode differently:\n%x\n%x", f1, f2)
+		}
+	})
+}
+
+// FuzzRoundTrip asserts Encode∘Decode is a fixed point: any frame the decoder
+// accepts normalizes in one hop — decoding the re-encoded frame and encoding
+// again must reproduce it byte for byte. (The raw input itself may differ
+// from its re-encoding: varint fields tolerate non-minimal encodings.)
+func FuzzRoundTrip(f *testing.F) {
+	addSeedFrames(f)
+	f.Fuzz(func(t *testing.T, frame []byte) {
+		msg, _, err := Decode(frame)
+		if err != nil {
+			return
+		}
+		f1, err := Encode(msg)
+		if err != nil {
+			// A decoded message always fits MaxPayload; re-encode cannot fail.
+			t.Fatalf("re-encoding decoded %v: %v", msg.Type(), err)
+		}
+		msg2, n2, err := Decode(f1)
+		if err != nil {
+			t.Fatalf("decoding re-encoded %v: %v", msg.Type(), err)
+		}
+		if n2 != len(f1) {
+			t.Fatalf("re-encoded frame is %d bytes but decode consumed %d", len(f1), n2)
+		}
+		f2, err := Encode(msg2)
+		if err != nil {
+			t.Fatalf("second re-encode of %v: %v", msg.Type(), err)
+		}
+		if !bytes.Equal(f1, f2) {
+			t.Fatalf("Encode∘Decode not a fixed point for %v:\n%x\n%x", msg.Type(), f1, f2)
+		}
+	})
+}
+
+// benchDeltaFrame is a realistic 32-entity delta frame for decode benches.
+func benchDeltaFrame(b *testing.B) []byte {
+	b.Helper()
+	d := &Delta{BaseTick: 100, Tick: 101}
+	for i := 0; i < 32; i++ {
+		d.Changed = append(d.Changed, EntityState{
+			Participant: ParticipantID(i + 1),
+			CapturedAt:  time.Duration(i) * time.Millisecond,
+			Pose:        WirePose{PosMM: [3]int64{int64(i) * 1200, 0, 4000}, Quat: [4]int16{32767, 0, 0, 0}},
+			VelMMS:      [3]int64{100, 0, -100},
+		})
+	}
+	frame, err := Encode(d)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return frame
+}
+
+// BenchmarkDecodeDelta32 is the one-shot decode path (allocates the message,
+// reader, and entity slice per frame).
+func BenchmarkDecodeDelta32(b *testing.B) {
+	frame := benchDeltaFrame(b)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := Decode(frame); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkDecoderDelta32 is the pooled receive path: zero allocations per
+// frame once the Decoder's scratch has warmed.
+func BenchmarkDecoderDelta32(b *testing.B) {
+	frame := benchDeltaFrame(b)
+	var dec Decoder
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := dec.Decode(frame); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -419,16 +419,32 @@ func (m *Snapshot) decode(r *Reader) error {
 	if r.Err() != nil {
 		return r.Err()
 	}
-	if n > uint64(r.Remaining()) { // each entity is >1 byte; cheap bound check
+	if n > uint64(r.Remaining())/minEntityWire {
 		return fmt.Errorf("%w: snapshot claims %d entities", ErrBadMessage, n)
 	}
-	if n > 0 {
-		m.Entities = make([]EntityState, n)
-		for i := range m.Entities {
-			m.Entities[i].decode(r)
-		}
+	m.Entities = growEntities(m.Entities, n)
+	for i := range m.Entities {
+		m.Entities[i].decode(r)
 	}
 	return r.ExpectEOF()
+}
+
+// minEntityWire is the smallest possible encoded EntityState: participant(4)
+// + home(2) + minimal varints for capture stamp(1), position(3), velocity(3)
+// + quaternion(8) + expression length(1) + seat(2) + flags(1) = 25 bytes. It
+// bounds the entity count a Snapshot/Delta header may claim, so a forged
+// count cannot force a huge up-front slice allocation (which a pooled
+// Decoder would then retain as scratch).
+const minEntityWire = 25
+
+// growEntities resizes s to n elements, reusing capacity when the slice is a
+// Decoder's retained scratch; every element is fully overwritten by decode.
+// A one-shot decode (nil s) of zero entities stays nil.
+func growEntities(s []EntityState, n uint64) []EntityState {
+	if uint64(cap(s)) >= n {
+		return s[:n]
+	}
+	return make([]EntityState, n)
 }
 
 // Delta carries only entities changed since BaseTick (which the receiver
@@ -463,14 +479,12 @@ func (m *Delta) decode(r *Reader) error {
 	if r.Err() != nil {
 		return r.Err()
 	}
-	if nc > uint64(r.Remaining()) {
+	if nc > uint64(r.Remaining())/minEntityWire {
 		return fmt.Errorf("%w: delta claims %d changes", ErrBadMessage, nc)
 	}
-	if nc > 0 {
-		m.Changed = make([]EntityState, nc)
-		for i := range m.Changed {
-			m.Changed[i].decode(r)
-		}
+	m.Changed = growEntities(m.Changed, nc)
+	for i := range m.Changed {
+		m.Changed[i].decode(r)
 	}
 	nr := r.UVarint()
 	if r.Err() != nil {
@@ -479,8 +493,13 @@ func (m *Delta) decode(r *Reader) error {
 	if nr > uint64(r.Remaining())/4+1 {
 		return fmt.Errorf("%w: delta claims %d removals", ErrBadMessage, nr)
 	}
+	m.Removed = m.Removed[:0]
 	if nr > 0 {
-		m.Removed = make([]ParticipantID, nr)
+		if uint64(cap(m.Removed)) < nr {
+			m.Removed = make([]ParticipantID, nr)
+		} else {
+			m.Removed = m.Removed[:nr]
+		}
 		for i := range m.Removed {
 			m.Removed[i] = ParticipantID(r.U32())
 		}

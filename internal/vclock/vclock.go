@@ -26,11 +26,23 @@ var ErrStopped = errors.New("vclock: simulation stopped")
 
 // Event is a scheduled callback. The callback runs with the clock set to the
 // event's due time.
+//
+// Events come in two flavors: handle events (returned by At/After, never
+// recycled, cancellable via Cancel) and pooled events (scheduled by
+// AtCall/AfterCall/Ticker, recycled through the simulator's freelist after
+// firing). Pooled events never escape to callers, so a recycled Event can
+// only ever be reached through the generation-checked internal cancel path.
 type Event struct {
-	due   time.Duration
-	seq   uint64 // insertion order, tie-break for equal due times
-	fn    func()
-	index int // heap index, -1 when popped or cancelled
+	due time.Duration
+	seq uint64 // insertion order, tie-break for equal due times
+	// Exactly one of fn / fnArg is set. fnArg(arg) avoids a closure
+	// allocation for callers that thread their state through arg.
+	fn     func()
+	fnArg  func(any)
+	arg    any
+	index  int    // heap index, -1 when popped or cancelled
+	gen    uint64 // incremented each recycle; guards stale pooled handles
+	pooled bool   // recycle into the freelist after firing/cancelling
 }
 
 // Cancelled reports whether the event was cancelled or already fired.
@@ -76,6 +88,10 @@ type Sim struct {
 	rng     *rand.Rand
 	stopped bool
 	fired   uint64
+
+	// free recycles pooled events so steady-state schedulers (tickers, the
+	// network simulator's deliveries) allocate no timer state per event.
+	free []*Event
 }
 
 // New creates a simulator with virtual time zero and an RNG seeded with seed.
@@ -96,17 +112,40 @@ func (s *Sim) Fired() uint64 { return s.fired }
 // Pending returns the number of events waiting in the queue.
 func (s *Sim) Pending() int { return len(s.queue) }
 
+// schedule is the single enqueue path. Pooled events are drawn from the
+// freelist; handle events are freshly allocated so the returned pointer stays
+// valid (and Cancel-safe) forever.
+func (s *Sim) schedule(due time.Duration, fn func(), fnArg func(any), arg any, pooled bool) *Event {
+	if due < s.now {
+		panic(fmt.Sprintf("vclock: scheduling at %v before now %v", due, s.now))
+	}
+	var e *Event
+	if pooled && len(s.free) > 0 {
+		e = s.free[len(s.free)-1]
+		s.free = s.free[:len(s.free)-1]
+	} else {
+		e = &Event{}
+	}
+	e.due, e.seq, e.fn, e.fnArg, e.arg, e.pooled = due, s.seq, fn, fnArg, arg, pooled
+	s.seq++
+	heap.Push(&s.queue, e)
+	return e
+}
+
+// recycle returns a popped/cancelled pooled event to the freelist, releasing
+// any captured callback state and bumping the generation so stale internal
+// handles can never reach the reused event.
+func (s *Sim) recycle(e *Event) {
+	e.fn, e.fnArg, e.arg = nil, nil, nil
+	e.gen++
+	s.free = append(s.free, e)
+}
+
 // At schedules fn to run at absolute virtual time due. Scheduling in the past
 // (before Now) is an error in the model and panics: it always indicates a bug
 // in a component rather than a recoverable condition.
 func (s *Sim) At(due time.Duration, fn func()) *Event {
-	if due < s.now {
-		panic(fmt.Sprintf("vclock: scheduling at %v before now %v", due, s.now))
-	}
-	e := &Event{due: due, seq: s.seq, fn: fn}
-	s.seq++
-	heap.Push(&s.queue, e)
-	return e
+	return s.schedule(due, fn, nil, nil, false)
 }
 
 // After schedules fn to run delay after the current virtual time.
@@ -117,6 +156,25 @@ func (s *Sim) After(delay time.Duration, fn func()) *Event {
 	return s.At(s.now+delay, fn)
 }
 
+// AtCall schedules fn(arg) at absolute virtual time due on a pooled timer
+// event: after firing, the event is recycled, so steady-state callers
+// allocate nothing here. No handle is returned — pooled events cannot be
+// cancelled by callers. Passing state through arg (a pointer boxes
+// allocation-free) instead of capturing it keeps the callback itself
+// closure-free too.
+func (s *Sim) AtCall(due time.Duration, fn func(any), arg any) {
+	s.schedule(due, nil, fn, arg, true)
+}
+
+// AfterCall schedules fn(arg) delay after the current virtual time on a
+// pooled timer event (see AtCall).
+func (s *Sim) AfterCall(delay time.Duration, fn func(any), arg any) {
+	if delay < 0 {
+		delay = 0
+	}
+	s.AtCall(s.now+delay, fn, arg)
+}
+
 // Cancel removes a scheduled event. Cancelling an already-fired or
 // already-cancelled event is a no-op.
 func (s *Sim) Cancel(e *Event) {
@@ -125,6 +183,18 @@ func (s *Sim) Cancel(e *Event) {
 	}
 	heap.Remove(&s.queue, e.index)
 	e.index = -1
+	if e.pooled {
+		s.recycle(e)
+	}
+}
+
+// cancelPooled cancels a pooled event only if it is still the same logical
+// timer the caller scheduled (the generation matches) and it has not fired.
+func (s *Sim) cancelPooled(e *Event, gen uint64) {
+	if e == nil || e.gen != gen || e.index < 0 {
+		return
+	}
+	s.Cancel(e)
 }
 
 // Stop makes Run return ErrStopped after the current event completes.
@@ -139,7 +209,17 @@ func (s *Sim) Step() bool {
 	e := heap.Pop(&s.queue).(*Event)
 	s.now = e.due
 	s.fired++
-	e.fn()
+	fn, fnArg, arg := e.fn, e.fnArg, e.arg
+	if e.pooled {
+		// Recycle before running the callback: the event is already off the
+		// heap, so a callback that schedules immediately reuses this slot.
+		s.recycle(e)
+	}
+	if fn != nil {
+		fn()
+	} else {
+		fnArg(arg)
+	}
 	return true
 }
 
@@ -181,25 +261,32 @@ func (s *Sim) RunAll() error {
 // Ticker invokes fn every interval of virtual time, starting one interval
 // from now, until cancelled. It returns a cancel function. The next tick is
 // scheduled before fn runs, so fn may safely stop the ticker.
+//
+// Tick timer events ride the pooled freelist: a steady-state ticker allocates
+// nothing per tick. The pending event is tracked with its generation so
+// cancel removes exactly the tick it scheduled and never a recycled reuse.
 func (s *Sim) Ticker(interval time.Duration, fn func()) (cancel func()) {
 	if interval <= 0 {
 		panic("vclock: non-positive ticker interval")
 	}
 	var (
 		ev      *Event
+		gen     uint64
 		stopped bool
 	)
-	var tick func()
-	tick = func() {
+	var tick func(any)
+	tick = func(any) {
 		if stopped {
 			return
 		}
-		ev = s.After(interval, tick)
+		ev = s.schedule(s.now+interval, nil, tick, nil, true)
+		gen = ev.gen
 		fn()
 	}
-	ev = s.After(interval, tick)
+	ev = s.schedule(s.now+interval, nil, tick, nil, true)
+	gen = ev.gen
 	return func() {
 		stopped = true
-		s.Cancel(ev)
+		s.cancelPooled(ev, gen)
 	}
 }
