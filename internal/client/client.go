@@ -63,18 +63,21 @@ func (c *VRConfig) applyDefaults() {
 
 // VR is a remote learner's client endpoint.
 type VR struct {
-	cfg        VRConfig
-	sim        *vclock.Sim
-	net        *netsim.Network
-	replica    *core.Replica
-	reg        *metrics.Registry
-	dec        protocol.Decoder
-	ackScratch protocol.Ack
-	seq        uint32
-	exprSeq    uint32
-	nonce      uint64
-	cancel     func()
-	cancelPing func()
+	cfg         VRConfig
+	sim         *vclock.Sim
+	net         *netsim.Network
+	replica     *core.Replica
+	reg         *metrics.Registry
+	dec         protocol.Decoder
+	ackScratch  protocol.Ack
+	pingScratch protocol.Ping
+	poseScratch protocol.PoseUpdate
+	exprScratch protocol.ExpressionUpdate
+	seq         uint32
+	exprSeq     uint32
+	nonce       uint64
+	cancel      func()
+	cancelPing  func()
 }
 
 // NewVR creates a client and registers it on the network.
@@ -128,9 +131,9 @@ func (v *VR) Start() error {
 
 func (v *VR) ping() {
 	v.nonce++
-	msg := &protocol.Ping{Nonce: v.nonce, SentAt: v.sim.Now()}
-	if frame, err := protocol.Encode(msg); err == nil {
-		_ = v.net.Send(v.cfg.Addr, v.cfg.Server, frame)
+	v.pingScratch = protocol.Ping{Nonce: v.nonce, SentAt: v.sim.Now()}
+	if frame, err := protocol.EncodeFrame(&v.pingScratch); err == nil {
+		_ = v.net.SendFrame(v.cfg.Addr, v.cfg.Server, frame)
 	}
 }
 
@@ -150,7 +153,7 @@ func (v *VR) publish() {
 	now := v.sim.Now()
 	p := v.cfg.Script.PoseAt(now)
 	v.seq++
-	msg := &protocol.PoseUpdate{
+	v.poseScratch = protocol.PoseUpdate{
 		Participant: v.cfg.Participant,
 		Seq:         v.seq,
 		CapturedAt:  now,
@@ -159,19 +162,19 @@ func (v *VR) publish() {
 			int64(p.Velocity.X * 1000), int64(p.Velocity.Y * 1000), int64(p.Velocity.Z * 1000),
 		},
 	}
-	if frame, err := protocol.Encode(msg); err == nil {
+	if frame, err := protocol.EncodeFrame(&v.poseScratch); err == nil {
 		v.reg.Counter("publish.poses").Inc()
-		_ = v.net.Send(v.cfg.Addr, v.cfg.Server, frame)
+		_ = v.net.SendFrame(v.cfg.Addr, v.cfg.Server, frame)
 	}
 	if v.cfg.Expressions != nil {
 		v.exprSeq++
-		e := &protocol.ExpressionUpdate{
+		v.exprScratch = protocol.ExpressionUpdate{
 			Participant: v.cfg.Participant,
 			Seq:         v.exprSeq,
 			Weights:     v.cfg.Expressions(now).Quantize(),
 		}
-		if frame, err := protocol.Encode(e); err == nil {
-			_ = v.net.Send(v.cfg.Addr, v.cfg.Server, frame)
+		if frame, err := protocol.EncodeFrame(&v.exprScratch); err == nil {
+			_ = v.net.SendFrame(v.cfg.Addr, v.cfg.Server, frame)
 		}
 	}
 }
@@ -194,8 +197,8 @@ func (v *VR) HandleMessage(from netsim.Addr, payload []byte) {
 		}
 		v.reg.Counter("recv.updates").Inc()
 		v.ackScratch = protocol.Ack{Participant: v.cfg.Participant, Tick: ackTick}
-		if frame, err := protocol.Encode(&v.ackScratch); err == nil {
-			_ = v.net.Send(v.cfg.Addr, from, frame)
+		if frame, err := protocol.EncodeFrame(&v.ackScratch); err == nil {
+			_ = v.net.SendFrame(v.cfg.Addr, from, frame)
 		}
 	default:
 		v.reg.Counter("recv.unhandled").Inc()

@@ -294,12 +294,13 @@ func (s *Server) Start() error {
 	return nil
 }
 
-// Stop halts the tick loop.
+// Stop halts the tick loop and releases the last tick's cohort frames.
 func (s *Server) Stop() {
 	if s.cancel != nil {
 		s.cancel()
 		s.cancel = nil
 	}
+	s.frames.Reset()
 }
 
 func (s *Server) tick() {
@@ -331,8 +332,9 @@ func (s *Server) tick() {
 		s.grid.Remove(id)
 	}
 
-	// Fan out: encode each cohort's payload once, send the identical frame
-	// to every cohort member.
+	// Fan out: encode each cohort's payload once into a pooled frame, send
+	// the identical frame to every cohort member (one reference each; the
+	// network releases it on delivery, loss, or drop).
 	s.frames.Reset()
 	for _, pm := range s.repl.PlanTick() {
 		frame := s.frames.FrameFor(pm)
@@ -341,8 +343,8 @@ func (s *Server) tick() {
 			continue
 		}
 		s.fm.syncMsgsSent.Inc()
-		s.fm.syncBytesSent.Add(uint64(len(frame)))
-		if err := s.net.Send(s.cfg.Addr, netsim.Addr(pm.Peer), frame); err != nil {
+		s.fm.syncBytesSent.Add(uint64(frame.Len()))
+		if err := s.net.SendFrame(s.cfg.Addr, netsim.Addr(pm.Peer), frame); err != nil {
 			s.fm.sendErrors.Inc()
 		}
 	}
@@ -379,8 +381,8 @@ func (s *Server) HandleMessage(from netsim.Addr, payload []byte) {
 			return
 		}
 		s.ackScratch = protocol.Ack{Tick: ackTick}
-		if frame, err := protocol.Encode(&s.ackScratch); err == nil {
-			_ = s.net.Send(s.cfg.Addr, from, frame)
+		if frame, err := protocol.EncodeFrame(&s.ackScratch); err == nil {
+			_ = s.net.SendFrame(s.cfg.Addr, from, frame)
 		}
 	case *protocol.Ack:
 		if err := s.repl.Ack(string(from), m.Tick); err != nil {
@@ -392,8 +394,8 @@ func (s *Server) HandleMessage(from netsim.Addr, payload []byte) {
 		s.ingestClientExpression(m)
 	case *protocol.Ping:
 		s.pongScratch = protocol.Pong{Nonce: m.Nonce, SentAt: m.SentAt}
-		if frame, err := protocol.Encode(&s.pongScratch); err == nil {
-			_ = s.net.Send(s.cfg.Addr, from, frame)
+		if frame, err := protocol.EncodeFrame(&s.pongScratch); err == nil {
+			_ = s.net.SendFrame(s.cfg.Addr, from, frame)
 		}
 	default:
 		s.reg.Counter("recv.unhandled").Inc()

@@ -149,12 +149,13 @@ func (r *Relay) Start() error {
 	return nil
 }
 
-// Stop halts the loop.
+// Stop halts the loop and releases the last tick's cohort frames.
 func (r *Relay) Stop() {
 	if r.cancel != nil {
 		r.cancel()
 		r.cancel = nil
 	}
+	r.frames.Reset()
 }
 
 func (r *Relay) tick() {
@@ -179,7 +180,8 @@ func (r *Relay) tick() {
 		r.mirror.Remove(id)
 		r.grid.Remove(id)
 	}
-	// Fan out: encode once per cohort, send the shared frame to members.
+	// Fan out: encode once per cohort into a pooled frame, send the shared
+	// frame to members (one reference each, released by the network).
 	r.frames.Reset()
 	for _, pm := range r.repl.PlanTick() {
 		frame := r.frames.FrameFor(pm)
@@ -188,8 +190,8 @@ func (r *Relay) tick() {
 			continue
 		}
 		r.fm.syncMsgsSent.Inc()
-		r.fm.syncBytesSent.Add(uint64(len(frame)))
-		if err := r.net.Send(r.cfg.Addr, netsim.Addr(pm.Peer), frame); err != nil {
+		r.fm.syncBytesSent.Add(uint64(frame.Len()))
+		if err := r.net.SendFrame(r.cfg.Addr, netsim.Addr(pm.Peer), frame); err != nil {
 			r.fm.sendErrors.Inc()
 		}
 	}
@@ -211,8 +213,8 @@ func (r *Relay) HandleMessage(from netsim.Addr, payload []byte) {
 				return
 			}
 			r.ackScratch = protocol.Ack{Tick: ackTick}
-			if frame, err := protocol.Encode(&r.ackScratch); err == nil {
-				_ = r.net.Send(r.cfg.Addr, from, frame)
+			if frame, err := protocol.EncodeFrame(&r.ackScratch); err == nil {
+				_ = r.net.SendFrame(r.cfg.Addr, from, frame)
 			}
 		default:
 			r.reg.Counter("recv.unhandled").Inc()
@@ -234,13 +236,16 @@ func (r *Relay) HandleMessage(from netsim.Addr, payload []byte) {
 	}
 	if ping, ok := msg.(*protocol.Ping); ok {
 		r.pongScratch = protocol.Pong{Nonce: ping.Nonce, SentAt: ping.SentAt}
-		if frame, err := protocol.Encode(&r.pongScratch); err == nil {
-			_ = r.net.Send(r.cfg.Addr, from, frame)
+		if frame, err := protocol.EncodeFrame(&r.pongScratch); err == nil {
+			_ = r.net.SendFrame(r.cfg.Addr, from, frame)
 		}
 		return
 	}
 	r.reg.Counter("forwarded.up").Inc()
-	_ = r.net.Send(r.cfg.Addr, r.cfg.Upstream, payload)
+	// payload is only borrowed for the duration of this callback (its frame
+	// is recycled when we return), so the forwarded copy re-owns the bytes
+	// in a pooled frame of its own.
+	_ = r.net.SendFrame(r.cfg.Addr, r.cfg.Upstream, protocol.CopyFrame(payload))
 }
 
 // ClientCount returns the number of clients served locally.

@@ -2,46 +2,55 @@ package core
 
 import "metaclass/internal/protocol"
 
-// encodeFailed marks a cohort whose payload could not be encoded (a real
-// frame is never empty).
-var encodeFailed = []byte{}
+// encodeFailed marks a cohort whose payload could not be encoded; it is
+// only ever compared by pointer, never used as a frame.
+var encodeFailed = &protocol.Frame{}
 
-// FrameCache turns a PlanTick result into wire frames, encoding each
-// distinct cohort payload exactly once per tick and handing the identical
-// frame to every cohort member. The cohort->frame table is recycled across
-// ticks; the frames themselves are freshly allocated (the network layer
-// retains them until delivery).
+// FrameCache turns a PlanTick result into refcounted wire frames, encoding
+// each distinct cohort payload exactly once per tick and handing the
+// identical pooled frame to every cohort member with one reference per
+// recipient. The cache itself holds one base reference per cohort frame,
+// dropped at the next Reset, so a frame's bytes live exactly as long as the
+// slowest in-flight copy needs them and then return to the frame pool.
 type FrameCache struct {
-	frames [][]byte
+	frames []*protocol.Frame
 }
 
-// Reset clears the table for a new tick. Call before iterating a new
-// PlanTick result.
+// Reset releases the cache's base reference on every cohort frame and
+// clears the table for a new tick. Call before iterating a new PlanTick
+// result, and once more when the owning server stops (so the final tick's
+// frames are not pinned forever).
 func (c *FrameCache) Reset() {
-	for i := range c.frames {
+	for i, f := range c.frames {
+		if f != nil && f != encodeFailed {
+			f.Release()
+		}
 		c.frames[i] = nil
 	}
 	c.frames = c.frames[:0]
 }
 
-// FrameFor returns the encoded frame for pm, encoding its cohort's payload
-// on first use this tick. It returns nil when encoding failed (callers
-// should count an encode error per affected peer, matching per-peer
-// encoding semantics).
-func (c *FrameCache) FrameFor(pm PeerMessage) []byte {
+// FrameFor returns the encoded frame for pm with one reference owned by the
+// caller, encoding its cohort's payload on first use this tick. The caller
+// must consume that reference exactly once — normally by passing the frame
+// to netsim.Network.SendFrame, which releases it on every outcome. It
+// returns nil when encoding failed (callers should count an encode error
+// per affected peer, matching per-peer encoding semantics).
+func (c *FrameCache) FrameFor(pm PeerMessage) *protocol.Frame {
 	for pm.Cohort >= len(c.frames) {
 		c.frames = append(c.frames, nil)
 	}
-	frame := c.frames[pm.Cohort]
-	if frame == nil {
+	f := c.frames[pm.Cohort]
+	if f == nil {
 		var err error
-		if frame, err = protocol.Encode(pm.Msg); err != nil {
-			frame = encodeFailed
+		if f, err = protocol.EncodeFrame(pm.Msg); err != nil {
+			f = encodeFailed
 		}
-		c.frames[pm.Cohort] = frame
+		c.frames[pm.Cohort] = f
 	}
-	if len(frame) == 0 {
+	if f == encodeFailed {
 		return nil
 	}
-	return frame
+	f.Retain()
+	return f
 }

@@ -52,6 +52,9 @@ type peerState struct {
 	// Valid until the peer's next planned delta, matching the PlanTick
 	// result contract.
 	scratch *protocol.Delta
+	// snapScratch is the reusable per-peer Snapshot for filtered peers,
+	// with the same lifetime contract as scratch.
+	snapScratch *protocol.Snapshot
 }
 
 // deltaCohort memoizes one distinct delta built during a PlanTick. A nil msg
@@ -83,11 +86,13 @@ type Replicator struct {
 	// plan and deltaCohorts are per-tick scratch, reused across PlanTick
 	// calls to keep the hot path allocation-free. cohortScratch recycles the
 	// shared cohort Delta messages tick to tick (a cohort message is valid
-	// until the next PlanTick, per the result contract).
+	// until the next PlanTick, per the result contract), and snapScratch
+	// does the same for the shared snapshot cohort's message.
 	plan          []PeerMessage
 	deltaCohorts  map[uint64]deltaCohort
 	cohortScratch []*protocol.Delta
 	cohortsUsed   int
+	snapScratch   *protocol.Snapshot
 
 	// pruneDirty defers removal-log pruning to once per PlanTick: acks only
 	// record their tick, so a fully-acking classroom costs O(peers) per tick
@@ -243,12 +248,20 @@ func (r *Replicator) PlanTick() []PeerMessage {
 			var snap *protocol.Snapshot
 			var cohort int
 			if p.boundFilter != nil {
-				snap = r.store.Snapshot(p.boundFilter)
+				if p.snapScratch == nil {
+					p.snapScratch = &protocol.Snapshot{}
+				}
+				r.store.SnapshotInto(p.boundFilter, p.snapScratch)
+				snap = p.snapScratch
 				cohort = nextCohort
 				nextCohort++
 			} else {
 				if sharedSnap == nil {
-					sharedSnap = r.store.Snapshot(nil)
+					if r.snapScratch == nil {
+						r.snapScratch = &protocol.Snapshot{}
+					}
+					r.store.SnapshotInto(nil, r.snapScratch)
+					sharedSnap = r.snapScratch
 					sharedSnapCohort = nextCohort
 					nextCohort++
 				}

@@ -212,18 +212,27 @@ func (s *Store) Range(fn func(id protocol.ParticipantID, e protocol.EntityState)
 // Snapshot builds a full-state message at the current tick. If filter is
 // non-nil, only entities it admits are included.
 func (s *Store) Snapshot(filter func(protocol.ParticipantID) bool) *protocol.Snapshot {
-	ids := s.sortedIDs()
-	msg := &protocol.Snapshot{Tick: s.tick}
+	msg := &protocol.Snapshot{}
 	if filter == nil {
-		msg.Entities = make([]protocol.EntityState, 0, len(ids))
+		msg.Entities = make([]protocol.EntityState, 0, len(s.sortedIDs()))
 	}
-	for _, id := range ids {
+	s.SnapshotInto(filter, msg)
+	return msg
+}
+
+// SnapshotInto is Snapshot building into msg, reusing its Entities
+// capacity; the replicator threads per-peer/cohort scratch messages through
+// it so steady-state snapshot planning allocates nothing (mirroring what
+// DeltaSinceInto does for deltas and the pooled Decoder does on receive).
+func (s *Store) SnapshotInto(filter func(protocol.ParticipantID) bool, msg *protocol.Snapshot) {
+	msg.Tick = s.tick
+	msg.Entities = msg.Entities[:0]
+	for _, id := range s.sortedIDs() {
 		if filter != nil && !filter(id) {
 			continue
 		}
 		msg.Entities = append(msg.Entities, s.entities[id].state)
 	}
-	return msg
 }
 
 // DeltaSince builds a delta of changes after base, up to the current tick.

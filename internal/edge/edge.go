@@ -297,13 +297,15 @@ func (s *Server) Start() error {
 	return nil
 }
 
-// Stop halts the tick loop. Safe to call repeatedly.
+// Stop halts the tick loop and releases the last tick's cohort frames.
+// Safe to call repeatedly.
 func (s *Server) Stop() {
 	if s.cancel != nil {
 		s.cancel()
 		s.cancel = nil
 	}
 	s.started = false
+	s.frames.Reset()
 }
 
 func (s *Server) tick() {
@@ -345,8 +347,9 @@ func (s *Server) tick() {
 		})
 	}
 
-	// Replicate to peers: encode once per cohort (both sync partners share
-	// the same frame whenever their ack baselines coincide).
+	// Replicate to peers: encode once per cohort into a pooled frame (both
+	// sync partners share the same frame whenever their ack baselines
+	// coincide); the network releases each recipient's reference.
 	s.frames.Reset()
 	for _, pm := range s.repl.PlanTick() {
 		frame := s.frames.FrameFor(pm)
@@ -355,8 +358,8 @@ func (s *Server) tick() {
 			continue
 		}
 		s.mSyncMsgsSent.Inc()
-		s.mSyncBytesSent.Add(uint64(len(frame)))
-		if err := s.net.Send(s.cfg.Addr, netsim.Addr(pm.Peer), frame); err != nil {
+		s.mSyncBytesSent.Add(uint64(frame.Len()))
+		if err := s.net.SendFrame(s.cfg.Addr, netsim.Addr(pm.Peer), frame); err != nil {
 			s.mSendErrors.Inc()
 		}
 	}
@@ -383,8 +386,8 @@ func (s *Server) HandleMessage(from netsim.Addr, payload []byte) {
 			return
 		}
 		s.ackScratch = protocol.Ack{Tick: ackTick}
-		if frame, err := protocol.Encode(&s.ackScratch); err == nil {
-			_ = s.net.Send(s.cfg.Addr, from, frame)
+		if frame, err := protocol.EncodeFrame(&s.ackScratch); err == nil {
+			_ = s.net.SendFrame(s.cfg.Addr, from, frame)
 		}
 	case *protocol.Ack:
 		if err := s.repl.Ack(string(from), m.Tick); err != nil {
@@ -392,8 +395,8 @@ func (s *Server) HandleMessage(from netsim.Addr, payload []byte) {
 		}
 	case *protocol.Ping:
 		s.pongScratch = protocol.Pong{Nonce: m.Nonce, SentAt: m.SentAt}
-		if frame, err := protocol.Encode(&s.pongScratch); err == nil {
-			_ = s.net.Send(s.cfg.Addr, from, frame)
+		if frame, err := protocol.EncodeFrame(&s.pongScratch); err == nil {
+			_ = s.net.SendFrame(s.cfg.Addr, from, frame)
 		}
 	default:
 		s.reg.Counter("recv.unhandled").Inc()

@@ -78,7 +78,10 @@ func diffLines(a, b string) string {
 // counter, every histogram quantile, every network stat — with interest
 // management on and off. Any hidden source of nondeterminism (map iteration
 // reaching the RNG, pooling changing event order, host-time leakage) shows
-// up here as a readable diff.
+// up here as a readable diff. TestE5CrossRunDeterminism and
+// TestE9CrossRunDeterminism extend the same gate to the relay topology and
+// the dead-reckoning table, so a refactor of the shared frame/send path is
+// checked against more than one experiment's registry.
 func TestE4CrossRunDeterminism(t *testing.T) {
 	for _, interest := range []bool{true, false} {
 		mode := "broadcast"
@@ -95,5 +98,97 @@ func TestE4CrossRunDeterminism(t *testing.T) {
 				t.Fatalf("fingerprint is missing expected metrics:\n%s", run1)
 			}
 		})
+	}
+}
+
+// relayFingerprint runs a short E5-style deployment — one campus feeding
+// the cloud, a far regional relay with its own clients, plus direct clients
+// — and renders every registry it produced (cloud, relay, each client) and
+// the network totals into one canonical string. The relay path exercises
+// the forwarded-upstream copy and the two-stage fan-out that E4's topology
+// does not.
+func relayFingerprint(t *testing.T, seed int64) string {
+	t.Helper()
+	d, err := classroom.NewDeployment(classroom.Config{Seed: seed})
+	if err != nil {
+		t.Fatalf("build deployment: %v", err)
+	}
+	gz, err := d.AddCampus("gz", 1)
+	if err != nil {
+		t.Fatalf("add campus: %v", err)
+	}
+	if _, err := gz.AddEducator("prof", trace.Lecturer{
+		Left: mathx.V3(-3, 0, 0), Right: mathx.V3(3, 0, 0)}); err != nil {
+		t.Fatalf("add educator: %v", err)
+	}
+	relay, err := d.AddRelay("far", netsim.LinkConfig{
+		Latency: 170 * time.Millisecond, Jitter: 2 * time.Millisecond,
+		LossRate: 0.005, Bandwidth: 10e9,
+	})
+	if err != nil {
+		t.Fatalf("add relay: %v", err)
+	}
+	for i := 0; i < 3; i++ {
+		if _, _, err := d.AddRemoteLearnerVia(relay, "v", trace.Seated{Phase: float64(i)},
+			netsim.ResidentialBroadband(8*time.Millisecond)); err != nil {
+			t.Fatalf("add relay learner %d: %v", i, err)
+		}
+	}
+	for i := 0; i < 2; i++ {
+		if _, _, err := d.AddRemoteLearner("u", trace.Seated{Phase: float64(i) + 0.5},
+			netsim.ResidentialBroadband(25*time.Millisecond)); err != nil {
+			t.Fatalf("add direct learner %d: %v", i, err)
+		}
+	}
+	if err := d.Run(2 * time.Second); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+
+	var b strings.Builder
+	b.WriteString(d.Cloud().Metrics().String())
+	b.WriteString(relay.Metrics().String())
+	ids := make([]classroom.ParticipantID, 0, len(d.Clients()))
+	for id := range d.Clients() {
+		ids = append(ids, id)
+	}
+	slices.Sort(ids)
+	for _, id := range ids {
+		b.WriteString(d.Clients()[id].Metrics().String())
+	}
+	st := d.Network().Stats()
+	fmt.Fprintf(&b, "network: delivered=%d dropped=%d bytes=%d latency=%s\n",
+		st.Delivered, st.Dropped, st.SentBytes, st.Latency.String())
+	return b.String()
+}
+
+// TestE5CrossRunDeterminism extends the golden gate to the regional-relay
+// topology: same-seed runs must agree byte for byte on every cloud, relay,
+// and client counter, including the relay's forwarded.up path.
+func TestE5CrossRunDeterminism(t *testing.T) {
+	run1 := relayFingerprint(t, 42)
+	run2 := relayFingerprint(t, 42)
+	if run1 != run2 {
+		t.Fatalf("same-seed relay runs diverged:\n%s", diffLines(run1, run2))
+	}
+	for _, want := range []string{"forwarded.up", "sync.bytes.sent", "pose.age"} {
+		if !strings.Contains(run1, want) {
+			t.Fatalf("relay fingerprint is missing %q:\n%s", want, run1)
+		}
+	}
+}
+
+// TestE9CrossRunDeterminism gates the dead-reckoning experiment: its table
+// (rates, wire sizes, per-extrapolator errors) must render byte-identically
+// run to run — the E9 numbers come through the codec's EncodedSize and the
+// interpolation buffers, both of which the frame-lifecycle work touches.
+func TestE9CrossRunDeterminism(t *testing.T) {
+	t1 := E9DeadReckoning(42)
+	t2 := E9DeadReckoning(42)
+	run1, run2 := t1.String(), t2.String()
+	if run1 != run2 {
+		t.Fatalf("same-seed E9 tables diverged:\n%s", diffLines(run1, run2))
+	}
+	if !strings.Contains(run1, "linear") || !strings.Contains(run1, "bytes/s") {
+		t.Fatalf("E9 table missing expected content:\n%s", run1)
 	}
 }

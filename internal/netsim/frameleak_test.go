@@ -1,0 +1,219 @@
+package netsim
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"metaclass/internal/protocol"
+	"metaclass/internal/vclock"
+)
+
+// leakNet builds a two-host network with the given link config and returns
+// it with a delivery counter bound to "b".
+func leakNet(t *testing.T, cfg LinkConfig) (*vclock.Sim, *Network, *int) {
+	t.Helper()
+	sim := vclock.New(1)
+	n := New(sim)
+	delivered := new(int)
+	if err := n.AddHost("a", nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.AddHost("b", HandlerFunc(func(_ Addr, payload []byte) {
+		if len(payload) == 0 {
+			t.Error("delivered empty payload")
+		}
+		*delivered++
+	})); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.Connect("a", "b", cfg); err != nil {
+		t.Fatal(err)
+	}
+	return sim, n, delivered
+}
+
+func sendFrames(t *testing.T, n *Network, count int) {
+	t.Helper()
+	for i := 0; i < count; i++ {
+		f, err := protocol.EncodeFrame(&protocol.Ping{Nonce: uint64(i), SentAt: n.Sim().Now()})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := n.SendFrame("a", "b", f); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestSendFrameReleasedOnDelivery: the happy path — every delivered frame's
+// network reference is released after its handler returns.
+func TestSendFrameReleasedOnDelivery(t *testing.T) {
+	live0 := protocol.LiveFrames()
+	sim, n, delivered := leakNet(t, LinkConfig{Latency: 5 * time.Millisecond})
+	sendFrames(t, n, 50)
+	if err := sim.Run(time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if *delivered != 50 {
+		t.Fatalf("delivered %d of 50", *delivered)
+	}
+	if live := protocol.LiveFrames(); live != live0 {
+		t.Fatalf("%d frames leaked on the delivery path", live-live0)
+	}
+}
+
+// TestSendFrameReleasedOnBernoulliLoss: frames dropped at ingress by the
+// loss model are released immediately, at every loss rate.
+func TestSendFrameReleasedOnBernoulliLoss(t *testing.T) {
+	for _, loss := range []float64{0.5, 1.0} {
+		live0 := protocol.LiveFrames()
+		sim, n, delivered := leakNet(t, LinkConfig{Latency: time.Millisecond, LossRate: loss})
+		sendFrames(t, n, 200)
+		if err := sim.Run(time.Second); err != nil {
+			t.Fatal(err)
+		}
+		st, err := n.StatsOf("a", "b")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if loss == 1 && (*delivered != 0 || st.Dropped != 200) {
+			t.Fatalf("loss=1: delivered %d, dropped %d", *delivered, st.Dropped)
+		}
+		if loss == 0.5 && st.Dropped == 0 {
+			t.Fatal("loss=0.5 dropped nothing")
+		}
+		if live := protocol.LiveFrames(); live != live0 {
+			t.Fatalf("loss=%v: %d frames leaked", loss, live-live0)
+		}
+	}
+}
+
+// TestSendFrameReleasedOnQueueDrop: tail-dropped frames (serialization
+// queue over QueueLimit) are released at Send time; queued ones at
+// delivery.
+func TestSendFrameReleasedOnQueueDrop(t *testing.T) {
+	live0 := protocol.LiveFrames()
+	// ~21-byte ping frames at 1 kbit/s: the queue fills almost immediately.
+	sim, n, delivered := leakNet(t, LinkConfig{Bandwidth: 1000, QueueLimit: 60})
+	sendFrames(t, n, 100)
+	st, err := n.StatsOf("a", "b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Dropped == 0 {
+		t.Fatal("queue limit never dropped; test is not exercising tail drop")
+	}
+	if err := sim.Run(time.Minute); err != nil {
+		t.Fatal(err)
+	}
+	if *delivered == 0 {
+		t.Fatal("nothing survived the queue")
+	}
+	if uint64(*delivered)+st.Dropped != 100 {
+		t.Fatalf("delivered %d + dropped %d != 100", *delivered, st.Dropped)
+	}
+	if live := protocol.LiveFrames(); live != live0 {
+		t.Fatalf("%d frames leaked across queue drops", live-live0)
+	}
+}
+
+// TestSendFrameReleasedOnClose: frames in flight when the network closes
+// are released (without delivery) as their events fire, and frames sent to
+// a closed network are released at Send.
+func TestSendFrameReleasedOnClose(t *testing.T) {
+	live0 := protocol.LiveFrames()
+	sim, n, delivered := leakNet(t, LinkConfig{Latency: 10 * time.Millisecond})
+	sendFrames(t, n, 25)
+	n.Close()
+	f, err := protocol.EncodeFrame(&protocol.Ping{Nonce: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := n.SendFrame("a", "b", f); !errors.Is(err, ErrNetworkClosed) {
+		t.Fatalf("send on closed network: %v", err)
+	}
+	if err := sim.Run(time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if *delivered != 0 {
+		t.Fatalf("closed network delivered %d messages", *delivered)
+	}
+	if live := protocol.LiveFrames(); live != live0 {
+		t.Fatalf("%d frames leaked across network close", live-live0)
+	}
+}
+
+// TestSendFrameReleasedOnRouteErrors: refused sends (unknown host, no
+// route) must still consume the caller's reference.
+func TestSendFrameReleasedOnRouteErrors(t *testing.T) {
+	live0 := protocol.LiveFrames()
+	_, n, _ := leakNet(t, LinkConfig{})
+	cases := []struct {
+		src, dst Addr
+		want     error
+	}{
+		{"nobody", "b", ErrUnknownHost}, // unknown source host
+		{"b", "a", ErrNoRoute},          // registered host, no b->a link
+	}
+	for _, c := range cases {
+		f, err := protocol.EncodeFrame(&protocol.Ping{Nonce: 7})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := n.SendFrame(c.src, c.dst, f); !errors.Is(err, c.want) {
+			t.Fatalf("send %s->%s: err %v, want %v", c.src, c.dst, err, c.want)
+		}
+	}
+	if live := protocol.LiveFrames(); live != live0 {
+		t.Fatalf("%d frames leaked on refused sends", live-live0)
+	}
+}
+
+// TestSendFrameCohortSharedAcrossRecipients: a cohort-shared frame sent to
+// two hosts at different latencies must deliver identical bytes to both and
+// end fully released — the refcount is what keeps the bytes alive for the
+// slower path.
+func TestSendFrameCohortSharedAcrossRecipients(t *testing.T) {
+	live0 := protocol.LiveFrames()
+	sim := vclock.New(3)
+	n := New(sim)
+	var got [][]byte
+	keep := func(_ Addr, payload []byte) {
+		cp := make([]byte, len(payload))
+		copy(cp, payload)
+		got = append(got, cp)
+	}
+	_ = n.AddHost("src", nil)
+	_ = n.AddHost("fast", HandlerFunc(keep))
+	_ = n.AddHost("slow", HandlerFunc(keep))
+	_ = n.Connect("src", "fast", LinkConfig{Latency: time.Millisecond})
+	_ = n.Connect("src", "slow", LinkConfig{Latency: 500 * time.Millisecond})
+
+	f, err := protocol.EncodeFrame(&protocol.Pong{Nonce: 99, SentAt: time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := append([]byte(nil), f.Bytes()...)
+	f.Retain() // second recipient's reference
+	if err := n.SendFrame("src", "fast", f); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.SendFrame("src", "slow", f); err != nil {
+		t.Fatal(err)
+	}
+	if err := sim.Run(time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 {
+		t.Fatalf("delivered %d of 2", len(got))
+	}
+	for i, g := range got {
+		if string(g) != string(want) {
+			t.Fatalf("recipient %d saw corrupted bytes", i)
+		}
+	}
+	if live := protocol.LiveFrames(); live != live0 {
+		t.Fatalf("%d frames leaked from shared send", live-live0)
+	}
+}

@@ -21,6 +21,7 @@ import (
 	"time"
 
 	"metaclass/internal/metrics"
+	"metaclass/internal/protocol"
 	"metaclass/internal/vclock"
 )
 
@@ -37,7 +38,10 @@ var (
 type Addr string
 
 // Handler receives messages delivered to a host. from is the sending host;
-// payload is the raw message bytes (the slice is owned by the receiver).
+// payload is the raw message bytes, borrowed for the duration of the call:
+// frame-backed payloads (SendFrame) are recycled as soon as the handler
+// returns, so a handler that wants to keep bytes must copy them (e.g. into
+// a protocol.CopyFrame).
 type Handler interface {
 	HandleMessage(from Addr, payload []byte)
 }
@@ -109,9 +113,15 @@ type delivery struct {
 	src     Addr
 	dst     Addr
 	payload []byte
-	sentAt  time.Duration
-	size    int
-	queued  bool // size was added to the link's serialization queue
+	// frame is the refcounted owner of payload for SendFrame traffic (nil
+	// for raw Send). The delivery holds one reference, taken at frameGen,
+	// and releases it after the handler returns — or without delivering on
+	// the network-closed path.
+	frame    *protocol.Frame
+	frameGen uint32
+	sentAt   time.Duration
+	size     int
+	queued   bool // size was added to the link's serialization queue
 }
 
 // runDelivery is the shared pooled-event callback: a package-level function
@@ -123,6 +133,12 @@ func runDelivery(a any) {
 	}
 	n := d.n
 	n.deliver(d.src, d.dst, d.payload, d.sentAt)
+	if d.frame != nil {
+		// The handler has returned (or the network is closed): the
+		// delivery's reference — and with it the payload bytes — goes back.
+		d.frame.ReleaseGen(d.frameGen)
+		d.frame = nil
+	}
 	d.payload = nil // never retain message bytes in the pool
 	d.n, d.l = nil, nil
 	n.freeDeliveries = append(n.freeDeliveries, d)
@@ -233,17 +249,43 @@ func (n *Network) LinkConfigOf(src, dst Addr) (LinkConfig, error) {
 
 // Send transmits payload from src to dst over the direct link. The payload
 // is delivered (or dropped) asynchronously; Send itself never blocks. The
-// caller must not reuse the payload slice after Send.
+// network borrows the payload slice until delivery completes, so the caller
+// must not modify or reuse it after Send; it is never handed back. Callers
+// that want their buffer returned send a refcounted frame via SendFrame
+// instead.
 func (n *Network) Send(src, dst Addr, payload []byte) error {
+	return n.send(src, dst, payload, nil, 0)
+}
+
+// SendFrame transmits f's bytes from src to dst, consuming exactly one of
+// the caller's references: whether the message is delivered, lost at
+// ingress, tail-dropped at the serialization queue, refused (closed
+// network, unknown host, no route), or still in flight when the network
+// closes, the network releases that reference exactly once. Timing, loss,
+// and metrics behavior is identical to Send.
+func (n *Network) SendFrame(src, dst Addr, f *protocol.Frame) error {
+	return n.send(src, dst, f.Bytes(), f, f.Gen())
+}
+
+func (n *Network) send(src, dst Addr, payload []byte, f *protocol.Frame, gen uint32) error {
 	if n.closed {
+		if f != nil {
+			f.ReleaseGen(gen)
+		}
 		return ErrNetworkClosed
 	}
 	s, ok := n.hosts[src]
 	if !ok {
+		if f != nil {
+			f.ReleaseGen(gen)
+		}
 		return fmt.Errorf("%w: %s", ErrUnknownHost, src)
 	}
 	l, ok := s.links[dst]
 	if !ok {
+		if f != nil {
+			f.ReleaseGen(gen)
+		}
 		return fmt.Errorf("%w: %s->%s", ErrNoRoute, src, dst)
 	}
 	size := len(payload)
@@ -251,6 +293,9 @@ func (n *Network) Send(src, dst Addr, payload []byte) error {
 	// Bernoulli loss applies at ingress (models air interface / congestion).
 	if l.cfg.LossRate > 0 && n.sim.Rand().Float64() < l.cfg.LossRate {
 		l.dropped.Inc()
+		if f != nil {
+			f.ReleaseGen(gen)
+		}
 		return nil
 	}
 
@@ -260,6 +305,9 @@ func (n *Network) Send(src, dst Addr, payload []byte) error {
 	if l.cfg.Bandwidth > 0 {
 		if l.cfg.QueueLimit > 0 && l.queued+size > l.cfg.QueueLimit {
 			l.dropped.Inc()
+			if f != nil {
+				f.ReleaseGen(gen)
+			}
 			return nil
 		}
 		txTime := time.Duration(float64(size*8) / float64(l.cfg.Bandwidth) * float64(time.Second))
@@ -287,6 +335,7 @@ func (n *Network) Send(src, dst Addr, payload []byte) error {
 	}
 	*d = delivery{
 		n: n, l: l, src: src, dst: dst, payload: payload,
+		frame: f, frameGen: gen,
 		sentAt: now, size: size, queued: l.cfg.Bandwidth > 0,
 	}
 	n.sim.AfterCall(delay, runDelivery, d)
@@ -306,7 +355,9 @@ func (n *Network) deliver(src, dst Addr, payload []byte, sentAt time.Duration) {
 	d.handler.HandleMessage(src, payload)
 }
 
-// Close stops all future deliveries.
+// Close stops all future deliveries. In-flight frames are not leaked: their
+// delivery events still fire as the simulation advances and release each
+// frame without invoking the destination handler.
 func (n *Network) Close() { n.closed = true }
 
 // Sim returns the simulator the network is scheduled on.

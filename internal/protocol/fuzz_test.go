@@ -42,9 +42,35 @@ func fuzzSeedMessages() []Message {
 	}
 }
 
+// fuzzBoundarySeedMessages are the cohort-boundary and entity-count-extreme
+// Snapshot/Delta shapes the replicator actually produces at the edges of
+// its planning space: the empty first-contact snapshot, a delta that only
+// removes, a delta whose base equals its tick (the zero-width ack window),
+// and snapshots/deltas at the maximum entity count the length guard admits
+// for their payload size (every entity minimal, i.e. exactly minEntityWire
+// bytes, so claimed count == payload/minEntityWire).
+func fuzzBoundarySeedMessages() []Message {
+	minimal := make([]EntityState, 512)
+	for i := range minimal {
+		minimal[i] = EntityState{Participant: ParticipantID(i)}
+	}
+	removals := make([]ParticipantID, 300)
+	for i := range removals {
+		removals[i] = ParticipantID(i * 7)
+	}
+	return []Message{
+		&Snapshot{Tick: 1},                                 // empty classroom keyframe
+		&Snapshot{Tick: 1 << 62, Entities: minimal},        // max count for its size
+		&Delta{BaseTick: 9, Tick: 9},                       // zero-width window
+		&Delta{BaseTick: 3, Tick: 4, Removed: removals},    // removals only
+		&Delta{BaseTick: 0, Tick: 1, Changed: minimal[:2]}, // first delta after genesis
+		&Delta{BaseTick: 1, Tick: 1 << 40, Changed: minimal, Removed: removals},
+	}
+}
+
 func addSeedFrames(f *testing.F) {
 	f.Helper()
-	for _, msg := range fuzzSeedMessages() {
+	for _, msg := range append(fuzzSeedMessages(), fuzzBoundarySeedMessages()...) {
 		frame, err := Encode(msg)
 		if err != nil {
 			f.Fatalf("encoding %v seed: %v", msg.Type(), err)
@@ -127,6 +153,70 @@ func FuzzRoundTrip(f *testing.F) {
 			t.Fatalf("Encode∘Decode not a fixed point for %v:\n%x\n%x", msg.Type(), f1, f2)
 		}
 	})
+}
+
+// FuzzFrameRoundTrip drives the pooled frame through its whole lifecycle —
+// acquire → encode → decode (pooled Decoder) → release → pool reuse — and
+// asserts the decoded message survives the buffer's next life. Any aliasing
+// between the recycled frame buffer and the Decoder's retained scratch
+// (entity slices, expression/media byte fields) shows up as the decoded
+// message changing underneath us after the pool hands the bytes to a new
+// frame.
+func FuzzFrameRoundTrip(f *testing.F) {
+	addSeedFrames(f)
+	var dec Decoder
+	f.Fuzz(func(t *testing.T, data []byte) {
+		ref, _, err := Decode(data) // fresh one-shot copy as ground truth
+		if err != nil {
+			return
+		}
+		fr, err := EncodeFrame(ref)
+		if err != nil {
+			t.Fatalf("EncodeFrame of decoded %v: %v", ref.Type(), err)
+		}
+		msg, n, err := dec.Decode(fr.Bytes())
+		if err != nil {
+			t.Fatalf("decoding pooled frame of %v: %v", ref.Type(), err)
+		}
+		if n != fr.Len() {
+			t.Fatalf("pooled frame is %d bytes, decode consumed %d", fr.Len(), n)
+		}
+		before, err := Encode(msg)
+		if err != nil {
+			t.Fatalf("re-encoding decoded message: %v", err)
+		}
+		// Release the frame and force the pool to reuse (and scribble over)
+		// its buffer with a different payload.
+		fr.Release()
+		scribble, err := EncodeFrame(&ActivityEvent{
+			Participant: ^ParticipantID(0), Activity: ^uint32(0),
+			Kind: "scribble", Payload: []byte{0xAA, 0x55, 0xAA, 0x55},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		after, err := Encode(msg)
+		scribble.Release()
+		if err != nil {
+			t.Fatalf("re-encoding after pool reuse: %v", err)
+		}
+		if !bytes.Equal(before, after) {
+			t.Fatalf("decoded %v aliases the recycled frame buffer:\nbefore reuse %x\nafter reuse  %x",
+				msg.Type(), before, after)
+		}
+		if !bytes.Equal(before, mustEncode(t, ref)) {
+			t.Fatalf("pooled-frame decode of %v diverges from one-shot decode", ref.Type())
+		}
+	})
+}
+
+func mustEncode(t *testing.T, msg Message) []byte {
+	t.Helper()
+	b, err := Encode(msg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
 }
 
 // benchDeltaFrame is a realistic 32-entity delta frame for decode benches.

@@ -61,6 +61,24 @@ func (c *Conn) WriteMessage(msg protocol.Message) error {
 	if err != nil {
 		return err
 	}
+	return c.writeFrame(buf)
+}
+
+// WriteRaw sends one already-encoded protocol frame (e.g. the bytes of a
+// shared cohort protocol.Frame), prefixing the stream length header. The
+// frame is copied into the connection's reusable write buffer so the caller
+// may release it as soon as WriteRaw returns; steady-state sends allocate
+// nothing and hit the socket with a single write.
+func (c *Conn) WriteRaw(frame []byte) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.writeFrame(append(append(c.wbuf[:0], 0, 0, 0, 0), frame...))
+}
+
+// writeFrame patches the length prefix into buf (which must start with 4
+// reserved header bytes), keeps it as the connection's reusable write
+// buffer, and hits the socket with a single write. Callers hold c.mu.
+func (c *Conn) writeFrame(buf []byte) error {
 	binary.BigEndian.PutUint32(buf[:4], uint32(len(buf)-4))
 	c.wbuf = buf
 	if _, err := c.c.Write(buf); err != nil {

@@ -40,9 +40,10 @@ type Room struct {
 	cfg RoomConfig
 	ln  net.Listener
 
-	store *core.Store
-	repl  *core.Replicator
-	conns map[string]*client // keyed by peer key; tick-goroutine only
+	store  *core.Store
+	repl   *core.Replicator
+	conns  map[string]*client // keyed by peer key; tick-goroutine only
+	frames core.FrameCache    // cohort frame table; tick-goroutine only
 
 	allMu sync.Mutex
 	all   map[*Conn]struct{} // every open conn, for shutdown
@@ -51,11 +52,12 @@ type Room struct {
 	done chan struct{}
 	wg   sync.WaitGroup
 
-	mu       sync.Mutex // guards counters below
-	joined   uint64
-	left     uint64
-	poses    uint64
-	closedMu sync.Once
+	mu        sync.Mutex // guards counters below
+	joined    uint64
+	left      uint64
+	poses     uint64
+	closedMu  sync.Once
+	resetOnce sync.Once // post-shutdown cohort-frame release
 }
 
 type client struct {
@@ -104,6 +106,8 @@ func (r *Room) Close() error {
 		r.allMu.Unlock()
 	})
 	r.wg.Wait()
+	// The tick goroutine has exited; release the last tick's cohort frames.
+	r.resetOnce.Do(r.frames.Reset)
 	return err
 }
 
@@ -300,12 +304,25 @@ func (r *Room) dropClient(c *client) {
 
 func (r *Room) tick() {
 	r.store.BeginTick()
+	r.frames.Reset()
 	for _, pm := range r.repl.PlanTick() {
 		c, ok := r.conns[pm.Peer]
 		if !ok {
 			continue
 		}
-		if err := c.conn.WriteMessage(pm.Msg); err != nil {
+		frame := r.frames.FrameFor(pm)
+		if frame == nil {
+			// Encode failure (e.g. payload over MaxPayload): surface it the
+			// way the old per-message write path did — drop the client so
+			// the outage is observable and the client resyncs on rejoin.
+			_ = c.conn.Close()
+			continue
+		}
+		// WriteRaw copies into the connection's write buffer, so the
+		// recipient reference can be dropped as soon as the write returns.
+		err := c.conn.WriteRaw(frame.Bytes())
+		frame.Release()
+		if err != nil {
 			_ = c.conn.Close() // read loop will observe and drop the client
 		}
 	}

@@ -2,18 +2,83 @@
 # bench.sh — run the root E1–E10 benchmark suite with -benchmem and emit
 # BENCH_<n>.json recording name, ns/op, B/op, allocs/op and each bench's
 # headline metric (e.g. cloud-egress-KB/s). The JSON files form the repo's
-# perf trajectory: BENCH_1.json is this PR's floor; later perf PRs append
+# perf trajectory: BENCH_1.json is PR 1's floor; later perf PRs append
 # BENCH_2.json, BENCH_3.json, ... and get judged against the previous file.
 #
-# Usage: scripts/bench.sh [n]      (default n=1)
-#   BENCHTIME=10x scripts/bench.sh  to override -benchtime
+# Usage:
+#   scripts/bench.sh [n]                      run the suite, write BENCH_<n>.json (default n=1)
+#   scripts/bench.sh [n] --compare OLD.json   ...then fail if E4Scale allocs/op
+#                                             regressed >5% versus OLD.json;
+#                                             with n omitted the run goes to a
+#                                             temp file (no baseline clobbered)
+#   scripts/bench.sh --compare OLD.json NEW.json
+#                                             no benchmark run: compare the two
+#                                             committed files (the CI gate)
+#   BENCHTIME=10x scripts/bench.sh            to override -benchtime
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-N="${1:-1}"
-OUT="BENCH_${N}.json"
+# e4_allocs FILE — extract E4Scale's allocs_per_op from a BENCH json.
+e4_allocs() {
+    sed -n 's/.*"name": "E4Scale".*"allocs_per_op": \([0-9][0-9]*\).*/\1/p' "$1"
+}
+
+# compare_allocs OLD NEW — fail when E4Scale allocs/op regressed >5%.
+compare_allocs() {
+    local old_file="$1" new_file="$2" old new
+    old="$(e4_allocs "$old_file")"
+    new="$(e4_allocs "$new_file")"
+    if [[ -z "$old" || -z "$new" ]]; then
+        echo "bench.sh: missing E4Scale allocs_per_op in $old_file or $new_file" >&2
+        exit 1
+    fi
+    echo "E4Scale allocs/op: $old ($old_file) -> $new ($new_file)" >&2
+    if ! awk -v o="$old" -v n="$new" 'BEGIN { exit !(n <= o * 1.05) }'; then
+        echo "bench.sh: FAIL — E4Scale allocs/op regressed >5% ($old -> $new)" >&2
+        exit 1
+    fi
+    echo "bench.sh: OK — within the 5% allocation budget" >&2
+}
+
+N=""
+COMPARE=""
+COMPARE_NEW=""
+while [[ $# -gt 0 ]]; do
+    case "$1" in
+    --compare)
+        COMPARE="${2:?--compare needs a BENCH json to compare against}"
+        shift 2
+        if [[ $# -gt 0 && "$1" != --* ]]; then
+            COMPARE_NEW="$1"
+            shift
+        fi
+        ;;
+    *)
+        N="$1"
+        shift
+        ;;
+    esac
+done
+
+if [[ -n "$COMPARE_NEW" ]]; then
+    # Pure file comparison — no benchmark run.
+    compare_allocs "$COMPARE" "$COMPARE_NEW"
+    exit 0
+fi
+
+TMP_OUT=""
+if [[ -n "$N" ]]; then
+    OUT="BENCH_${N}.json"
+elif [[ -n "$COMPARE" ]]; then
+    # --compare without an explicit suite number: measure into a temp file
+    # so the committed BENCH_1.json baseline is never clobbered by accident.
+    OUT="$(mktemp)"
+    TMP_OUT="$OUT"
+else
+    OUT="BENCH_1.json"
+fi
 RAW="$(mktemp)"
-trap 'rm -f "$RAW"' EXIT
+trap 'rm -f "$RAW" $TMP_OUT' EXIT
 
 go test -bench 'BenchmarkE[0-9]' -benchmem -run '^$' ${BENCHTIME:+-benchtime "$BENCHTIME"} . | tee "$RAW" >&2
 
@@ -55,3 +120,7 @@ END {
 }' "$RAW" > "$OUT"
 
 echo "wrote $OUT" >&2
+
+if [[ -n "$COMPARE" ]]; then
+    compare_allocs "$COMPARE" "$OUT"
+fi
