@@ -35,6 +35,7 @@ import (
 	"metaclass/internal/client"
 	"metaclass/internal/cloud"
 	"metaclass/internal/edge"
+	"metaclass/internal/endpoint"
 	"metaclass/internal/expression"
 	"metaclass/internal/interest"
 	"metaclass/internal/netsim"
@@ -119,8 +120,9 @@ func NewDeployment(cfg Config) (*Deployment, error) {
 	if cfg.EnableInterest {
 		pol = interest.NewPolicy()
 	}
-	cl, err := cloud.New(sim, net, cloud.Config{
-		Addr:        "cloud",
+	// Nodes are constructed against the transport-agnostic endpoint API;
+	// deployments back them with the simulated fabric's adapter.
+	cl, err := cloud.New(sim, net.Endpoint("cloud"), cloud.Config{
 		TickHz:      cfg.TickHz,
 		InterpDelay: cfg.InterpDelay,
 		Interest:    pol,
@@ -185,9 +187,8 @@ func (d *Deployment) AddCampus(name string, id ClassroomID) (*Campus, error) {
 		return nil, fmt.Errorf("classroom: campus %d exists", id)
 	}
 	addr := netsim.Addr("edge-" + name)
-	es, err := edge.New(d.sim, d.net, edge.Config{
+	es, err := edge.New(d.sim, d.net.Endpoint(addr), edge.Config{
 		Classroom:   id,
-		Addr:        addr,
 		TickHz:      d.cfg.TickHz,
 		InterpDelay: d.cfg.InterpDelay,
 	})
@@ -198,13 +199,13 @@ func (d *Deployment) AddCampus(name string, id ClassroomID) (*Campus, error) {
 	if d.cfg.CloudLink != nil {
 		link = *d.cfg.CloudLink
 	}
-	if err := d.net.ConnectBoth(addr, d.cloud.Addr(), link); err != nil {
+	if err := d.net.ConnectBoth(addr, netsim.Addr(d.cloud.Addr()), link); err != nil {
 		return nil, err
 	}
 	if err := es.ConnectPeer(d.cloud.Addr()); err != nil {
 		return nil, err
 	}
-	if err := d.cloud.ConnectEdge(addr, id); err != nil {
+	if err := d.cloud.ConnectEdge(endpoint.Addr(addr), id); err != nil {
 		return nil, err
 	}
 	c := &Campus{
@@ -223,7 +224,7 @@ func (d *Deployment) AddCampus(name string, id ClassroomID) (*Campus, error) {
 // ConnectCampuses joins two campuses over the inter-campus real-time link
 // so each edge replicates directly to the other (Fig. 3).
 func (d *Deployment) ConnectCampuses(a, b *Campus) error {
-	if err := d.net.ConnectBoth(a.edge.Addr(), b.edge.Addr(), netsim.InterCampus()); err != nil {
+	if err := d.net.ConnectBoth(netsim.Addr(a.edge.Addr()), netsim.Addr(b.edge.Addr()), netsim.InterCampus()); err != nil {
 		return err
 	}
 	if err := a.edge.ConnectPeer(b.edge.Addr()); err != nil {
@@ -328,8 +329,7 @@ func (d *Deployment) AddRelay(name string, link netsim.LinkConfig) (*cloud.Relay
 		return nil, fmt.Errorf("classroom: relay %s exists", name)
 	}
 	addr := netsim.Addr("relay-" + name)
-	r, err := cloud.NewRelay(d.sim, d.net, cloud.RelayConfig{
-		Addr:        addr,
+	r, err := cloud.NewRelay(d.sim, d.net.Endpoint(addr), cloud.RelayConfig{
 		Upstream:    d.cloud.Addr(),
 		TickHz:      d.cfg.TickHz,
 		InterpDelay: d.cfg.InterpDelay,
@@ -337,10 +337,10 @@ func (d *Deployment) AddRelay(name string, link netsim.LinkConfig) (*cloud.Relay
 	if err != nil {
 		return nil, err
 	}
-	if err := d.net.ConnectBoth(addr, d.cloud.Addr(), link); err != nil {
+	if err := d.net.ConnectBoth(addr, netsim.Addr(d.cloud.Addr()), link); err != nil {
 		return nil, err
 	}
-	if err := d.cloud.AddRelay(addr); err != nil {
+	if err := d.cloud.AddRelay(endpoint.Addr(addr)); err != nil {
 		return nil, err
 	}
 	d.relays[name] = r
@@ -358,12 +358,11 @@ func (d *Deployment) AddRemoteLearnerVia(relay *cloud.Relay, name string, script
 	return d.addRemote(name, script, link, relay.Addr(), false)
 }
 
-func (d *Deployment) addRemote(name string, script trace.MotionScript, link netsim.LinkConfig, server netsim.Addr, direct bool) (*client.VR, ParticipantID, error) {
+func (d *Deployment) addRemote(name string, script trace.MotionScript, link netsim.LinkConfig, server endpoint.Addr, direct bool) (*client.VR, ParticipantID, error) {
 	id := d.allocID(name)
 	addr := netsim.Addr("vr-" + strconv.FormatUint(uint64(id), 10))
-	v, err := client.NewVR(d.sim, d.net, client.VRConfig{
+	v, err := client.NewVR(d.sim, d.net.Endpoint(addr), client.VRConfig{
 		Participant: id,
-		Addr:        addr,
 		Server:      server,
 		InterpDelay: d.cfg.InterpDelay,
 		Script:      script,
@@ -371,11 +370,11 @@ func (d *Deployment) addRemote(name string, script trace.MotionScript, link nets
 	if err != nil {
 		return nil, 0, err
 	}
-	if err := d.net.ConnectBoth(addr, server, link); err != nil {
+	if err := d.net.ConnectBoth(addr, netsim.Addr(server), link); err != nil {
 		return nil, 0, err
 	}
 	if direct {
-		if err := d.cloud.AddClient(id, addr); err != nil {
+		if err := d.cloud.AddClient(id, endpoint.Addr(addr)); err != nil {
 			return nil, 0, err
 		}
 	} else {
@@ -384,7 +383,7 @@ func (d *Deployment) addRemote(name string, script trace.MotionScript, link nets
 		}
 		for _, r := range d.relays {
 			if r.Addr() == server {
-				if err := r.AddClient(id, addr); err != nil {
+				if err := r.AddClient(id, endpoint.Addr(addr)); err != nil {
 					return nil, 0, err
 				}
 				break

@@ -304,11 +304,11 @@ func TestLinkDegradationSurvived(t *testing.T) {
 		t.Fatal(err)
 	}
 	// Degrade the inter-campus link to 10% loss for a while.
-	cfg, err := d.Network().LinkConfigOf(gz.Edge().Addr(), cwb.Edge().Addr())
+	cfg, err := d.Network().LinkConfigOf(netsim.Addr(gz.Edge().Addr()), netsim.Addr(cwb.Edge().Addr()))
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := d.Network().SetLink(gz.Edge().Addr(), cwb.Edge().Addr(),
+	if err := d.Network().SetLink(netsim.Addr(gz.Edge().Addr()), netsim.Addr(cwb.Edge().Addr()),
 		netsim.Degraded(cfg, 3, 200)); err != nil {
 		t.Fatal(err)
 	}
@@ -316,7 +316,7 @@ func TestLinkDegradationSurvived(t *testing.T) {
 		t.Fatal(err)
 	}
 	// Restore and let the protocol recover.
-	if err := d.Network().SetLink(gz.Edge().Addr(), cwb.Edge().Addr(), cfg); err != nil {
+	if err := d.Network().SetLink(netsim.Addr(gz.Edge().Addr()), netsim.Addr(cwb.Edge().Addr()), cfg); err != nil {
 		t.Fatal(err)
 	}
 	if err := d.Run(5 * time.Second); err != nil {

@@ -11,9 +11,9 @@ import (
 	"time"
 
 	"metaclass/internal/core"
+	"metaclass/internal/endpoint"
 	"metaclass/internal/expression"
 	"metaclass/internal/metrics"
-	"metaclass/internal/netsim"
 	"metaclass/internal/pose"
 	"metaclass/internal/protocol"
 	"metaclass/internal/trace"
@@ -24,11 +24,9 @@ import (
 type VRConfig struct {
 	// Participant is the learner's ID.
 	Participant protocol.ParticipantID
-	// Addr is the client's network address.
-	Addr netsim.Addr
 	// Server is where pose updates go and replication comes from (the
 	// cloud, or a regional relay).
-	Server netsim.Addr
+	Server endpoint.Addr
 	// PublishHz is the own-pose upload rate (default 20).
 	PublishHz float64
 	// PingEvery is the RTT probe interval (default 2s; <0 disables).
@@ -63,13 +61,17 @@ func (c *VRConfig) applyDefaults() {
 
 // VR is a remote learner's client endpoint.
 type VR struct {
-	cfg         VRConfig
-	sim         *vclock.Sim
-	net         *netsim.Network
-	replica     *core.Replica
-	reg         *metrics.Registry
-	dec         protocol.Decoder
-	ackScratch  protocol.Ack
+	cfg     VRConfig
+	sim     *vclock.Sim
+	addr    endpoint.Addr
+	ep      *endpoint.Dispatcher
+	replica *core.Replica
+	reg     *metrics.Registry
+
+	mPublish     *metrics.Counter
+	mRecvUpdates *metrics.Counter
+	hRTT         *metrics.Histogram
+
 	pingScratch protocol.Ping
 	poseScratch protocol.PoseUpdate
 	exprScratch protocol.ExpressionUpdate
@@ -80,8 +82,8 @@ type VR struct {
 	cancelPing  func()
 }
 
-// NewVR creates a client and registers it on the network.
-func NewVR(sim *vclock.Sim, net *netsim.Network, cfg VRConfig) (*VR, error) {
+// NewVR creates a client on the given transport endpoint.
+func NewVR(sim *vclock.Sim, tr endpoint.Transport, cfg VRConfig) (*VR, error) {
 	cfg.applyDefaults()
 	if cfg.Participant == 0 {
 		return nil, errors.New("client: participant ID must be nonzero")
@@ -89,27 +91,39 @@ func NewVR(sim *vclock.Sim, net *netsim.Network, cfg VRConfig) (*VR, error) {
 	v := &VR{
 		cfg:     cfg,
 		sim:     sim,
-		net:     net,
+		addr:    tr.LocalAddr(),
 		replica: core.NewReplica(cfg.InterpDelay, cfg.Extrap),
-		reg:     metrics.NewRegistry(string(cfg.Addr)),
+		reg:     metrics.NewRegistry(string(tr.LocalAddr())),
 	}
 	v.replica.Latency = v.reg.Histogram("pose.age")
 	// The cloud/relay filters this client's snapshots by interest: an entity
 	// omitted from a snapshot is out of tier, not departed, so its playout
 	// buffer keeps extrapolating instead of churning.
 	v.replica.RetainOmitted = true
-	if !net.HasHost(cfg.Addr) {
-		if err := net.AddHost(cfg.Addr, v); err != nil {
-			return nil, err
-		}
-	} else if err := net.Bind(cfg.Addr, v); err != nil {
+	v.mPublish = v.reg.Counter("publish.poses")
+	v.mRecvUpdates = v.reg.Counter("recv.updates")
+	v.hRTT = v.reg.Histogram("rtt")
+	ep, err := endpoint.NewDispatcher(tr, v.reg, endpoint.Config{
+		Now: sim.Now,
+		// Auto-acks carry the learner's ID so servers can attribute them.
+		AckParticipant: cfg.Participant,
+	})
+	if err != nil {
 		return nil, err
 	}
+	ep.OnSync(
+		func(endpoint.Addr) *core.Replica { return v.replica },
+		func(endpoint.Addr, uint64) { v.mRecvUpdates.Inc() },
+	)
+	ep.OnPong(func(_ endpoint.Addr, m *protocol.Pong) {
+		v.hRTT.Observe(v.sim.Now() - m.SentAt)
+	})
+	v.ep = ep
 	return v, nil
 }
 
-// Addr returns the client's address.
-func (v *VR) Addr() netsim.Addr { return v.cfg.Addr }
+// Addr returns the client's endpoint address.
+func (v *VR) Addr() endpoint.Addr { return v.addr }
 
 // Metrics exposes the client's registry. The "pose.age" histogram is the
 // capture-to-apply staleness of remote entities — the quantity the paper's
@@ -132,9 +146,7 @@ func (v *VR) Start() error {
 func (v *VR) ping() {
 	v.nonce++
 	v.pingScratch = protocol.Ping{Nonce: v.nonce, SentAt: v.sim.Now()}
-	if frame, err := protocol.EncodeFrame(&v.pingScratch); err == nil {
-		_ = v.net.SendFrame(v.cfg.Addr, v.cfg.Server, frame)
-	}
+	_ = v.ep.Send(v.cfg.Server, &v.pingScratch)
 }
 
 // Stop halts publishing.
@@ -162,9 +174,11 @@ func (v *VR) publish() {
 			int64(p.Velocity.X * 1000), int64(p.Velocity.Y * 1000), int64(p.Velocity.Z * 1000),
 		},
 	}
-	if frame, err := protocol.EncodeFrame(&v.poseScratch); err == nil {
-		v.reg.Counter("publish.poses").Inc()
-		_ = v.net.SendFrame(v.cfg.Addr, v.cfg.Server, frame)
+	// publish.poses counts poses the client produced (encode succeeded),
+	// whether or not the transport could carry them — a client on a dead
+	// link is still publishing, and E1's per-client rate derives from this.
+	if err := v.ep.Send(v.cfg.Server, &v.poseScratch); err == nil || !errors.Is(err, protocol.ErrTooLarge) {
+		v.mPublish.Inc()
 	}
 	if v.cfg.Expressions != nil {
 		v.exprSeq++
@@ -173,35 +187,7 @@ func (v *VR) publish() {
 			Seq:         v.exprSeq,
 			Weights:     v.cfg.Expressions(now).Quantize(),
 		}
-		if frame, err := protocol.EncodeFrame(&v.exprScratch); err == nil {
-			_ = v.net.SendFrame(v.cfg.Addr, v.cfg.Server, frame)
-		}
-	}
-}
-
-// HandleMessage implements netsim.Handler: replication ingest + ack.
-func (v *VR) HandleMessage(from netsim.Addr, payload []byte) {
-	msg, _, err := v.dec.Decode(payload)
-	if err != nil {
-		v.reg.Counter("decode.errors").Inc()
-		return
-	}
-	switch m := msg.(type) {
-	case *protocol.Pong:
-		v.reg.Histogram("rtt").Observe(v.sim.Now() - m.SentAt)
-	case *protocol.Snapshot, *protocol.Delta:
-		ackTick, applied := v.replica.Apply(msg, v.sim.Now())
-		if !applied {
-			v.reg.Counter("recv.gaps").Inc()
-			return
-		}
-		v.reg.Counter("recv.updates").Inc()
-		v.ackScratch = protocol.Ack{Participant: v.cfg.Participant, Tick: ackTick}
-		if frame, err := protocol.EncodeFrame(&v.ackScratch); err == nil {
-			_ = v.net.SendFrame(v.cfg.Addr, from, frame)
-		}
-	default:
-		v.reg.Counter("recv.unhandled").Inc()
+		_ = v.ep.Send(v.cfg.Server, &v.exprScratch)
 	}
 }
 

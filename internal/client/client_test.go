@@ -58,9 +58,8 @@ func (fs *fakeServer) push(t *testing.T, msg protocol.Message) {
 func newVRUnderTest(t *testing.T, sim *vclock.Sim, net *netsim.Network, cfg VRConfig) *VR {
 	t.Helper()
 	cfg.Participant = 7
-	cfg.Addr = "vr"
 	cfg.Server = "srv"
-	v, err := NewVR(sim, net, cfg)
+	v, err := NewVR(sim, net.Endpoint("vr"), cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -192,7 +191,7 @@ func TestVROwnPoseIsLive(t *testing.T) {
 func TestVRRejectsZeroParticipant(t *testing.T) {
 	sim := vclock.New(5)
 	net := netsim.New(sim)
-	if _, err := NewVR(sim, net, VRConfig{Addr: "x", Server: "y"}); err == nil {
+	if _, err := NewVR(sim, net.Endpoint("x"), VRConfig{Server: "y"}); err == nil {
 		t.Error("zero participant accepted")
 	}
 }

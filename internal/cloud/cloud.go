@@ -9,6 +9,9 @@
 // and fans the merged world out — interest-managed — to every remote
 // client, either directly or through regional Relays (the paper's
 // "regional servers" remedy for poorly interconnected users).
+//
+// All traffic rides the transport-agnostic endpoint API: the same server
+// runs over the simulated fabric or real TCP sockets.
 package cloud
 
 import (
@@ -18,39 +21,15 @@ import (
 	"time"
 
 	"metaclass/internal/core"
+	"metaclass/internal/endpoint"
 	"metaclass/internal/interest"
 	"metaclass/internal/mathx"
 	"metaclass/internal/metrics"
-	"metaclass/internal/netsim"
 	"metaclass/internal/pose"
 	"metaclass/internal/protocol"
 	"metaclass/internal/seat"
 	"metaclass/internal/vclock"
 )
-
-// fanoutMetrics caches Counter/Histogram handles for the per-tick and
-// per-message paths, so the hot loops never re-hash metric name strings.
-type fanoutMetrics struct {
-	encodeErrors  *metrics.Counter
-	syncMsgsSent  *metrics.Counter
-	syncBytesSent *metrics.Counter
-	sendErrors    *metrics.Counter
-	decodeErrors  *metrics.Counter
-	recvGaps      *metrics.Counter
-	recvUnknown   *metrics.Counter
-}
-
-func newFanoutMetrics(reg *metrics.Registry) fanoutMetrics {
-	return fanoutMetrics{
-		encodeErrors:  reg.Counter("encode.errors"),
-		syncMsgsSent:  reg.Counter("sync.msgs.sent"),
-		syncBytesSent: reg.Counter("sync.bytes.sent"),
-		sendErrors:    reg.Counter("send.errors"),
-		decodeErrors:  reg.Counter("decode.errors"),
-		recvGaps:      reg.Counter("recv.gaps"),
-		recvUnknown:   reg.Counter("recv.unknown_peer"),
-	}
-}
 
 // Cloud server errors.
 var (
@@ -60,8 +39,6 @@ var (
 
 // Config parameterizes the cloud VR server.
 type Config struct {
-	// Addr is the server's network address.
-	Addr netsim.Addr
 	// TickHz is the fan-out tick rate (default 30).
 	TickHz float64
 	// VRRows/VRCols/VRPitch shape the virtual classroom's seating
@@ -96,13 +73,13 @@ func (c *Config) applyDefaults() {
 }
 
 type edgePeer struct {
-	addr    netsim.Addr
+	addr    endpoint.Addr
 	replica *core.Replica
 }
 
 type vrClient struct {
 	id         protocol.ParticipantID
-	addr       netsim.Addr
+	addr       endpoint.Addr
 	correction mathx.Transform
 	seated     bool
 	// iset caches this client's allowed sources, rebuilt once per tick.
@@ -111,72 +88,80 @@ type vrClient struct {
 
 // Server is the cloud VR classroom host.
 type Server struct {
-	cfg Config
-	sim *vclock.Sim
-	net *netsim.Network
+	cfg  Config
+	sim  *vclock.Sim
+	addr endpoint.Addr
+	ep   *endpoint.Dispatcher
 
 	world   *core.Store
 	repl    *core.Replicator
-	edges   map[netsim.Addr]*edgePeer
-	relays  map[netsim.Addr]bool
+	edges   map[endpoint.Addr]*edgePeer
+	relays  map[endpoint.Addr]bool
 	clients map[protocol.ParticipantID]*vrClient
-	byAddr  map[netsim.Addr]*vrClient
+	byAddr  map[endpoint.Addr]*vrClient
 	seats   *seat.Map
 	grid    *interest.Grid
 	reg     *metrics.Registry
 
-	fm            fanoutMetrics
-	frames        core.FrameCache
-	dec           protocol.Decoder
-	ackScratch    protocol.Ack
-	pongScratch   protocol.Pong
-	mSyncMsgsRecv *metrics.Counter
-	mClientPoses  *metrics.Counter
-	hClientAge    *metrics.Histogram
+	mClientPoses *metrics.Counter
+	hClientAge   *metrics.Histogram
 	// scratch buffers reused every tick (valid only within one tick).
 	liveScratch     map[protocol.ParticipantID]bool
 	neighborScratch []protocol.ParticipantID
-	edgeScratch     []netsim.Addr
+	edgeScratch     []endpoint.Addr
 	removeScratch   []protocol.ParticipantID
 
 	cancel func()
 }
 
-// New creates a cloud server and registers it on the network.
-func New(sim *vclock.Sim, net *netsim.Network, cfg Config) (*Server, error) {
+// New creates a cloud server on the given transport endpoint: its address,
+// send path, and receive dispatch all come from tr, so the same construction
+// works over netsim and TCP.
+func New(sim *vclock.Sim, tr endpoint.Transport, cfg Config) (*Server, error) {
 	cfg.applyDefaults()
 	s := &Server{
 		cfg:     cfg,
 		sim:     sim,
-		net:     net,
+		addr:    tr.LocalAddr(),
 		world:   core.NewStore(),
-		edges:   make(map[netsim.Addr]*edgePeer),
-		relays:  make(map[netsim.Addr]bool),
+		edges:   make(map[endpoint.Addr]*edgePeer),
+		relays:  make(map[endpoint.Addr]bool),
 		clients: make(map[protocol.ParticipantID]*vrClient),
-		byAddr:  make(map[netsim.Addr]*vrClient),
+		byAddr:  make(map[endpoint.Addr]*vrClient),
 		seats:   seat.NewGrid(0, cfg.VRRows, cfg.VRCols, cfg.VRPitch),
 		grid:    interest.NewGrid(4),
-		reg:     metrics.NewRegistry(string(cfg.Addr)),
+		reg:     metrics.NewRegistry(string(tr.LocalAddr())),
 
 		liveScratch: make(map[protocol.ParticipantID]bool),
 	}
-	s.fm = newFanoutMetrics(s.reg)
-	s.mSyncMsgsRecv = s.reg.Counter("sync.msgs.recv")
 	s.mClientPoses = s.reg.Counter("client.poses")
 	s.hClientAge = s.reg.Histogram("client.pose.age")
 	s.repl = core.NewReplicator(s.world, cfg.Repl)
-	if !net.HasHost(cfg.Addr) {
-		if err := net.AddHost(cfg.Addr, s); err != nil {
-			return nil, err
-		}
-	} else if err := net.Bind(cfg.Addr, s); err != nil {
+	ep, err := endpoint.NewDispatcher(tr, s.reg, endpoint.Config{
+		Now:       sim.Now,
+		CountRecv: true,
+		AutoPong:  true,
+	})
+	if err != nil {
 		return nil, err
 	}
+	ep.OnSync(func(from endpoint.Addr) *core.Replica {
+		if e, ok := s.edges[from]; ok {
+			return e.replica
+		}
+		return nil
+	}, nil)
+	ep.OnAck(func(from endpoint.Addr, m *protocol.Ack) error {
+		return s.repl.Ack(string(from), m.Tick)
+	})
+	ep.OnPose(func(_ endpoint.Addr, m *protocol.PoseUpdate) { s.ingestClientPose(m) })
+	ep.OnExpression(func(_ endpoint.Addr, m *protocol.ExpressionUpdate) { s.ingestClientExpression(m) })
+	s.ep = ep
 	return s, nil
 }
 
-// Addr returns the server's address.
-func (s *Server) Addr() netsim.Addr { return s.cfg.Addr }
+// Addr returns the server's endpoint address.
+func (s *Server) Addr() endpoint.Addr { return s.addr }
 
 // Metrics exposes the metrics registry.
 func (s *Server) Metrics() *metrics.Registry { return s.reg }
@@ -187,7 +172,7 @@ func (s *Server) World() *core.Store { return s.world }
 // ConnectEdge links a campus edge server. The cloud replicates back only
 // entities the edge does not already author (cloud-authored VR users and
 // other campuses' participants arrive at edges via their own links).
-func (s *Server) ConnectEdge(addr netsim.Addr, classroom protocol.ClassroomID) error {
+func (s *Server) ConnectEdge(addr endpoint.Addr, classroom protocol.ClassroomID) error {
 	if _, ok := s.edges[addr]; ok {
 		return fmt.Errorf("%w: %s", ErrPeerExists, addr)
 	}
@@ -205,7 +190,7 @@ func (s *Server) ConnectEdge(addr netsim.Addr, classroom protocol.ClassroomID) e
 }
 
 // AddRelay links a regional relay, which receives the full world.
-func (s *Server) AddRelay(addr netsim.Addr) error {
+func (s *Server) AddRelay(addr endpoint.Addr) error {
 	if s.relays[addr] {
 		return fmt.Errorf("%w: %s", ErrPeerExists, addr)
 	}
@@ -214,10 +199,10 @@ func (s *Server) AddRelay(addr netsim.Addr) error {
 }
 
 // AddClient registers a remote VR learner served directly by this cloud.
-// via is the address replication should be sent to — the client itself, or
+// addr is the address replication should be sent to — the client itself, or
 // nothing extra is needed for relay-served clients (their relay replicates
 // to them).
-func (s *Server) AddClient(id protocol.ParticipantID, addr netsim.Addr) error {
+func (s *Server) AddClient(id protocol.ParticipantID, addr endpoint.Addr) error {
 	if _, ok := s.clients[id]; ok {
 		return fmt.Errorf("%w: %d", ErrClientExists, id)
 	}
@@ -230,7 +215,7 @@ func (s *Server) AddClient(id protocol.ParticipantID, addr netsim.Addr) error {
 // RegisterRelayClient records a client whose pose updates will arrive via a
 // relay; the cloud seats and authors it but does not replicate to it
 // directly (its relay does).
-func (s *Server) RegisterRelayClient(id protocol.ParticipantID, relay netsim.Addr) error {
+func (s *Server) RegisterRelayClient(id protocol.ParticipantID, relay endpoint.Addr) error {
 	if _, ok := s.clients[id]; ok {
 		return fmt.Errorf("%w: %d", ErrClientExists, id)
 	}
@@ -300,7 +285,7 @@ func (s *Server) Stop() {
 		s.cancel()
 		s.cancel = nil
 	}
-	s.frames.Reset()
+	s.ep.ReleaseFrames()
 }
 
 func (s *Server) tick() {
@@ -332,25 +317,14 @@ func (s *Server) tick() {
 		s.grid.Remove(id)
 	}
 
-	// Fan out: encode each cohort's payload once into a pooled frame, send
-	// the identical frame to every cohort member (one reference each; the
-	// network releases it on delivery, loss, or drop).
-	s.frames.Reset()
-	for _, pm := range s.repl.PlanTick() {
-		frame := s.frames.FrameFor(pm)
-		if frame == nil {
-			s.fm.encodeErrors.Inc()
-			continue
-		}
-		s.fm.syncMsgsSent.Inc()
-		s.fm.syncBytesSent.Add(uint64(frame.Len()))
-		if err := s.net.SendFrame(s.cfg.Addr, netsim.Addr(pm.Peer), frame); err != nil {
-			s.fm.sendErrors.Inc()
-		}
-	}
+	// Fan out through the shared endpoint path: encode each cohort's payload
+	// once into a pooled frame, send the identical frame to every cohort
+	// member (one reference each; the transport releases it on delivery,
+	// loss, or drop).
+	s.ep.Fanout(s.repl.PlanTick())
 }
 
-func (s *Server) edgeAddrs() []netsim.Addr {
+func (s *Server) edgeAddrs() []endpoint.Addr {
 	out := s.edgeScratch[:0]
 	for a := range s.edges {
 		out = append(out, a)
@@ -358,48 +332,6 @@ func (s *Server) edgeAddrs() []netsim.Addr {
 	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
 	s.edgeScratch = out
 	return out
-}
-
-// HandleMessage implements netsim.Handler.
-func (s *Server) HandleMessage(from netsim.Addr, payload []byte) {
-	msg, _, err := s.dec.Decode(payload)
-	if err != nil {
-		s.fm.decodeErrors.Inc()
-		return
-	}
-	s.mSyncMsgsRecv.Inc()
-	switch m := msg.(type) {
-	case *protocol.Snapshot, *protocol.Delta:
-		ep, ok := s.edges[from]
-		if !ok {
-			s.fm.recvUnknown.Inc()
-			return
-		}
-		ackTick, applied := ep.replica.Apply(msg, s.sim.Now())
-		if !applied {
-			s.fm.recvGaps.Inc()
-			return
-		}
-		s.ackScratch = protocol.Ack{Tick: ackTick}
-		if frame, err := protocol.EncodeFrame(&s.ackScratch); err == nil {
-			_ = s.net.SendFrame(s.cfg.Addr, from, frame)
-		}
-	case *protocol.Ack:
-		if err := s.repl.Ack(string(from), m.Tick); err != nil {
-			s.fm.recvUnknown.Inc()
-		}
-	case *protocol.PoseUpdate:
-		s.ingestClientPose(m)
-	case *protocol.ExpressionUpdate:
-		s.ingestClientExpression(m)
-	case *protocol.Ping:
-		s.pongScratch = protocol.Pong{Nonce: m.Nonce, SentAt: m.SentAt}
-		if frame, err := protocol.EncodeFrame(&s.pongScratch); err == nil {
-			_ = s.net.SendFrame(s.cfg.Addr, from, frame)
-		}
-	default:
-		s.reg.Counter("recv.unhandled").Inc()
-	}
 }
 
 // ingestClientPose authors a remote VR learner's pose into the world,

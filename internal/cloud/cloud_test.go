@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"metaclass/internal/core"
+	"metaclass/internal/endpoint"
 	"metaclass/internal/interest"
 	"metaclass/internal/mathx"
 	"metaclass/internal/netsim"
@@ -15,7 +16,7 @@ import (
 
 func newCloud(t *testing.T, sim *vclock.Sim, net *netsim.Network, pol *interest.Policy) *Server {
 	t.Helper()
-	s, err := New(sim, net, Config{Addr: "cloud", Interest: pol})
+	s, err := New(sim, net.Endpoint("cloud"), Config{Interest: pol})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -135,7 +136,7 @@ func TestCloudInterestFilterReducesTraffic(t *testing.T) {
 			id := protocol.ParticipantID(i + 1)
 			addr := netsim.Addr(rune('A' + i))
 			addClientHost(t, net, addr, nil)
-			if err := s.AddClient(id, addr); err != nil {
+			if err := s.AddClient(id, endpoint.Addr(addr)); err != nil {
 				t.Fatal(err)
 			}
 		}
@@ -166,7 +167,7 @@ func TestRelayMirrorsAndServes(t *testing.T) {
 	net := netsim.New(sim)
 	s := newCloud(t, sim, net, nil)
 
-	r, err := NewRelay(sim, net, RelayConfig{Addr: "relay", Upstream: "cloud"})
+	r, err := NewRelay(sim, net.Endpoint("relay"), RelayConfig{Upstream: "cloud"})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -246,7 +247,7 @@ func TestRelayForwardsClientPosesUpstream(t *testing.T) {
 	sim := vclock.New(6)
 	net := netsim.New(sim)
 	s := newCloud(t, sim, net, nil)
-	r, err := NewRelay(sim, net, RelayConfig{Addr: "relay", Upstream: "cloud"})
+	r, err := NewRelay(sim, net.Endpoint("relay"), RelayConfig{Upstream: "cloud"})
 	if err != nil {
 		t.Fatal(err)
 	}

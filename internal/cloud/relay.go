@@ -6,23 +6,22 @@ import (
 	"time"
 
 	"metaclass/internal/core"
+	"metaclass/internal/endpoint"
 	"metaclass/internal/interest"
 	"metaclass/internal/metrics"
-	"metaclass/internal/netsim"
 	"metaclass/internal/pose"
 	"metaclass/internal/protocol"
 	"metaclass/internal/vclock"
 )
 
-// Relay is a regional fan-out server (the paper's "regional servers"
-// remedy): it mirrors the cloud's world state once per region and serves
-// nearby clients locally, so a lecture crossing the Pacific once instead of
-// per-client. Client pose updates are forwarded upstream unchanged.
+// RelayConfig parameterizes a regional fan-out server (the paper's "regional
+// servers" remedy): it mirrors the cloud's world state once per region and
+// serves nearby clients locally, so a lecture crosses the Pacific once
+// instead of per-client. Client pose updates are forwarded upstream
+// unchanged.
 type RelayConfig struct {
-	// Addr is the relay's network address.
-	Addr netsim.Addr
-	// Upstream is the cloud server's address.
-	Upstream netsim.Addr
+	// Upstream is the cloud server's endpoint address.
+	Upstream endpoint.Addr
 	// TickHz is the local fan-out rate (default 30).
 	TickHz float64
 	// InterpDelay is the playout delay of the upstream replica (default
@@ -46,29 +45,26 @@ func (c *RelayConfig) applyDefaults() {
 // relayClient is one locally-served client plus its per-tick interest set.
 type relayClient struct {
 	id   protocol.ParticipantID
-	addr netsim.Addr
+	addr endpoint.Addr
 	iset *interest.Set
 }
 
 // Relay mirrors the cloud world for one region.
 type Relay struct {
-	cfg RelayConfig
-	sim *vclock.Sim
-	net *netsim.Network
+	cfg  RelayConfig
+	sim  *vclock.Sim
+	addr endpoint.Addr
+	ep   *endpoint.Dispatcher
 
 	upstream *core.Replica
 	mirror   *core.Store
 	repl     *core.Replicator
 	clients  map[protocol.ParticipantID]*relayClient
-	byAddr   map[netsim.Addr]protocol.ParticipantID
+	byAddr   map[endpoint.Addr]protocol.ParticipantID
 	grid     *interest.Grid
 	reg      *metrics.Registry
 
-	fm          fanoutMetrics
-	frames      core.FrameCache
-	dec         protocol.Decoder
-	ackScratch  protocol.Ack
-	pongScratch protocol.Pong
+	mForwardedUp *metrics.Counter
 	// scratch buffers reused every tick (valid only within one tick).
 	liveScratch     map[protocol.ParticipantID]bool
 	neighborScratch []protocol.ParticipantID
@@ -77,43 +73,77 @@ type Relay struct {
 	cancel func()
 }
 
-// NewRelay creates a relay and registers it on the network.
-func NewRelay(sim *vclock.Sim, net *netsim.Network, cfg RelayConfig) (*Relay, error) {
+// NewRelay creates a relay on the given transport endpoint.
+func NewRelay(sim *vclock.Sim, tr endpoint.Transport, cfg RelayConfig) (*Relay, error) {
 	cfg.applyDefaults()
 	r := &Relay{
 		cfg:      cfg,
 		sim:      sim,
-		net:      net,
+		addr:     tr.LocalAddr(),
 		upstream: core.NewReplica(cfg.InterpDelay, pose.Linear{}),
 		mirror:   core.NewStore(),
 		clients:  make(map[protocol.ParticipantID]*relayClient),
-		byAddr:   make(map[netsim.Addr]protocol.ParticipantID),
+		byAddr:   make(map[endpoint.Addr]protocol.ParticipantID),
 		grid:     interest.NewGrid(4),
-		reg:      metrics.NewRegistry(string(cfg.Addr)),
+		reg:      metrics.NewRegistry(string(tr.LocalAddr())),
 
 		liveScratch: make(map[protocol.ParticipantID]bool),
 	}
-	r.fm = newFanoutMetrics(r.reg)
+	r.mForwardedUp = r.reg.Counter("forwarded.up")
 	r.repl = core.NewReplicator(r.mirror, cfg.Repl)
 	r.upstream.Latency = r.reg.Histogram("upstream.pose.age")
-	if !net.HasHost(cfg.Addr) {
-		if err := net.AddHost(cfg.Addr, r); err != nil {
-			return nil, err
-		}
-	} else if err := net.Bind(cfg.Addr, r); err != nil {
+	ep, err := endpoint.NewDispatcher(tr, r.reg, endpoint.Config{
+		Now:      sim.Now,
+		AutoPong: true,
+	})
+	if err != nil {
 		return nil, err
 	}
+	// Replication is mirrored only from upstream; sync traffic from any
+	// other source resolves to no replica and falls through to the forward
+	// fallback with everything else.
+	ep.OnSync(func(from endpoint.Addr) *core.Replica {
+		if from == r.cfg.Upstream {
+			return r.upstream
+		}
+		return nil
+	}, nil)
+	ep.OnAck(func(from endpoint.Addr, m *protocol.Ack) error {
+		if from == r.cfg.Upstream {
+			// The cloud is not a local replication client; a stray upstream
+			// ack is unhandled, not an unknown peer.
+			ep.CountUnhandled()
+			return nil
+		}
+		return r.repl.Ack(string(from), m.Tick)
+	})
+	// From a client: acks terminate above and pings are auto-ponged (RTT
+	// probes are answered whoever asks); everything else (pose/expression
+	// streams) forwards upstream unchanged. Stray non-ping traffic from
+	// upstream is counted, never echoed back.
+	ep.OnFallback(func(from endpoint.Addr, payload []byte, _ protocol.Message) {
+		if from == r.cfg.Upstream {
+			ep.CountUnhandled()
+			return
+		}
+		r.mForwardedUp.Inc()
+		// payload is only borrowed for the duration of this callback (its
+		// frame is recycled when we return), so Forward re-owns the bytes in
+		// a pooled frame of its own.
+		_ = ep.Forward(r.cfg.Upstream, payload)
+	})
+	r.ep = ep
 	return r, nil
 }
 
-// Addr returns the relay's address.
-func (r *Relay) Addr() netsim.Addr { return r.cfg.Addr }
+// Addr returns the relay's endpoint address.
+func (r *Relay) Addr() endpoint.Addr { return r.addr }
 
 // Metrics exposes the relay's registry.
 func (r *Relay) Metrics() *metrics.Registry { return r.reg }
 
 // AddClient registers a client served by this relay.
-func (r *Relay) AddClient(id protocol.ParticipantID, addr netsim.Addr) error {
+func (r *Relay) AddClient(id protocol.ParticipantID, addr endpoint.Addr) error {
 	if _, ok := r.clients[id]; ok {
 		return fmt.Errorf("%w: %d", ErrClientExists, id)
 	}
@@ -155,7 +185,7 @@ func (r *Relay) Stop() {
 		r.cancel()
 		r.cancel = nil
 	}
-	r.frames.Reset()
+	r.ep.ReleaseFrames()
 }
 
 func (r *Relay) tick() {
@@ -180,72 +210,10 @@ func (r *Relay) tick() {
 		r.mirror.Remove(id)
 		r.grid.Remove(id)
 	}
-	// Fan out: encode once per cohort into a pooled frame, send the shared
-	// frame to members (one reference each, released by the network).
-	r.frames.Reset()
-	for _, pm := range r.repl.PlanTick() {
-		frame := r.frames.FrameFor(pm)
-		if frame == nil {
-			r.fm.encodeErrors.Inc()
-			continue
-		}
-		r.fm.syncMsgsSent.Inc()
-		r.fm.syncBytesSent.Add(uint64(frame.Len()))
-		if err := r.net.SendFrame(r.cfg.Addr, netsim.Addr(pm.Peer), frame); err != nil {
-			r.fm.sendErrors.Inc()
-		}
-	}
-}
-
-// HandleMessage implements netsim.Handler.
-func (r *Relay) HandleMessage(from netsim.Addr, payload []byte) {
-	if from == r.cfg.Upstream {
-		msg, _, err := r.dec.Decode(payload)
-		if err != nil {
-			r.fm.decodeErrors.Inc()
-			return
-		}
-		switch msg.(type) {
-		case *protocol.Snapshot, *protocol.Delta:
-			ackTick, applied := r.upstream.Apply(msg, r.sim.Now())
-			if !applied {
-				r.fm.recvGaps.Inc()
-				return
-			}
-			r.ackScratch = protocol.Ack{Tick: ackTick}
-			if frame, err := protocol.EncodeFrame(&r.ackScratch); err == nil {
-				_ = r.net.SendFrame(r.cfg.Addr, from, frame)
-			}
-		default:
-			r.reg.Counter("recv.unhandled").Inc()
-		}
-		return
-	}
-	// From a client: acks terminate here; everything else (pose/expression
-	// streams) forwards upstream unchanged.
-	msg, _, err := r.dec.Decode(payload)
-	if err != nil {
-		r.fm.decodeErrors.Inc()
-		return
-	}
-	if ack, ok := msg.(*protocol.Ack); ok {
-		if err := r.repl.Ack(string(from), ack.Tick); err != nil {
-			r.fm.recvUnknown.Inc()
-		}
-		return
-	}
-	if ping, ok := msg.(*protocol.Ping); ok {
-		r.pongScratch = protocol.Pong{Nonce: ping.Nonce, SentAt: ping.SentAt}
-		if frame, err := protocol.EncodeFrame(&r.pongScratch); err == nil {
-			_ = r.net.SendFrame(r.cfg.Addr, from, frame)
-		}
-		return
-	}
-	r.reg.Counter("forwarded.up").Inc()
-	// payload is only borrowed for the duration of this callback (its frame
-	// is recycled when we return), so the forwarded copy re-owns the bytes
-	// in a pooled frame of its own.
-	_ = r.net.SendFrame(r.cfg.Addr, r.cfg.Upstream, protocol.CopyFrame(payload))
+	// Fan out through the shared endpoint path: encode once per cohort into
+	// a pooled frame, send the shared frame to members (one reference each,
+	// released by the transport).
+	r.ep.Fanout(r.repl.PlanTick())
 }
 
 // ClientCount returns the number of clients served locally.

@@ -21,11 +21,11 @@ import (
 
 	"metaclass/internal/avatar"
 	"metaclass/internal/core"
+	"metaclass/internal/endpoint"
 	"metaclass/internal/expression"
 	"metaclass/internal/fusion"
 	"metaclass/internal/mathx"
 	"metaclass/internal/metrics"
-	"metaclass/internal/netsim"
 	"metaclass/internal/pose"
 	"metaclass/internal/protocol"
 	"metaclass/internal/seat"
@@ -43,8 +43,6 @@ var (
 type Config struct {
 	// Classroom is this room's ID (must be unique and nonzero).
 	Classroom protocol.ClassroomID
-	// Addr is the server's network address.
-	Addr netsim.Addr
 	// TickHz is the replication tick rate (default 30).
 	TickHz float64
 	// SeatRows, SeatCols, SeatPitch describe the room's seating grid
@@ -85,7 +83,7 @@ func (c *Config) applyDefaults() {
 
 // remotePeer is one upstream/downstream sync partner (peer edge or cloud).
 type remotePeer struct {
-	addr    netsim.Addr
+	addr    endpoint.Addr
 	replica *core.Replica
 	// corrections maps remote participants to the rigid transform from
 	// their source frame into their assigned local seat frame.
@@ -94,41 +92,34 @@ type remotePeer struct {
 
 // Server is a classroom edge server.
 type Server struct {
-	cfg Config
-	sim *vclock.Sim
-	net *netsim.Network
+	cfg  Config
+	sim  *vclock.Sim
+	addr endpoint.Addr
+	ep   *endpoint.Dispatcher
 
 	local   *core.Store
 	repl    *core.Replicator
 	fusers  map[protocol.ParticipantID]*fusion.Fuser
 	exprs   map[protocol.ParticipantID][]byte
 	flags   map[protocol.ParticipantID]uint8
-	peers   map[netsim.Addr]*remotePeer
+	peers   map[endpoint.Addr]*remotePeer
 	seats   *seat.Map
 	avatars *avatar.Registry
 	reg     *metrics.Registry
 
-	// Hot-path caches: metric handles resolved once, per-tick scratch
-	// slices reused, and the cohort frame table for encode-once fan-out.
-	mSyncMsgsSent  *metrics.Counter
-	mSyncBytesSent *metrics.Counter
-	mSyncMsgsRecv  *metrics.Counter
-	mEncodeErrors  *metrics.Counter
-	mSendErrors    *metrics.Counter
-	mDecodeErrors  *metrics.Counter
-	mLocalDespawn  *metrics.Counter
-	idScratch      []protocol.ParticipantID
-	frames         core.FrameCache
-	dec            protocol.Decoder
-	ackScratch     protocol.Ack
-	pongScratch    protocol.Pong
+	// Hot-path caches: metric handles resolved once and per-tick scratch
+	// slices reused (the send/receive paths live in the dispatcher).
+	mLocalDespawn *metrics.Counter
+	idScratch     []protocol.ParticipantID
 
 	cancel  func()
 	started bool
 }
 
-// New creates an edge server and registers it on the network.
-func New(sim *vclock.Sim, net *netsim.Network, cfg Config) (*Server, error) {
+// New creates an edge server on the given transport endpoint: its address,
+// send path, and receive dispatch all come from tr, so the same construction
+// works over netsim and TCP.
+func New(sim *vclock.Sim, tr endpoint.Transport, cfg Config) (*Server, error) {
 	cfg.applyDefaults()
 	if cfg.Classroom == 0 {
 		return nil, errors.New("edge: classroom ID must be nonzero")
@@ -136,36 +127,41 @@ func New(sim *vclock.Sim, net *netsim.Network, cfg Config) (*Server, error) {
 	s := &Server{
 		cfg:     cfg,
 		sim:     sim,
-		net:     net,
+		addr:    tr.LocalAddr(),
 		local:   core.NewStore(),
 		fusers:  make(map[protocol.ParticipantID]*fusion.Fuser),
 		exprs:   make(map[protocol.ParticipantID][]byte),
 		flags:   make(map[protocol.ParticipantID]uint8),
-		peers:   make(map[netsim.Addr]*remotePeer),
+		peers:   make(map[endpoint.Addr]*remotePeer),
 		seats:   seat.NewGrid(cfg.Classroom, cfg.SeatRows, cfg.SeatCols, cfg.SeatPitch),
 		avatars: avatar.NewRegistry(),
-		reg:     metrics.NewRegistry(string(cfg.Addr)),
+		reg:     metrics.NewRegistry(string(tr.LocalAddr())),
 	}
-	s.mSyncMsgsSent = s.reg.Counter("sync.msgs.sent")
-	s.mSyncBytesSent = s.reg.Counter("sync.bytes.sent")
-	s.mSyncMsgsRecv = s.reg.Counter("sync.msgs.recv")
-	s.mEncodeErrors = s.reg.Counter("encode.errors")
-	s.mSendErrors = s.reg.Counter("send.errors")
-	s.mDecodeErrors = s.reg.Counter("decode.errors")
 	s.mLocalDespawn = s.reg.Counter("local.despawned")
 	s.repl = core.NewReplicator(s.local, cfg.Repl)
-	if !net.HasHost(cfg.Addr) {
-		if err := net.AddHost(cfg.Addr, s); err != nil {
-			return nil, err
-		}
-	} else if err := net.Bind(cfg.Addr, s); err != nil {
+	ep, err := endpoint.NewDispatcher(tr, s.reg, endpoint.Config{
+		Now:       sim.Now,
+		CountRecv: true,
+		AutoPong:  true,
+	})
+	if err != nil {
 		return nil, err
 	}
+	ep.OnSync(func(from endpoint.Addr) *core.Replica {
+		if rp, ok := s.peers[from]; ok {
+			return rp.replica
+		}
+		return nil
+	}, nil)
+	ep.OnAck(func(from endpoint.Addr, m *protocol.Ack) error {
+		return s.repl.Ack(string(from), m.Tick)
+	})
+	s.ep = ep
 	return s, nil
 }
 
-// Addr returns the server's network address.
-func (s *Server) Addr() netsim.Addr { return s.cfg.Addr }
+// Addr returns the server's endpoint address.
+func (s *Server) Addr() endpoint.Addr { return s.addr }
 
 // Classroom returns the classroom ID.
 func (s *Server) Classroom() protocol.ClassroomID { return s.cfg.Classroom }
@@ -242,7 +238,7 @@ func (s *Server) SetFlags(id protocol.ParticipantID, flags uint8) error {
 
 // ConnectPeer links this edge to another sync server (peer edge or cloud).
 // Replication is unfiltered: servers need the full authored set.
-func (s *Server) ConnectPeer(addr netsim.Addr) error {
+func (s *Server) ConnectPeer(addr endpoint.Addr) error {
 	if _, ok := s.peers[addr]; ok {
 		return fmt.Errorf("edge: peer %s already connected", addr)
 	}
@@ -305,7 +301,7 @@ func (s *Server) Stop() {
 		s.cancel = nil
 	}
 	s.started = false
-	s.frames.Reset()
+	s.ep.ReleaseFrames()
 }
 
 func (s *Server) tick() {
@@ -347,60 +343,11 @@ func (s *Server) tick() {
 		})
 	}
 
-	// Replicate to peers: encode once per cohort into a pooled frame (both
-	// sync partners share the same frame whenever their ack baselines
-	// coincide); the network releases each recipient's reference.
-	s.frames.Reset()
-	for _, pm := range s.repl.PlanTick() {
-		frame := s.frames.FrameFor(pm)
-		if frame == nil {
-			s.mEncodeErrors.Inc()
-			continue
-		}
-		s.mSyncMsgsSent.Inc()
-		s.mSyncBytesSent.Add(uint64(frame.Len()))
-		if err := s.net.SendFrame(s.cfg.Addr, netsim.Addr(pm.Peer), frame); err != nil {
-			s.mSendErrors.Inc()
-		}
-	}
-}
-
-// HandleMessage implements netsim.Handler: the server's receive path.
-func (s *Server) HandleMessage(from netsim.Addr, payload []byte) {
-	msg, _, err := s.dec.Decode(payload)
-	if err != nil {
-		s.mDecodeErrors.Inc()
-		return
-	}
-	s.mSyncMsgsRecv.Inc()
-	switch m := msg.(type) {
-	case *protocol.Snapshot, *protocol.Delta:
-		rp, ok := s.peers[from]
-		if !ok {
-			s.reg.Counter("recv.unknown_peer").Inc()
-			return
-		}
-		ackTick, applied := rp.replica.Apply(msg, s.sim.Now())
-		if !applied {
-			s.reg.Counter("recv.gaps").Inc()
-			return
-		}
-		s.ackScratch = protocol.Ack{Tick: ackTick}
-		if frame, err := protocol.EncodeFrame(&s.ackScratch); err == nil {
-			_ = s.net.SendFrame(s.cfg.Addr, from, frame)
-		}
-	case *protocol.Ack:
-		if err := s.repl.Ack(string(from), m.Tick); err != nil {
-			s.reg.Counter("recv.unknown_peer").Inc()
-		}
-	case *protocol.Ping:
-		s.pongScratch = protocol.Pong{Nonce: m.Nonce, SentAt: m.SentAt}
-		if frame, err := protocol.EncodeFrame(&s.pongScratch); err == nil {
-			_ = s.net.SendFrame(s.cfg.Addr, from, frame)
-		}
-	default:
-		s.reg.Counter("recv.unhandled").Inc()
-	}
+	// Replicate to peers through the shared endpoint path: encode once per
+	// cohort into a pooled frame (both sync partners share the same frame
+	// whenever their ack baselines coincide); the transport releases each
+	// recipient's reference.
+	s.ep.Fanout(s.repl.PlanTick())
 }
 
 // DisplayPose returns the pose of any participant as the classroom's MR
@@ -424,8 +371,8 @@ func (s *Server) DisplayPose(id protocol.ParticipantID, at time.Duration) (pose.
 	return pose.Pose{}, false
 }
 
-func (s *Server) peerAddrs() []netsim.Addr {
-	out := make([]netsim.Addr, 0, len(s.peers))
+func (s *Server) peerAddrs() []endpoint.Addr {
+	out := make([]endpoint.Addr, 0, len(s.peers))
 	for a := range s.peers {
 		out = append(out, a)
 	}
@@ -460,7 +407,7 @@ func (s *Server) VisibleParticipants() []protocol.ParticipantID {
 func (s *Server) LocalStore() *core.Store { return s.local }
 
 // ReplicaOf exposes a peer's replica (tests and experiments).
-func (s *Server) ReplicaOf(addr netsim.Addr) (*core.Replica, bool) {
+func (s *Server) ReplicaOf(addr endpoint.Addr) (*core.Replica, bool) {
 	rp, ok := s.peers[addr]
 	if !ok {
 		return nil, false

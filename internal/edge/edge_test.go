@@ -17,7 +17,7 @@ import (
 
 func newEdge(t *testing.T, sim *vclock.Sim, net *netsim.Network, id protocol.ClassroomID, addr netsim.Addr) *Server {
 	t.Helper()
-	s, err := New(sim, net, Config{Classroom: id, Addr: addr})
+	s, err := New(sim, net.Endpoint(addr), Config{Classroom: id})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -71,7 +71,7 @@ func TestEdgeAuthorsLocalParticipants(t *testing.T) {
 func TestEdgeRejectsZeroClassroom(t *testing.T) {
 	sim := vclock.New(1)
 	net := netsim.New(sim)
-	if _, err := New(sim, net, Config{Classroom: 0, Addr: "x"}); err == nil {
+	if _, err := New(sim, net.Endpoint("x"), Config{Classroom: 0}); err == nil {
 		t.Error("zero classroom accepted")
 	}
 }
@@ -169,7 +169,7 @@ func TestEdgeReplicatesToPeer(t *testing.T) {
 func TestEdgeStaleDespawn(t *testing.T) {
 	sim := vclock.New(3)
 	net := netsim.New(sim)
-	s, err := New(sim, net, Config{Classroom: 1, Addr: "e", StaleAfter: 500 * time.Millisecond})
+	s, err := New(sim, net.Endpoint("e"), Config{Classroom: 1, StaleAfter: 500 * time.Millisecond})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -196,7 +196,7 @@ func TestEdgeSeatExhaustionFallsBackToIdentity(t *testing.T) {
 	sim := vclock.New(4)
 	net := netsim.New(sim)
 	// 1x1 grid: a single seat, taken by the local participant.
-	a, err := New(sim, net, Config{Classroom: 1, Addr: "a", SeatRows: 1, SeatCols: 1})
+	a, err := New(sim, net.Endpoint("a"), Config{Classroom: 1, SeatRows: 1, SeatCols: 1})
 	if err != nil {
 		t.Fatal(err)
 	}

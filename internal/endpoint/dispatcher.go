@@ -1,0 +1,269 @@
+package endpoint
+
+import (
+	"time"
+
+	"metaclass/internal/core"
+	"metaclass/internal/metrics"
+	"metaclass/internal/protocol"
+)
+
+// Config parameterizes a Dispatcher.
+type Config struct {
+	// Now is the node's clock, used to timestamp replica applies (required
+	// when OnSync is registered; defaults to a zero clock).
+	Now func() time.Duration
+	// AckParticipant, when nonzero, stamps auto-acks with the node's own
+	// participant ID (clients set it; servers ack anonymously).
+	AckParticipant protocol.ParticipantID
+	// CountRecv maintains the sync.msgs.recv counter per decoded message
+	// (the cloud/edge server convention; relays and clients leave it off).
+	CountRecv bool
+	// AutoPong answers Ping frames with a Pong echoing nonce and send time
+	// (server endpoints; clients count stray pings as unhandled instead).
+	AutoPong bool
+}
+
+// Dispatcher is the shared receive/reply surface of every node: it owns the
+// pooled protocol.Decoder, the cohort FrameCache for tick fan-out, the
+// ack/pong reply scratch, and the recv-side metric family — so the four node
+// types carry no decode switch, no scratch duplication, and no drifting
+// counter names of their own.
+//
+// Shared metric names (old per-node names stay live as aliases):
+//
+//	recv.decode_errors (alias decode.errors)   undecodable frames
+//	recv.unknown_peer  (alias recv.unknown)    sync/ack from an unknown source
+//	recv.gaps                                  replica rejected the update
+//	recv.unhandled                             no handler for the message type
+//	sync.msgs.recv                             decoded messages (CountRecv)
+//	encode.errors, sync.msgs.sent, sync.bytes.sent, send.errors   (Fanout)
+//
+// A Dispatcher is single-threaded, like the nodes it serves: Receive must be
+// called from the goroutine that owns the node (the simulation goroutine, or
+// the goroutine pumping a TCP endpoint).
+type Dispatcher struct {
+	tr  Transport
+	reg *metrics.Registry
+	cfg Config
+
+	dec         protocol.Decoder
+	frames      core.FrameCache
+	ackScratch  protocol.Ack
+	pongScratch protocol.Pong
+
+	mMsgsRecv     *metrics.Counter
+	mDecodeErrors *metrics.Counter
+	mUnknownPeer  *metrics.Counter
+	mGaps         *metrics.Counter
+	mUnhandled    *metrics.Counter
+	mEncodeErrors *metrics.Counter
+	mMsgsSent     *metrics.Counter
+	mBytesSent    *metrics.Counter
+	mSendErrors   *metrics.Counter
+
+	replicaFor func(from Addr) *core.Replica
+	onApplied  func(from Addr, ackTick uint64)
+	onAck      func(from Addr, m *protocol.Ack) error
+	onPose     func(from Addr, m *protocol.PoseUpdate)
+	onExpr     func(from Addr, m *protocol.ExpressionUpdate)
+	onPong     func(from Addr, m *protocol.Pong)
+	fallback   func(from Addr, payload []byte, msg protocol.Message)
+}
+
+// NewDispatcher creates a dispatcher over tr, registers the shared metric
+// family (and legacy-name aliases) in reg, and binds itself as the
+// transport's receiver.
+func NewDispatcher(tr Transport, reg *metrics.Registry, cfg Config) (*Dispatcher, error) {
+	if cfg.Now == nil {
+		cfg.Now = func() time.Duration { return 0 }
+	}
+	d := &Dispatcher{tr: tr, reg: reg, cfg: cfg}
+	d.mDecodeErrors = reg.Counter("recv.decode_errors")
+	reg.AliasCounter("decode.errors", "recv.decode_errors")
+	d.mUnknownPeer = reg.Counter("recv.unknown_peer")
+	reg.AliasCounter("recv.unknown", "recv.unknown_peer")
+	d.mGaps = reg.Counter("recv.gaps")
+	d.mUnhandled = reg.Counter("recv.unhandled")
+	if cfg.CountRecv {
+		d.mMsgsRecv = reg.Counter("sync.msgs.recv")
+	}
+	d.mEncodeErrors = reg.Counter("encode.errors")
+	d.mMsgsSent = reg.Counter("sync.msgs.sent")
+	d.mBytesSent = reg.Counter("sync.bytes.sent")
+	d.mSendErrors = reg.Counter("send.errors")
+	if err := tr.Bind(d); err != nil {
+		return nil, err
+	}
+	return d, nil
+}
+
+// OnSync registers the replication ingest path, shared by Snapshot and Delta
+// frames (the OnSnapshot/OnDelta pair collapses into one hook because every
+// node treats them identically). resolve maps a sender to the replica
+// mirroring it; applied updates are auto-acked back to the sender and gaps
+// count recv.gaps. A nil resolution routes to the fallback when one is
+// registered (a relay forwards traffic it does not mirror) and counts
+// recv.unknown_peer otherwise. applied, when non-nil, runs after a
+// successful apply and before the ack (clients count recv.updates here).
+func (d *Dispatcher) OnSync(resolve func(from Addr) *core.Replica, applied func(from Addr, ackTick uint64)) {
+	d.replicaFor = resolve
+	d.onApplied = applied
+}
+
+// OnAck registers the ack ingest hook; a non-nil error counts
+// recv.unknown_peer (the replicator did not know the acking peer).
+func (d *Dispatcher) OnAck(h func(from Addr, m *protocol.Ack) error) { d.onAck = h }
+
+// OnPose registers the pose-stream ingest hook.
+func (d *Dispatcher) OnPose(h func(from Addr, m *protocol.PoseUpdate)) { d.onPose = h }
+
+// OnExpression registers the expression-stream ingest hook.
+func (d *Dispatcher) OnExpression(h func(from Addr, m *protocol.ExpressionUpdate)) { d.onExpr = h }
+
+// OnPong registers the pong (RTT probe reply) hook.
+func (d *Dispatcher) OnPong(h func(from Addr, m *protocol.Pong)) { d.onPong = h }
+
+// OnFallback registers the handler for messages no typed hook claims. The
+// payload is borrowed for the duration of the call (forwarders must re-own
+// it, e.g. via Forward). Without a fallback such messages count
+// recv.unhandled.
+func (d *Dispatcher) OnFallback(h func(from Addr, payload []byte, msg protocol.Message)) {
+	d.fallback = h
+}
+
+// CountUnhandled records one unhandled message; fallback handlers call it
+// for traffic they decline (keeping the shared counter authoritative).
+func (d *Dispatcher) CountUnhandled() { d.mUnhandled.Inc() }
+
+// Receive implements Receiver: decode, count, route, and auto-reply.
+func (d *Dispatcher) Receive(from Addr, payload []byte) {
+	msg, _, err := d.dec.Decode(payload)
+	if err != nil {
+		d.mDecodeErrors.Inc()
+		return
+	}
+	if d.mMsgsRecv != nil {
+		d.mMsgsRecv.Inc()
+	}
+	switch m := msg.(type) {
+	case *protocol.Snapshot, *protocol.Delta:
+		if d.replicaFor == nil {
+			d.unhandled(from, payload, msg)
+			return
+		}
+		rep := d.replicaFor(from)
+		if rep == nil {
+			if d.fallback != nil {
+				d.fallback(from, payload, msg)
+				return
+			}
+			d.mUnknownPeer.Inc()
+			return
+		}
+		ackTick, applied := rep.Apply(msg, d.cfg.Now())
+		if !applied {
+			d.mGaps.Inc()
+			return
+		}
+		if d.onApplied != nil {
+			d.onApplied(from, ackTick)
+		}
+		d.ackScratch = protocol.Ack{Participant: d.cfg.AckParticipant, Tick: ackTick}
+		d.reply(from, &d.ackScratch)
+	case *protocol.Ack:
+		if d.onAck == nil {
+			d.unhandled(from, payload, msg)
+			return
+		}
+		if err := d.onAck(from, m); err != nil {
+			d.mUnknownPeer.Inc()
+		}
+	case *protocol.PoseUpdate:
+		if d.onPose == nil {
+			d.unhandled(from, payload, msg)
+			return
+		}
+		d.onPose(from, m)
+	case *protocol.ExpressionUpdate:
+		if d.onExpr == nil {
+			d.unhandled(from, payload, msg)
+			return
+		}
+		d.onExpr(from, m)
+	case *protocol.Ping:
+		if !d.cfg.AutoPong {
+			d.unhandled(from, payload, msg)
+			return
+		}
+		d.pongScratch = protocol.Pong{Nonce: m.Nonce, SentAt: m.SentAt}
+		d.reply(from, &d.pongScratch)
+	case *protocol.Pong:
+		if d.onPong == nil {
+			d.unhandled(from, payload, msg)
+			return
+		}
+		d.onPong(from, m)
+	default:
+		d.unhandled(from, payload, msg)
+	}
+}
+
+func (d *Dispatcher) unhandled(from Addr, payload []byte, msg protocol.Message) {
+	if d.fallback != nil {
+		d.fallback(from, payload, msg)
+		return
+	}
+	d.mUnhandled.Inc()
+}
+
+// reply encodes a pooled auto-reply (ack, pong) and sends it; the transport
+// consumes the frame's reference on every outcome.
+func (d *Dispatcher) reply(to Addr, msg protocol.Message) {
+	if frame, err := protocol.EncodeFrame(msg); err == nil {
+		_ = d.tr.SendFrame(to, frame)
+	}
+}
+
+// Fanout encodes and transmits one tick's replication plan: each distinct
+// cohort payload is encoded exactly once into a pooled frame, every cohort
+// member receives the identical frame with its own reference, and the
+// transport releases each reference on delivery, loss, drop, or error.
+// Call once per tick with the node's PlanTick result.
+func (d *Dispatcher) Fanout(plan []core.PeerMessage) {
+	d.frames.Reset()
+	for _, pm := range plan {
+		frame := d.frames.FrameFor(pm)
+		if frame == nil {
+			d.mEncodeErrors.Inc()
+			continue
+		}
+		d.mMsgsSent.Inc()
+		d.mBytesSent.Add(uint64(frame.Len()))
+		if err := d.tr.SendFrame(Addr(pm.Peer), frame); err != nil {
+			d.mSendErrors.Inc()
+		}
+	}
+}
+
+// ReleaseFrames drops the cohort table's base references. Call when the
+// owning node stops, so the final tick's frames are not pinned forever.
+func (d *Dispatcher) ReleaseFrames() { d.frames.Reset() }
+
+// Send encodes msg into a pooled frame and transmits it — the one-off path
+// outside the tick fan-out (pose publishes, pings). The frame's reference is
+// consumed on every outcome.
+func (d *Dispatcher) Send(to Addr, msg protocol.Message) error {
+	frame, err := protocol.EncodeFrame(msg)
+	if err != nil {
+		return err
+	}
+	return d.tr.SendFrame(to, frame)
+}
+
+// Forward re-owns a borrowed payload in a pooled frame of its own and sends
+// it (a relay pushing client traffic upstream from inside a receive
+// callback, where the original bytes die on return).
+func (d *Dispatcher) Forward(to Addr, payload []byte) error {
+	return d.tr.SendFrame(to, protocol.CopyFrame(payload))
+}

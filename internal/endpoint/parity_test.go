@@ -1,0 +1,219 @@
+package endpoint_test
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"metaclass/internal/cloud"
+	"metaclass/internal/edge"
+	"metaclass/internal/endpoint"
+	"metaclass/internal/mathx"
+	"metaclass/internal/netsim"
+	"metaclass/internal/protocol"
+	"metaclass/internal/transport"
+	"metaclass/internal/vclock"
+)
+
+// parityScenario is a 2-edge + cloud deployment driven in lock-step over an
+// arbitrary transport backend: the same node construction, peering, tick
+// schedule, and entity injections, with only the Transport implementations
+// differing. It is the cross-backend acceptance gate of the endpoint API:
+// after identical rounds, every replication counter and histogram must be
+// byte-identical between the netsim fabric and real TCP loopback sockets.
+type parityScenario struct {
+	sim   *vclock.Sim
+	cloud *cloud.Server
+	edgeA *edge.Server
+	edgeB *edge.Server
+	// settle waits until the round's in-flight traffic has been consumed:
+	// a no-op under netsim (the simulator settles zero-latency cascades
+	// within Run) and an inbox pump under TCP.
+	settle func(t *testing.T, round int)
+}
+
+const (
+	parityRounds = 8
+	parityTick   = time.Second / 30
+)
+
+// buildParity wires the scenario over three transports. The caller provides
+// the transports and a settle function; construction order, peering, and
+// start order are fixed so both backends schedule ticks identically.
+func buildParity(t *testing.T, sim *vclock.Sim, cloudTr, edgeATr, edgeBTr endpoint.Transport,
+	settle func(t *testing.T, round int)) *parityScenario {
+	t.Helper()
+	cs, err := cloud.New(sim, cloudTr, cloud.Config{TickHz: 30})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ea, err := edge.New(sim, edgeATr, edge.Config{Classroom: 1, TickHz: 30})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eb, err := edge.New(sim, edgeBTr, edge.Config{Classroom: 2, TickHz: 30})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, step := range []error{
+		cs.ConnectEdge("edge-a", 1), cs.ConnectEdge("edge-b", 2),
+		ea.ConnectPeer("cloud"), ea.ConnectPeer("edge-b"),
+		eb.ConnectPeer("cloud"), eb.ConnectPeer("edge-a"),
+		cs.Start(), ea.Start(), eb.Start(),
+	} {
+		if step != nil {
+			t.Fatal(step)
+		}
+	}
+	return &parityScenario{sim: sim, cloud: cs, edgeA: ea, edgeB: eb, settle: settle}
+}
+
+// inject authors one moving participant per campus directly into each edge's
+// local store (the replication-parity test needs deterministic authored
+// state, not the sensor pipeline).
+func (p *parityScenario) inject(round int) {
+	now := p.sim.Now()
+	for i, es := range []*edge.Server{p.edgeA, p.edgeB} {
+		x := float64(round)*0.1 + float64(i)
+		es.LocalStore().Upsert(protocol.EntityState{
+			Participant: protocol.ParticipantID(100 + i),
+			Home:        es.Classroom(),
+			CapturedAt:  now,
+			Pose:        protocol.QuantizePose(mathx.V3(x, 1.2, float64(i)), mathx.QuatIdentity()),
+			VelMMS:      [3]int64{int64(round * 10), 0, 0},
+		})
+	}
+}
+
+// run drives the lock-step rounds and returns the concatenated registry
+// fingerprint of all three nodes.
+func (p *parityScenario) run(t *testing.T) string {
+	t.Helper()
+	for round := 1; round <= parityRounds; round++ {
+		p.inject(round)
+		if err := p.sim.Run(p.sim.Now() + parityTick); err != nil {
+			t.Fatal(err)
+		}
+		p.settle(t, round)
+	}
+	p.cloud.Stop()
+	p.edgeA.Stop()
+	p.edgeB.Stop()
+	var b strings.Builder
+	b.WriteString(p.cloud.Metrics().String())
+	b.WriteString(p.edgeA.Metrics().String())
+	b.WriteString(p.edgeB.Metrics().String())
+	return b.String()
+}
+
+// recvCounts snapshots the per-node sync.msgs.recv counters, the lock-step
+// progress markers both backends must agree on after every round.
+func (p *parityScenario) recvCounts() [3]uint64 {
+	return [3]uint64{
+		p.cloud.Metrics().Counter("sync.msgs.recv").Value(),
+		p.edgeA.Metrics().Counter("sync.msgs.recv").Value(),
+		p.edgeB.Metrics().Counter("sync.msgs.recv").Value(),
+	}
+}
+
+// TestNetsimTCPParity runs the identical scenario over the netsim adapter
+// and the TCP-loopback adapter and asserts byte-identical replication
+// counters and histograms on every node — the "same deployment wiring over
+// either backend" guarantee, plus a frame-leak gate across both.
+func TestNetsimTCPParity(t *testing.T) {
+	live0 := protocol.LiveFrames()
+
+	// Pass 1: netsim backend. Zero-latency lossless links settle each
+	// round's whole cascade inside sim.Run; record per-round recv counters
+	// as the lock-step schedule for the TCP pass.
+	simA := vclock.New(1)
+	net := netsim.New(simA)
+	var wantRecv [parityRounds + 1][3]uint64
+	var ns *parityScenario
+	ns = buildParity(t, simA,
+		net.Endpoint("cloud"), net.Endpoint("edge-a"), net.Endpoint("edge-b"),
+		func(t *testing.T, round int) { wantRecv[round] = ns.recvCounts() })
+	for _, pair := range [][2]netsim.Addr{
+		{"cloud", "edge-a"}, {"cloud", "edge-b"}, {"edge-a", "edge-b"},
+	} {
+		if err := net.ConnectBoth(pair[0], pair[1], netsim.LinkConfig{}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	netsimFP := ns.run(t)
+	if err := simA.Run(simA.Now() + time.Second); err != nil {
+		t.Fatal(err)
+	}
+
+	// Pass 2: TCP loopback backend, same virtual tick schedule, pumping
+	// each endpoint's inbox until the round's recorded traffic has landed.
+	cloudEp, err := transport.ListenEndpoint("cloud", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	edgeAEp, err := transport.ListenEndpoint("edge-a", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	edgeBEp, err := transport.ListenEndpoint("edge-b", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	eps := []*transport.Endpoint{cloudEp, edgeAEp, edgeBEp}
+	for _, ep := range eps {
+		defer func(ep *transport.Endpoint) { _ = ep.Close() }(ep)
+	}
+	if err := edgeAEp.Dial("cloud", cloudEp.TCPAddr()); err != nil {
+		t.Fatal(err)
+	}
+	if err := edgeBEp.Dial("cloud", cloudEp.TCPAddr()); err != nil {
+		t.Fatal(err)
+	}
+	if err := edgeBEp.Dial("edge-a", edgeAEp.TCPAddr()); err != nil {
+		t.Fatal(err)
+	}
+
+	simB := vclock.New(1)
+	var tcp *parityScenario
+	tcp = buildParity(t, simB, cloudEp, edgeAEp, edgeBEp,
+		func(t *testing.T, round int) {
+			deadline := time.Now().Add(10 * time.Second)
+			for tcp.recvCounts() != wantRecv[round] {
+				progressed := 0
+				for _, ep := range eps {
+					progressed += ep.Pump()
+				}
+				if progressed == 0 {
+					if time.Now().After(deadline) {
+						t.Fatalf("round %d stalled: recv = %v, want %v",
+							round, tcp.recvCounts(), wantRecv[round])
+					}
+					time.Sleep(time.Millisecond)
+				}
+			}
+		})
+	tcpFP := tcp.run(t)
+
+	if netsimFP != tcpFP {
+		t.Fatalf("netsim and TCP backends diverged:\n--- netsim ---\n%s\n--- tcp ---\n%s",
+			netsimFP, tcpFP)
+	}
+	if !strings.Contains(netsimFP, "sync.msgs.sent") || !strings.Contains(netsimFP, "remote.pose.age") {
+		t.Fatalf("parity fingerprint is missing expected metrics:\n%s", netsimFP)
+	}
+	if got := tcp.cloud.World().Len(); got != 2 {
+		t.Fatalf("cloud world has %d entities over TCP, want 2", got)
+	}
+
+	// Leak gate across both backends: with the nodes stopped and the TCP
+	// endpoints closed, every frame acquired by ticks, acks, and the TCP
+	// read/write paths must have been released.
+	for _, ep := range eps {
+		if err := ep.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if live := protocol.LiveFrames(); live != live0 {
+		t.Fatalf("%d frames leaked across the parity run", live-live0)
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"metaclass/classroom"
+	"metaclass/internal/client"
 	"metaclass/internal/mathx"
 	"metaclass/internal/netsim"
 	"metaclass/internal/pose"
@@ -97,11 +98,9 @@ func E1UnitCase(seed int64) Table {
 	row("cloud (VR)", remotes, d.Cloud().World().Len(),
 		d.Cloud().Metrics().Counter("seats.assigned").Value(),
 		d.Cloud().Metrics().Counter("sync.bytes.sent").Value())
-	for id, v := range d.Clients() {
-		_ = id
+	if v := firstClient(d); v != nil {
 		row("vr-client", 1, len(v.VisibleParticipants())+1, 0,
 			v.Metrics().Counter("publish.poses").Value()*40/uint64(dur.Seconds()))
-		break // one representative client
 	}
 	t.Notes = append(t.Notes,
 		fmt.Sprintf("%d participants total; every venue renders the full class (clients exclude themselves)", total))
@@ -140,13 +139,12 @@ func E2PipelineBudget(seed int64) Table {
 	addHist("campus sensors -> cloud", d.Cloud().Metrics().Histogram("edge.pose.age"))
 	addHist("vr client -> cloud (uplink)", d.Cloud().Metrics().Histogram("client.pose.age"))
 	var worst time.Duration
-	for _, v := range d.Clients() {
+	if v := firstClient(d); v != nil {
 		h := v.Metrics().Histogram("pose.age")
 		addHist("world -> vr client (downlink)", h)
 		if h.P95() > worst {
 			worst = h.P95()
 		}
-		break
 	}
 	t.Notes = append(t.Notes,
 		"budget: 60 Hz sensing (≤17 ms) + fusion + 30 Hz tick (≤33 ms) + link + jitter",
@@ -459,6 +457,22 @@ func E10Fusion(seed int64) Table {
 		"headset drifts (bias random walk); room sensors are drift-free but occluded and slow",
 		"room-only collapses under heavy occlusion (velocity extrapolates through coverage gaps); fusion stays centimeter-grade throughout — the reason Fig. 3 aggregates both")
 	return t
+}
+
+// firstClient returns the remote learner with the smallest participant ID —
+// the deterministic "representative client" for table rows (map iteration
+// order would make the row vary run to run).
+func firstClient(d *classroom.Deployment) *client.VR {
+	var min protocol.ParticipantID
+	for id := range d.Clients() {
+		if min == 0 || id < min {
+			min = id
+		}
+	}
+	if min == 0 {
+		return nil
+	}
+	return d.Clients()[min]
 }
 
 func fmtMS(d time.Duration) string {

@@ -1,0 +1,54 @@
+package netsim
+
+import (
+	"metaclass/internal/endpoint"
+	"metaclass/internal/protocol"
+)
+
+// Endpoint adapts one simulated host to the endpoint.Transport interface, so
+// nodes written against the transport-agnostic endpoint API run on the
+// deterministic fabric. The frame refcount contract is inherited from
+// Network.SendFrame: exactly one caller reference is consumed on every
+// outcome (delivery, Bernoulli loss, queue tail-drop, route errors, closed
+// network).
+type Endpoint struct {
+	n    *Network
+	addr Addr
+}
+
+// Endpoint returns the transport endpoint for addr. The host is registered
+// on first Bind; creating the endpoint itself has no side effects.
+func (n *Network) Endpoint(addr Addr) *Endpoint {
+	return &Endpoint{n: n, addr: addr}
+}
+
+// LocalAddr implements endpoint.Transport.
+func (e *Endpoint) LocalAddr() endpoint.Addr { return endpoint.Addr(e.addr) }
+
+// SendFrame implements endpoint.Transport, consuming one of f's references
+// on every outcome.
+func (e *Endpoint) SendFrame(to endpoint.Addr, f *protocol.Frame) error {
+	return e.n.SendFrame(e.addr, Addr(to), f)
+}
+
+// Bind implements endpoint.Transport: it registers (or rebinds) the host and
+// forwards deliveries to r with the borrowed-payload contract unchanged.
+func (e *Endpoint) Bind(r endpoint.Receiver) error {
+	h := HandlerFunc(func(from Addr, payload []byte) {
+		r.Receive(endpoint.Addr(from), payload)
+	})
+	if !e.n.HasHost(e.addr) {
+		return e.n.AddHost(e.addr, h)
+	}
+	return e.n.Bind(e.addr, h)
+}
+
+// Close implements endpoint.Transport by detaching the handler: subsequent
+// deliveries to this host are counted and discarded by the network, and
+// their frames are released by the delivery events as usual.
+func (e *Endpoint) Close() error {
+	if !e.n.HasHost(e.addr) {
+		return nil
+	}
+	return e.n.Bind(e.addr, nil)
+}

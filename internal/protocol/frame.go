@@ -2,6 +2,7 @@ package protocol
 
 import (
 	"fmt"
+	"io"
 	"sync"
 	"sync/atomic"
 )
@@ -75,6 +76,25 @@ func CopyFrame(b []byte) *Frame {
 	f := AcquireFrame()
 	f.buf = append(f.buf, b...)
 	return f
+}
+
+// FillFrame reads exactly n bytes from r into a pooled frame, returning it
+// with one reference held by the caller (the TCP receive path: stream bytes
+// land directly in a refcounted buffer, so frame accounting covers real
+// sockets the same way it covers the simulated fabric). On a short read the
+// frame is released and the read error returned.
+func FillFrame(r io.Reader, n int) (*Frame, error) {
+	f := AcquireFrame()
+	if cap(f.buf) < n {
+		f.buf = make([]byte, n)
+	} else {
+		f.buf = f.buf[:n]
+	}
+	if _, err := io.ReadFull(r, f.buf); err != nil {
+		f.Release()
+		return nil, err
+	}
+	return f, nil
 }
 
 // EncodeFrame serializes msg like Encode but into a pooled frame, returning

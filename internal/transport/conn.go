@@ -28,8 +28,15 @@ var ErrFrameTooLarge = errors.New("transport: frame exceeds MaxFrame")
 type Conn struct {
 	c    net.Conn
 	r    *bufio.Reader
-	mu   sync.Mutex // guards writes and wbuf
+	mu   sync.Mutex // guards writes, wbuf, and the pending batch
 	wbuf []byte     // reusable write buffer: length prefix + frame
+
+	// pending is the queued write batch: refcounted frames whose bytes are
+	// shared with other holders (cohort mates, in-flight sends) and flushed
+	// to the socket with one vectored write — no per-connection copy.
+	pending   []*protocol.Frame
+	flushHdrs [][4]byte
+	flushBufs net.Buffers
 
 	closeOnce sync.Once
 }
@@ -64,15 +71,54 @@ func (c *Conn) WriteMessage(msg protocol.Message) error {
 	return c.writeFrame(buf)
 }
 
-// WriteRaw sends one already-encoded protocol frame (e.g. the bytes of a
-// shared cohort protocol.Frame), prefixing the stream length header. The
-// frame is copied into the connection's reusable write buffer so the caller
-// may release it as soon as WriteRaw returns; steady-state sends allocate
-// nothing and hit the socket with a single write.
-func (c *Conn) WriteRaw(frame []byte) error {
+// QueueFrame appends f to the connection's pending write batch, taking
+// ownership of one reference: the reference is released when the batch is
+// flushed (success or error) or the connection is closed with the batch
+// still queued. The frame's bytes are never copied — the flush writes the
+// shared refcounted buffer straight to the socket.
+func (c *Conn) QueueFrame(f *protocol.Frame) {
+	c.mu.Lock()
+	c.pending = append(c.pending, f)
+	c.mu.Unlock()
+}
+
+// Flush writes every queued frame — each prefixed with its stream length
+// header — to the socket with a single vectored write, then releases every
+// queued reference on every outcome. Flushing an empty batch is a no-op.
+func (c *Conn) Flush() error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	return c.writeFrame(append(append(c.wbuf[:0], 0, 0, 0, 0), frame...))
+	if len(c.pending) == 0 {
+		return nil
+	}
+	for len(c.flushHdrs) < len(c.pending) {
+		c.flushHdrs = append(c.flushHdrs, [4]byte{})
+	}
+	bufs := c.flushBufs[:0]
+	for i, f := range c.pending {
+		b := f.Bytes()
+		binary.BigEndian.PutUint32(c.flushHdrs[i][:], uint32(len(b)))
+		bufs = append(bufs, c.flushHdrs[i][:], b)
+	}
+	// net.Buffers.WriteTo advances through (and may modify) the slice; hand
+	// it a local header over our scratch backing and rebuild next flush.
+	nb := bufs
+	_, err := nb.WriteTo(c.c)
+	c.releasePendingLocked()
+	c.flushBufs = bufs[:0]
+	if err != nil {
+		return fmt.Errorf("transport: flush: %w", err)
+	}
+	return nil
+}
+
+// releasePendingLocked drops the batch's references. Callers hold c.mu.
+func (c *Conn) releasePendingLocked() {
+	for i, f := range c.pending {
+		f.Release()
+		c.pending[i] = nil
+	}
+	c.pending = c.pending[:0]
 }
 
 // writeFrame patches the length prefix into buf (which must start with 4
@@ -108,9 +154,29 @@ func (c *Conn) ReadMessage() (protocol.Message, error) {
 	return msg, nil
 }
 
-// Close shuts the connection down. Safe to call repeatedly.
+// ReadFrame blocks for the next raw protocol frame (stream header stripped),
+// returning it in a pooled refcounted buffer owned by the caller. The
+// endpoint receive path uses this so frame accounting gates the TCP read
+// side exactly as it gates the simulated fabric.
+func (c *Conn) ReadFrame() (*protocol.Frame, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(c.r, hdr[:]); err != nil {
+		return nil, err
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n > MaxFrame {
+		return nil, fmt.Errorf("%w: %d bytes", ErrFrameTooLarge, n)
+	}
+	return protocol.FillFrame(c.r, int(n))
+}
+
+// Close shuts the connection down and releases any queued-but-unflushed
+// frames. Safe to call repeatedly.
 func (c *Conn) Close() error {
 	var err error
 	c.closeOnce.Do(func() { err = c.c.Close() })
+	c.mu.Lock()
+	c.releasePendingLocked()
+	c.mu.Unlock()
 	return err
 }

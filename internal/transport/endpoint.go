@@ -1,0 +1,319 @@
+package transport
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"metaclass/internal/endpoint"
+	"metaclass/internal/protocol"
+)
+
+// ErrUnknownPeer reports a send to an endpoint the mesh has no connection to.
+var ErrUnknownPeer = errors.New("transport: no connection to peer")
+
+// inbound is one received frame queued for dispatch. The frame holds the
+// payload bytes; Pump releases it after the receiver returns.
+type inbound struct {
+	from  endpoint.Addr
+	frame *protocol.Frame
+}
+
+// Endpoint is a TCP-backed endpoint.Transport: a listener plus a set of
+// named peer connections carrying the same length-prefixed protocol frames
+// the Room speaks, with the refcounted-frame ownership contract preserved on
+// both sides of the socket (vectored writes share frame bytes out, pooled
+// frames carry received bytes in).
+//
+// Peers learn each other's logical names with a one-message handshake: the
+// dialing side announces itself with a Hello whose Name field carries its
+// endpoint address.
+//
+// Receives are queued and dispatched by Pump/PumpWait on the caller's
+// goroutine, honoring the single-threaded node contract — the same node code
+// that runs on the simulation goroutine under netsim runs on the pumping
+// goroutine here.
+type Endpoint struct {
+	addr endpoint.Addr
+	ln   net.Listener
+
+	mu     sync.Mutex
+	conns  map[endpoint.Addr]*Conn
+	all    map[*Conn]struct{} // every live conn, named or mid-handshake
+	closed bool
+	recv   endpoint.Receiver
+
+	inbox     chan inbound
+	done      chan struct{}
+	wg        sync.WaitGroup
+	closeOnce sync.Once
+}
+
+// ListenEndpoint binds a TCP listener (tcpAddr, e.g. "127.0.0.1:0") and
+// returns the transport endpoint named name.
+func ListenEndpoint(name endpoint.Addr, tcpAddr string) (*Endpoint, error) {
+	ln, err := net.Listen("tcp", tcpAddr)
+	if err != nil {
+		return nil, fmt.Errorf("transport: listen %s: %w", tcpAddr, err)
+	}
+	e := &Endpoint{
+		addr:  name,
+		ln:    ln,
+		conns: make(map[endpoint.Addr]*Conn),
+		all:   make(map[*Conn]struct{}),
+		inbox: make(chan inbound, 256),
+		done:  make(chan struct{}),
+	}
+	e.wg.Add(1)
+	go e.acceptLoop()
+	return e, nil
+}
+
+// TCPAddr returns the bound listen address (for peers to dial).
+func (e *Endpoint) TCPAddr() string { return e.ln.Addr().String() }
+
+// Dial connects this endpoint to the peer named peer at tcpAddr, announcing
+// our own name in the handshake. Dial returns only after the peer has
+// acknowledged the handshake, so both sides are routable when it returns.
+func (e *Endpoint) Dial(peer endpoint.Addr, tcpAddr string) error {
+	c, err := Dial(tcpAddr)
+	if err != nil {
+		return err
+	}
+	if err := c.WriteMessage(&protocol.Hello{Name: string(e.addr)}); err != nil {
+		_ = c.Close()
+		return fmt.Errorf("transport: handshake with %s: %w", peer, err)
+	}
+	msg, err := c.ReadMessage()
+	if err != nil {
+		_ = c.Close()
+		return fmt.Errorf("transport: handshake with %s: %w", peer, err)
+	}
+	if _, ok := msg.(*protocol.HelloAck); !ok {
+		_ = c.Close()
+		return fmt.Errorf("transport: handshake with %s: unexpected %T", peer, msg)
+	}
+	if !e.track(c) {
+		_ = c.Close()
+		return fmt.Errorf("transport: dial %s: endpoint closed", peer)
+	}
+	e.register(peer, c)
+	e.wg.Add(1)
+	go func() {
+		defer e.wg.Done()
+		e.readLoop(peer, c)
+	}()
+	return nil
+}
+
+// track records a live connection for shutdown, refusing once the endpoint
+// has closed (so Close can reliably unblock every read/handshake goroutine).
+func (e *Endpoint) track(c *Conn) bool {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.closed {
+		return false
+	}
+	e.all[c] = struct{}{}
+	return true
+}
+
+func (e *Endpoint) acceptLoop() {
+	defer e.wg.Done()
+	for {
+		nc, err := e.ln.Accept()
+		if err != nil {
+			select {
+			case <-e.done:
+				return
+			default:
+			}
+			if errors.Is(err, net.ErrClosed) {
+				return
+			}
+			continue
+		}
+		c := NewConn(nc)
+		if !e.track(c) {
+			_ = c.Close()
+			return
+		}
+		e.wg.Add(1)
+		go e.handshake(c)
+	}
+}
+
+// handshake reads the peer's announcement, registers the connection under
+// the announced name, and continues as its read loop. The connection is
+// already tracked, so Close unblocks a stalled handshake read.
+func (e *Endpoint) handshake(c *Conn) {
+	defer e.wg.Done()
+	msg, err := c.ReadMessage()
+	if err != nil {
+		e.untrack(c)
+		return
+	}
+	hello, ok := msg.(*protocol.Hello)
+	if !ok || hello.Name == "" {
+		e.untrack(c)
+		return
+	}
+	e.register(endpoint.Addr(hello.Name), c)
+	if err := c.WriteMessage(&protocol.HelloAck{}); err != nil {
+		e.dropConn(endpoint.Addr(hello.Name), c)
+		return
+	}
+	e.readLoop(endpoint.Addr(hello.Name), c)
+}
+
+func (e *Endpoint) register(peer endpoint.Addr, c *Conn) {
+	e.mu.Lock()
+	if old, ok := e.conns[peer]; ok {
+		_ = old.Close()
+	}
+	e.conns[peer] = c
+	e.mu.Unlock()
+}
+
+// readLoop moves raw frames from the socket into the inbox until the
+// connection or the endpoint closes.
+func (e *Endpoint) readLoop(from endpoint.Addr, c *Conn) {
+	for {
+		f, err := c.ReadFrame()
+		if err != nil {
+			e.dropConn(from, c)
+			return
+		}
+		select {
+		case e.inbox <- inbound{from: from, frame: f}:
+		case <-e.done:
+			f.Release()
+			return
+		}
+	}
+}
+
+func (e *Endpoint) dropConn(from endpoint.Addr, c *Conn) {
+	_ = c.Close()
+	e.mu.Lock()
+	if e.conns[from] == c {
+		delete(e.conns, from)
+	}
+	delete(e.all, c)
+	e.mu.Unlock()
+}
+
+// untrack closes and forgets a connection that never finished its handshake.
+func (e *Endpoint) untrack(c *Conn) {
+	_ = c.Close()
+	e.mu.Lock()
+	delete(e.all, c)
+	e.mu.Unlock()
+}
+
+// LocalAddr implements endpoint.Transport.
+func (e *Endpoint) LocalAddr() endpoint.Addr { return e.addr }
+
+// Bind implements endpoint.Transport. Messages queued before Bind are
+// dispatched to r at the next Pump.
+func (e *Endpoint) Bind(r endpoint.Receiver) error {
+	e.mu.Lock()
+	e.recv = r
+	e.mu.Unlock()
+	return nil
+}
+
+// SendFrame implements endpoint.Transport: the frame is queued on the peer's
+// connection and flushed with a vectored write sharing the frame's bytes —
+// no copy — consuming exactly one caller reference on every outcome.
+func (e *Endpoint) SendFrame(to endpoint.Addr, f *protocol.Frame) error {
+	e.mu.Lock()
+	c := e.conns[to]
+	e.mu.Unlock()
+	if c == nil {
+		f.Release()
+		return fmt.Errorf("%w: %s", ErrUnknownPeer, to)
+	}
+	c.QueueFrame(f)
+	if err := c.Flush(); err != nil {
+		e.dropConn(to, c)
+		return err
+	}
+	return nil
+}
+
+// Pump dispatches queued inbound messages to the bound receiver until the
+// inbox is empty, returning the number dispatched. Call from the goroutine
+// that owns the node.
+func (e *Endpoint) Pump() int {
+	n := 0
+	for {
+		select {
+		case in := <-e.inbox:
+			e.dispatch(in)
+			n++
+		default:
+			return n
+		}
+	}
+}
+
+// PumpWait blocks up to timeout for at least one inbound message, then
+// drains the rest of the inbox, returning the number dispatched.
+func (e *Endpoint) PumpWait(timeout time.Duration) int {
+	t := time.NewTimer(timeout)
+	defer t.Stop()
+	select {
+	case in := <-e.inbox:
+		e.dispatch(in)
+		return 1 + e.Pump()
+	case <-t.C:
+		return 0
+	case <-e.done:
+		return 0
+	}
+}
+
+func (e *Endpoint) dispatch(in inbound) {
+	e.mu.Lock()
+	r := e.recv
+	e.mu.Unlock()
+	if r != nil {
+		r.Receive(in.from, in.frame.Bytes())
+	}
+	in.frame.Release()
+}
+
+// Close implements endpoint.Transport: it stops the listener and every
+// connection, waits for the read loops, and releases any frames still queued
+// in the inbox.
+func (e *Endpoint) Close() error {
+	var err error
+	e.closeOnce.Do(func() {
+		e.mu.Lock()
+		e.closed = true
+		conns := make([]*Conn, 0, len(e.all))
+		for c := range e.all {
+			conns = append(conns, c)
+		}
+		e.mu.Unlock()
+		close(e.done)
+		err = e.ln.Close()
+		// Closing every live conn — named or still mid-handshake — unblocks
+		// the read and handshake goroutines wg.Wait depends on.
+		for _, c := range conns {
+			_ = c.Close()
+		}
+	})
+	e.wg.Wait()
+	for {
+		select {
+		case in := <-e.inbox:
+			in.frame.Release()
+		default:
+			return err
+		}
+	}
+}

@@ -1,0 +1,140 @@
+package transport
+
+import (
+	"net"
+	"testing"
+	"time"
+
+	"metaclass/internal/endpoint"
+	"metaclass/internal/protocol"
+)
+
+// TestEndpointCloseUnblocksPendingHandshake guards the shutdown path: an
+// accepted connection that never sends its Hello (slow or hostile peer) must
+// not wedge Close — the tracked-conn set closes it and the handshake
+// goroutine exits.
+func TestEndpointCloseUnblocksPendingHandshake(t *testing.T) {
+	e, err := ListenEndpoint("srv", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A raw TCP dial that goes silent: the server side sits in its
+	// handshake read.
+	nc, err := net.Dial("tcp", e.TCPAddr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nc.Close()
+	time.Sleep(50 * time.Millisecond) // let the accept + handshake start
+
+	done := make(chan error, 1)
+	go func() { done <- e.Close() }()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(3 * time.Second):
+		t.Fatal("Close deadlocked on a pending handshake connection")
+	}
+}
+
+// TestEndpointSendToUnknownPeerReleasesFrame pins the SendFrame ownership
+// contract on the refusal path.
+func TestEndpointSendToUnknownPeerReleasesFrame(t *testing.T) {
+	live0 := protocol.LiveFrames()
+	e, err := ListenEndpoint("srv", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	f, err := protocol.EncodeFrame(&protocol.Ping{Nonce: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.SendFrame("nobody", f); err == nil {
+		t.Fatal("send to unknown peer succeeded")
+	}
+	if live := protocol.LiveFrames(); live != live0 {
+		t.Fatalf("%d frames leaked on refused send", live-live0)
+	}
+}
+
+// TestEndpointRoundTrip exercises the TCP mesh end to end without nodes:
+// dial with a named handshake, send a pooled frame each way, pump it into a
+// receiver, and close with balanced frame accounting.
+func TestEndpointRoundTrip(t *testing.T) {
+	live0 := protocol.LiveFrames()
+	srv, err := ListenEndpoint("srv", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cli, err := ListenEndpoint("cli", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cli.Dial("srv", srv.TCPAddr()); err != nil {
+		t.Fatal(err)
+	}
+
+	type rx struct {
+		from endpoint.Addr
+		typ  protocol.MsgType
+	}
+	var srvGot, cliGot []rx
+	sink := func(out *[]rx) endpoint.Receiver {
+		return recvFunc(func(from endpoint.Addr, payload []byte) {
+			if m, _, err := protocol.Decode(payload); err == nil {
+				*out = append(*out, rx{from, m.Type()})
+			}
+		})
+	}
+	if err := srv.Bind(sink(&srvGot)); err != nil {
+		t.Fatal(err)
+	}
+	if err := cli.Bind(sink(&cliGot)); err != nil {
+		t.Fatal(err)
+	}
+
+	ping, err := protocol.EncodeFrame(&protocol.Ping{Nonce: 5, SentAt: time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cli.SendFrame("srv", ping); err != nil {
+		t.Fatal(err)
+	}
+	if srv.PumpWait(3*time.Second) == 0 {
+		t.Fatal("server never received the ping")
+	}
+	pong, err := protocol.EncodeFrame(&protocol.Pong{Nonce: 5, SentAt: time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.SendFrame("cli", pong); err != nil {
+		t.Fatal(err)
+	}
+	if cli.PumpWait(3*time.Second) == 0 {
+		t.Fatal("client never received the pong")
+	}
+	if len(srvGot) != 1 || srvGot[0] != (rx{"cli", protocol.TypePing}) {
+		t.Fatalf("server got %v", srvGot)
+	}
+	if len(cliGot) != 1 || cliGot[0] != (rx{"srv", protocol.TypePong}) {
+		t.Fatalf("client got %v", cliGot)
+	}
+
+	if err := cli.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if live := protocol.LiveFrames(); live != live0 {
+		t.Fatalf("%d frames leaked across the round trip", live-live0)
+	}
+}
+
+// recvFunc adapts a function to endpoint.Receiver.
+type recvFunc func(from endpoint.Addr, payload []byte)
+
+func (f recvFunc) Receive(from endpoint.Addr, payload []byte) { f(from, payload) }

@@ -40,10 +40,11 @@ type Room struct {
 	cfg RoomConfig
 	ln  net.Listener
 
-	store  *core.Store
-	repl   *core.Replicator
-	conns  map[string]*client // keyed by peer key; tick-goroutine only
-	frames core.FrameCache    // cohort frame table; tick-goroutine only
+	store        *core.Store
+	repl         *core.Replicator
+	conns        map[string]*client // keyed by peer key; tick-goroutine only
+	frames       core.FrameCache    // cohort frame table; tick-goroutine only
+	flushScratch []*client          // per-tick flush list; tick-goroutine only
 
 	allMu sync.Mutex
 	all   map[*Conn]struct{} // every open conn, for shutdown
@@ -305,6 +306,7 @@ func (r *Room) dropClient(c *client) {
 func (r *Room) tick() {
 	r.store.BeginTick()
 	r.frames.Reset()
+	flush := r.flushScratch[:0]
 	for _, pm := range r.repl.PlanTick() {
 		c, ok := r.conns[pm.Peer]
 		if !ok {
@@ -318,12 +320,16 @@ func (r *Room) tick() {
 			_ = c.conn.Close()
 			continue
 		}
-		// WriteRaw copies into the connection's write buffer, so the
-		// recipient reference can be dropped as soon as the write returns.
-		err := c.conn.WriteRaw(frame.Bytes())
-		frame.Release()
-		if err != nil {
+		// The recipient reference transfers to the connection's write batch;
+		// the flush below shares the cohort frame's bytes straight to the
+		// socket (vectored write, no per-connection copy) and releases it.
+		c.conn.QueueFrame(frame)
+		flush = append(flush, c)
+	}
+	for _, c := range flush {
+		if err := c.conn.Flush(); err != nil {
 			_ = c.conn.Close() // read loop will observe and drop the client
 		}
 	}
+	r.flushScratch = flush[:0]
 }

@@ -2,6 +2,7 @@ package transport
 
 import (
 	"io"
+	"net"
 	"sync"
 	"testing"
 	"time"
@@ -300,6 +301,108 @@ func TestConnReadWriteRoundTrip(t *testing.T) {
 	}
 	if _, err := c.ReadMessage(); err != io.EOF && err == nil {
 		t.Error("expected EOF after Leave")
+	}
+}
+
+// TestRoomLeaksNoFrames extends the protocol.FrameAccounting leak gate to
+// the TCP write path: a room session with publishing clients — cohort frames
+// queued on per-connection write batches and flushed with vectored writes,
+// including connections that die mid-stream — must end with zero outstanding
+// frames once the room has closed.
+func TestRoomLeaksNoFrames(t *testing.T) {
+	live0 := protocol.LiveFrames()
+	r := startRoom(t)
+	a := hello(t, r.Addr(), 1)
+	b := hello(t, r.Addr(), 2)
+	for seq := uint32(1); seq <= 20; seq++ {
+		if err := a.WriteMessage(posePayload(1, seq, float64(seq)*0.01)); err != nil {
+			t.Fatal(err)
+		}
+		if err := b.WriteMessage(posePayload(2, seq, float64(seq)*0.02)); err != nil {
+			t.Fatal(err)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	// Drain some replication so acked deltas flow, then kill one client
+	// abruptly (its queued frames must be released, not leaked).
+	readUntil(t, a, time.Second, func(msg protocol.Message) bool {
+		_, ok := msg.(*protocol.Delta)
+		return ok
+	})
+	_ = b.Close()
+	time.Sleep(50 * time.Millisecond)
+	_ = a.Close()
+	if err := r.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if live := protocol.LiveFrames(); live != live0 {
+		t.Fatalf("%d frames leaked by the TCP room write path", live-live0)
+	}
+}
+
+// TestConnQueueFlushSharesFrameBytes checks the vectored write batch: queued
+// cohort frames reach the peer intact and every reference is consumed, on
+// the success path and when flushing into a closed socket.
+func TestConnQueueFlushSharesFrameBytes(t *testing.T) {
+	live0 := protocol.LiveFrames()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	accepted := make(chan net.Conn, 1)
+	go func() {
+		nc, err := ln.Accept()
+		if err == nil {
+			accepted <- nc
+		}
+	}()
+	c, err := Dial(ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	peer := NewConn(<-accepted)
+	defer peer.Close()
+
+	// One shared cohort frame queued twice (two recipients in real use) plus
+	// a second distinct frame: one flush, one writev, three messages.
+	shared, err := protocol.EncodeFrame(&protocol.Ack{Participant: 5, Tick: 77})
+	if err != nil {
+		t.Fatal(err)
+	}
+	shared.Retain()
+	other, err := protocol.EncodeFrame(&protocol.Ping{Nonce: 9, SentAt: time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.QueueFrame(shared)
+	c.QueueFrame(shared)
+	c.QueueFrame(other)
+	if err := c.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	for i, want := range []protocol.MsgType{protocol.TypeAck, protocol.TypeAck, protocol.TypePing} {
+		msg, err := peer.ReadMessage()
+		if err != nil {
+			t.Fatalf("read %d: %v", i, err)
+		}
+		if msg.Type() != want {
+			t.Fatalf("message %d = %v, want %v", i, msg.Type(), want)
+		}
+	}
+
+	// Flushing into a closed socket must fail but still release the batch.
+	late, err := protocol.EncodeFrame(&protocol.Ack{Tick: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = c.Close()
+	c.QueueFrame(late)
+	if err := c.Flush(); err == nil {
+		t.Fatal("flush into closed conn succeeded")
+	}
+	if live := protocol.LiveFrames(); live != live0 {
+		t.Fatalf("%d frames leaked by queue/flush", live-live0)
 	}
 }
 
