@@ -9,10 +9,12 @@
 package metaclass
 
 import (
+	"fmt"
 	"testing"
 	"time"
 
 	"metaclass/classroom"
+	"metaclass/internal/endpoint"
 	"metaclass/internal/experiments"
 	"metaclass/internal/fusion"
 	"metaclass/internal/mathx"
@@ -156,6 +158,142 @@ func BenchmarkE5Regional(b *testing.B) {
 	}
 	b.StopTimer()
 	b.ReportMetric(float64(cl.Metrics().Histogram("pose.age").P95())/1e6, "p95-pose-age-ms")
+}
+
+// BenchmarkOnboard measures the onboarding hot path: each iteration joins a
+// storm of clients at the cloud, runs one tick (planning and sending each
+// newcomer's first snapshot), and removes them again. With the node
+// runtime's pooled client/peer state the per-join allocation cost must stay
+// flat as the storm grows — the regression gate in scripts/bench.sh
+// compares the storm=64 allocs/op the same way it gates E4Scale.
+func BenchmarkOnboard(b *testing.B) {
+	for _, storm := range []int{4, 16, 64} {
+		b.Run(fmt.Sprintf("storm=%d", storm), func(b *testing.B) { benchOnboard(b, storm) })
+	}
+}
+
+func benchOnboard(b *testing.B, storm int) {
+	b.Helper()
+	d, err := classroom.NewDeployment(classroom.Config{Seed: benchSeed, EnableInterest: true})
+	if err != nil {
+		b.Fatal(err)
+	}
+	// A persistent population keeps the world and fan-out warm. Short access
+	// latency keeps acks well inside the delta window while removal
+	// bookkeeping advances the store tick per leave.
+	for i := 0; i < 20; i++ {
+		if _, _, err := d.AddRemoteLearner("u", trace.Seated{
+			Anchor: mathx.V3(float64(i%5)*1.2, 0, float64(i/5)*1.2), Phase: float64(i),
+		}, netsim.ResidentialBroadband(5*time.Millisecond)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	// Pre-registered hosts and links for the churned clients, reused every
+	// storm so the fabric itself does not grow.
+	net := d.Network()
+	ids := make([]protocol.ParticipantID, storm)
+	addrs := make([]endpoint.Addr, storm)
+	for k := 0; k < storm; k++ {
+		ids[k] = protocol.ParticipantID(10000 + k)
+		name := netsim.Addr(fmt.Sprintf("churn-%d", k))
+		addrs[k] = endpoint.Addr(name)
+		if err := net.AddHost(name, nil); err != nil {
+			b.Fatal(err)
+		}
+		if err := net.ConnectBoth(name, netsim.Addr(d.Cloud().Addr()),
+			netsim.LinkConfig{Latency: 5 * time.Millisecond, Bandwidth: 1e9}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if err := d.Run(2 * time.Second); err != nil {
+		b.Fatal(err)
+	}
+	cl := d.Cloud()
+	tick := time.Second / 30
+	cycle := func() {
+		for k := 0; k < storm; k++ {
+			if err := cl.AddClient(ids[k], addrs[k]); err != nil {
+				b.Fatal(err)
+			}
+		}
+		if err := d.Run(tick); err != nil {
+			b.Fatal(err)
+		}
+		for k := 0; k < storm; k++ {
+			if err := cl.RemoveClient(ids[k]); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	cycle() // warm the onboarding pools
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cycle()
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(storm), "joins/op")
+}
+
+// BenchmarkE11Churn measures one complete churn scenario per iteration: a
+// fresh class with a base population warms up, rides 6 join/leave storm
+// events (4 joins per event; each batch leaves two events later), and
+// settles. Each iteration is self-contained — nothing carries over, so
+// ns/op and egress are comparable across -benchtime settings instead of
+// drifting with an ever-growing fabric.
+func BenchmarkE11Churn(b *testing.B) {
+	var egress float64
+	for i := 0; i < b.N; i++ {
+		egress = benchChurnScenario(b)
+	}
+	b.ReportMetric(egress, "cloud-egress-KB/s")
+}
+
+func benchChurnScenario(b *testing.B) float64 {
+	b.Helper()
+	d, err := classroom.NewDeployment(classroom.Config{Seed: benchSeed, EnableInterest: true})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < 8; i++ {
+		if _, _, err := d.AddRemoteLearner("u", trace.Seated{Phase: float64(i)},
+			netsim.ResidentialBroadband(25*time.Millisecond)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	var batches [][]classroom.ParticipantID
+	fired := 0
+	cancel := d.Sim().Ticker(500*time.Millisecond, func() {
+		if fired >= 6 {
+			return
+		}
+		fired++
+		var batch []classroom.ParticipantID
+		for i := 0; i < 4; i++ {
+			_, id, err := d.AddRemoteLearner("c", trace.Seated{
+				Anchor: mathx.V3(float64(i)*1.5+6, 0, 8), Phase: float64(fired + i),
+			}, netsim.ResidentialBroadband(25*time.Millisecond))
+			if err != nil {
+				b.Fatal(err)
+			}
+			batch = append(batch, id)
+		}
+		batches = append(batches, batch)
+		if len(batches) >= 3 {
+			for _, id := range batches[len(batches)-3] {
+				if err := d.RemoveRemoteLearner(id); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	})
+	if err := d.Run(5 * time.Second); err != nil {
+		b.Fatal(err)
+	}
+	cancel()
+	egress := float64(d.Cloud().Metrics().Counter("sync.bytes.sent").Value()) /
+		d.Now().Seconds() / 1024
+	d.Stop()
+	return egress
 }
 
 // BenchmarkE6Render evaluates the full C3 plan/device/complexity grid.

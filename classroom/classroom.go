@@ -106,9 +106,12 @@ type Deployment struct {
 	campuses map[ClassroomID]*Campus
 	relays   map[string]*cloud.Relay
 	clients  map[ParticipantID]*client.VR
-	names    map[ParticipantID]string
-	nextID   ParticipantID
-	started  bool
+	// relayOf records which relay serves a remote learner (nil for direct),
+	// so leave teardown reaches the right server.
+	relayOf map[ParticipantID]*cloud.Relay
+	names   map[ParticipantID]string
+	nextID  ParticipantID
+	started bool
 }
 
 // NewDeployment creates a deployment with a cloud VR server already up.
@@ -138,6 +141,7 @@ func NewDeployment(cfg Config) (*Deployment, error) {
 		campuses: make(map[ClassroomID]*Campus),
 		relays:   make(map[string]*cloud.Relay),
 		clients:  make(map[ParticipantID]*client.VR),
+		relayOf:  make(map[ParticipantID]*cloud.Relay),
 		names:    make(map[ParticipantID]string),
 		nextID:   1,
 	}, nil
@@ -285,6 +289,11 @@ func (c *Campus) addLocal(name string, role Role, script trace.MotionScript) (Pa
 	c.headset[id] = hs
 	c.scripts[id] = script
 	c.array.Track(strconv.FormatUint(uint64(id), 10), script)
+	// Mid-session joins start sensing immediately (the room array is already
+	// sweeping; Track above adds them to its rotation).
+	if c.d.started {
+		hs.Start()
+	}
 	return id, nil
 }
 
@@ -381,17 +390,53 @@ func (d *Deployment) addRemote(name string, script trace.MotionScript, link nets
 		if err := d.cloud.RegisterRelayClient(id, server); err != nil {
 			return nil, 0, err
 		}
-		for _, r := range d.relays {
-			if r.Addr() == server {
+		for _, name := range sortedKeys(d.relays) {
+			if r := d.relays[name]; r.Addr() == server {
 				if err := r.AddClient(id, endpoint.Addr(addr)); err != nil {
 					return nil, 0, err
 				}
+				d.relayOf[id] = r
 				break
 			}
 		}
 	}
 	d.clients[id] = v
+	// Mid-session joins go live immediately: the deployment is already
+	// running, so the learner's publish loop starts now.
+	if d.started {
+		if err := v.Start(); err != nil {
+			return nil, 0, err
+		}
+	}
 	return v, id, nil
+}
+
+// RemoveRemoteLearner withdraws a remote VR learner mid-session: their
+// publish loop stops, their server-side replication peer and interest state
+// are torn down (scratch returning to the onboarding pool), their authored
+// entity is removed from the world so the departure replicates everywhere,
+// and their endpoint detaches — frames still in flight toward it are
+// released by the transport, never leaked.
+func (d *Deployment) RemoveRemoteLearner(id ParticipantID) error {
+	v, ok := d.clients[id]
+	if !ok {
+		return fmt.Errorf("classroom: unknown remote learner %d", id)
+	}
+	delete(d.clients, id)
+	delete(d.names, id) // churn must not grow the roster without bound
+	v.Stop()
+	if r := d.relayOf[id]; r != nil {
+		delete(d.relayOf, id)
+		if err := r.RemoveClient(id); err != nil {
+			return err
+		}
+	}
+	if err := d.cloud.RemoveClient(id); err != nil {
+		return err
+	}
+	// Detach the learner's endpoint: late deliveries are discarded by the
+	// fabric and their frames released.
+	return d.net.Endpoint(netsim.Addr(v.Addr())).Close()
 }
 
 // Start launches every server, sensor and client. Run calls it implicitly.

@@ -1,11 +1,15 @@
 // Command loadgen drives a classroomd server with a swarm of real TCP
 // clients: each publishes a scripted pose stream and measures how stale the
 // other participants' avatars arrive — the paper's C1 metric measured over a
-// real network stack.
+// real network stack. With -churn, clients also cycle through join/leave
+// storms (the E11 workload): each client disconnects after its stay and
+// rejoins, and loadgen reports the onboarding latency (connect to first
+// replicated snapshot) alongside avatar staleness.
 //
 // Usage:
 //
 //	loadgen -addr 127.0.0.1:7480 -clients 50 -duration 30s -rate 20
+//	loadgen -serve -clients 20 -duration 10s -churn 2s   # self-hosted churn run
 package main
 
 import (
@@ -30,21 +34,37 @@ func main() {
 		clients  = flag.Int("clients", 10, "number of concurrent clients")
 		duration = flag.Duration("duration", 30*time.Second, "test duration")
 		rate     = flag.Float64("rate", 20, "pose publish rate per client (Hz)")
+		churn    = flag.Duration("churn", 0, "client stay duration before leaving and rejoining (0 = no churn)")
+		serve    = flag.Bool("serve", false, "host an in-process room on 127.0.0.1:0 and drive it (self-contained smoke)")
 	)
 	flag.Parse()
-	if err := run(*addr, *clients, *duration, *rate); err != nil {
+	target := *addr
+	if *serve {
+		room, err := transport.ListenRoom(transport.RoomConfig{Addr: "127.0.0.1:0"})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "loadgen:", err)
+			os.Exit(1)
+		}
+		defer func() { _ = room.Close() }()
+		target = room.Addr()
+		fmt.Printf("loadgen: serving in-process room on %s\n", target)
+	}
+	if err := run(target, *clients, *duration, *rate, *churn); err != nil {
 		fmt.Fprintln(os.Stderr, "loadgen:", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr string, clients int, duration time.Duration, rate float64) error {
-	fmt.Printf("loadgen: %d clients -> %s for %v at %.0f Hz\n", clients, addr, duration, rate)
+func run(addr string, clients int, duration time.Duration, rate float64, churn time.Duration) error {
+	fmt.Printf("loadgen: %d clients -> %s for %v at %.0f Hz (churn stay %v)\n",
+		clients, addr, duration, rate, churn)
 	var (
 		age      metrics.SafeHistogram
+		onboard  metrics.SafeHistogram
 		wg       sync.WaitGroup
 		mu       sync.Mutex
 		received atomic.Uint64
+		sessions atomic.Uint64
 		errs     int
 	)
 	start := time.Now()
@@ -53,26 +73,53 @@ func run(addr string, clients int, duration time.Duration, rate float64) error {
 		wg.Add(1)
 		go func(id int) {
 			defer wg.Done()
-			if err := runClient(addr, protocol.ParticipantID(id+1), rate, start, deadline, &age, &received); err != nil {
-				mu.Lock()
-				errs++
-				mu.Unlock()
+			// Without churn one session spans the whole run; with churn the
+			// client leaves after its stay and rejoins until the deadline.
+			for sess := 0; ; sess++ {
+				if time.Now().After(deadline) {
+					return
+				}
+				stop := deadline
+				if churn > 0 {
+					if s := time.Now().Add(churn); s.Before(stop) {
+						stop = s
+					}
+				}
+				sessions.Add(1)
+				err := runClient(addr, protocol.ParticipantID(id+1), rate, start, stop,
+					&age, &onboard, &received)
+				if err != nil {
+					mu.Lock()
+					errs++
+					mu.Unlock()
+					// Back off before rejoining so an unreachable server is
+					// retried, not hammered in a busy loop.
+					time.Sleep(250 * time.Millisecond)
+				}
+				if churn <= 0 {
+					return
+				}
 			}
 		}(i)
 	}
 	wg.Wait()
-	snap := age.Snapshot()
-	fmt.Printf("done: updates=%d errors=%d\n", received.Load(), errs)
-	if snap.Count() > 0 {
+	fmt.Printf("done: sessions=%d updates=%d errors=%d\n", sessions.Load(), received.Load(), errs)
+	if snap := age.Snapshot(); snap.Count() > 0 {
 		fmt.Printf("avatar age: p50=%v p95=%v p99=%v max=%v (paper threshold: 100ms)\n",
 			snap.P50().Round(time.Millisecond), snap.P95().Round(time.Millisecond),
 			snap.P99().Round(time.Millisecond), snap.Max().Round(time.Millisecond))
+	}
+	if snap := onboard.Snapshot(); snap.Count() > 0 {
+		fmt.Printf("onboarding: p50=%v p95=%v max=%v (connect -> first snapshot)\n",
+			snap.P50().Round(time.Millisecond), snap.P95().Round(time.Millisecond),
+			snap.Max().Round(time.Millisecond))
 	}
 	return nil
 }
 
 func runClient(addr string, id protocol.ParticipantID, rate float64,
-	start, deadline time.Time, age *metrics.SafeHistogram, received *atomic.Uint64) error {
+	start, deadline time.Time, age, onboard *metrics.SafeHistogram, received *atomic.Uint64) error {
+	joinedAt := time.Now()
 	conn, err := transport.Dial(addr)
 	if err != nil {
 		return err
@@ -116,7 +163,8 @@ func runClient(addr string, id protocol.ParticipantID, rate float64,
 		}
 	}()
 
-	// Receiver: measure entity freshness and ack replication.
+	// Receiver: measure onboarding and entity freshness, acking replication.
+	synced := false
 	for {
 		msg, err := conn.ReadMessage()
 		if err != nil {
@@ -125,12 +173,20 @@ func runClient(addr string, id protocol.ParticipantID, rate float64,
 		elapsed := time.Since(start)
 		switch m := msg.(type) {
 		case *protocol.Snapshot:
+			if !synced {
+				synced = true
+				onboard.Observe(time.Since(joinedAt))
+			}
 			for _, e := range m.Entities {
 				age.Observe(elapsed - e.CapturedAt)
 				received.Add(1)
 			}
 			_ = conn.WriteMessage(&protocol.Ack{Participant: id, Tick: m.Tick})
 		case *protocol.Delta:
+			if !synced {
+				synced = true
+				onboard.Observe(time.Since(joinedAt))
+			}
 			for _, e := range m.Changed {
 				age.Observe(elapsed - e.CapturedAt)
 				received.Add(1)

@@ -80,6 +80,11 @@ type VR struct {
 	nonce       uint64
 	cancel      func()
 	cancelPing  func()
+
+	// firstSync is the virtual time of the first applied replication update
+	// — the end of the onboarding ramp the E11 churn experiment measures.
+	firstSync   time.Duration
+	firstSynced bool
 }
 
 // NewVR creates a client on the given transport endpoint.
@@ -113,7 +118,13 @@ func NewVR(sim *vclock.Sim, tr endpoint.Transport, cfg VRConfig) (*VR, error) {
 	}
 	ep.OnSync(
 		func(endpoint.Addr) *core.Replica { return v.replica },
-		func(endpoint.Addr, uint64) { v.mRecvUpdates.Inc() },
+		func(endpoint.Addr, uint64) {
+			v.mRecvUpdates.Inc()
+			if !v.firstSynced {
+				v.firstSynced = true
+				v.firstSync = v.sim.Now()
+			}
+		},
 	)
 	ep.OnPong(func(_ endpoint.Addr, m *protocol.Pong) {
 		v.hRTT.Observe(v.sim.Now() - m.SentAt)
@@ -204,6 +215,11 @@ func (v *VR) VisibleParticipants() []protocol.ParticipantID {
 
 // ReplicaStats exposes the client's replication apply/buffer-churn counters.
 func (v *VR) ReplicaStats() core.ReplicaStats { return v.replica.Stats() }
+
+// FirstSyncAt returns the virtual time the client applied its first
+// replication update (false before that). Join-to-FirstSyncAt is the
+// onboarding latency the churn experiment reports.
+func (v *VR) FirstSyncAt() (time.Duration, bool) { return v.firstSync, v.firstSynced }
 
 // OwnPose returns the client's locally-predicted own pose — rendered with
 // zero latency, which is why clients exclude themselves from replication.

@@ -10,14 +10,15 @@
 // client, either directly or through regional Relays (the paper's
 // "regional servers" remedy for poorly interconnected users).
 //
-// All traffic rides the transport-agnostic endpoint API: the same server
-// runs over the simulated fabric or real TCP sockets.
+// The peer table, tick loop, interest filtering, and join/leave lifecycle
+// all live in the shared node.Runtime; this package is the cloud policy
+// over it: world merge from the campuses, VR seating, and client pose
+// authorship. All traffic rides the transport-agnostic endpoint API: the
+// same server runs over the simulated fabric or real TCP sockets.
 package cloud
 
 import (
-	"errors"
 	"fmt"
-	"sort"
 	"time"
 
 	"metaclass/internal/core"
@@ -25,16 +26,18 @@ import (
 	"metaclass/internal/interest"
 	"metaclass/internal/mathx"
 	"metaclass/internal/metrics"
+	"metaclass/internal/node"
 	"metaclass/internal/pose"
 	"metaclass/internal/protocol"
 	"metaclass/internal/seat"
 	"metaclass/internal/vclock"
 )
 
-// Cloud server errors.
+// Cloud server errors (aliases of the shared runtime errors, so errors.Is
+// matches at either level).
 var (
-	ErrClientExists = errors.New("cloud: client already registered")
-	ErrPeerExists   = errors.New("cloud: peer already connected")
+	ErrClientExists = node.ErrClientExists
+	ErrPeerExists   = node.ErrPeerExists
 )
 
 // Config parameterizes the cloud VR server.
@@ -55,9 +58,6 @@ type Config struct {
 }
 
 func (c *Config) applyDefaults() {
-	if c.TickHz <= 0 {
-		c.TickHz = 30
-	}
 	if c.VRRows <= 0 {
 		c.VRRows = 40
 	}
@@ -67,51 +67,27 @@ func (c *Config) applyDefaults() {
 	if c.VRPitch <= 0 {
 		c.VRPitch = 1.2
 	}
-	if c.InterpDelay <= 0 {
-		c.InterpDelay = 100 * time.Millisecond
-	}
 }
 
-type edgePeer struct {
-	addr    endpoint.Addr
-	replica *core.Replica
-}
-
-type vrClient struct {
-	id         protocol.ParticipantID
-	addr       endpoint.Addr
+// seatState is the cloud-side seating record of one VR learner (value type:
+// the table grows and shrinks with churn without per-client allocations).
+type seatState struct {
 	correction mathx.Transform
 	seated     bool
-	// iset caches this client's allowed sources, rebuilt once per tick.
-	iset *interest.Set
 }
 
-// Server is the cloud VR classroom host.
+// Server is the cloud VR classroom host: the seating/authorship policy over
+// the shared node runtime.
 type Server struct {
-	cfg  Config
-	sim  *vclock.Sim
-	addr endpoint.Addr
-	ep   *endpoint.Dispatcher
+	cfg Config
+	rt  *node.Runtime
 
-	world   *core.Store
-	repl    *core.Replicator
-	edges   map[endpoint.Addr]*edgePeer
-	relays  map[endpoint.Addr]bool
-	clients map[protocol.ParticipantID]*vrClient
-	byAddr  map[endpoint.Addr]*vrClient
-	seats   *seat.Map
-	grid    *interest.Grid
-	reg     *metrics.Registry
+	seats      *seat.Map
+	seatStates map[protocol.ParticipantID]seatState
 
 	mClientPoses *metrics.Counter
 	hClientAge   *metrics.Histogram
-	// scratch buffers reused every tick (valid only within one tick).
-	liveScratch     map[protocol.ParticipantID]bool
-	neighborScratch []protocol.ParticipantID
-	edgeScratch     []endpoint.Addr
-	removeScratch   []protocol.ParticipantID
-
-	cancel func()
+	retainOwn    func(e protocol.EntityState) bool
 }
 
 // New creates a cloud server on the given transport endpoint: its address,
@@ -119,83 +95,66 @@ type Server struct {
 // works over netsim and TCP.
 func New(sim *vclock.Sim, tr endpoint.Transport, cfg Config) (*Server, error) {
 	cfg.applyDefaults()
-	s := &Server{
-		cfg:     cfg,
-		sim:     sim,
-		addr:    tr.LocalAddr(),
-		world:   core.NewStore(),
-		edges:   make(map[endpoint.Addr]*edgePeer),
-		relays:  make(map[endpoint.Addr]bool),
-		clients: make(map[protocol.ParticipantID]*vrClient),
-		byAddr:  make(map[endpoint.Addr]*vrClient),
-		seats:   seat.NewGrid(0, cfg.VRRows, cfg.VRCols, cfg.VRPitch),
-		grid:    interest.NewGrid(4),
-		reg:     metrics.NewRegistry(string(tr.LocalAddr())),
-
-		liveScratch: make(map[protocol.ParticipantID]bool),
-	}
-	s.mClientPoses = s.reg.Counter("client.poses")
-	s.hClientAge = s.reg.Histogram("client.pose.age")
-	s.repl = core.NewReplicator(s.world, cfg.Repl)
-	ep, err := endpoint.NewDispatcher(tr, s.reg, endpoint.Config{
-		Now:       sim.Now,
-		CountRecv: true,
-		AutoPong:  true,
+	rt, err := node.New(sim, tr, node.Config{
+		TickHz:      cfg.TickHz,
+		InterpDelay: cfg.InterpDelay,
+		Interest:    cfg.Interest,
+		Repl:        cfg.Repl,
+		CountRecv:   true,
+		AutoPong:    true,
 	})
 	if err != nil {
 		return nil, err
 	}
-	ep.OnSync(func(from endpoint.Addr) *core.Replica {
-		if e, ok := s.edges[from]; ok {
-			return e.replica
-		}
-		return nil
-	}, nil)
-	ep.OnAck(func(from endpoint.Addr, m *protocol.Ack) error {
-		return s.repl.Ack(string(from), m.Tick)
-	})
+	s := &Server{
+		cfg:        cfg,
+		rt:         rt,
+		seats:      seat.NewGrid(0, cfg.VRRows, cfg.VRCols, cfg.VRPitch),
+		seatStates: make(map[protocol.ParticipantID]seatState),
+	}
+	s.mClientPoses = rt.Metrics().Counter("client.poses")
+	s.hClientAge = rt.Metrics().Histogram("client.pose.age")
+	// Mirror-tick retention: entities with Home == 0 are cloud-authored VR
+	// users — absent from every edge replica by construction, never culled.
+	s.retainOwn = func(e protocol.EntityState) bool { return e.Home == 0 }
+	ep := rt.Dispatcher()
 	ep.OnPose(func(_ endpoint.Addr, m *protocol.PoseUpdate) { s.ingestClientPose(m) })
 	ep.OnExpression(func(_ endpoint.Addr, m *protocol.ExpressionUpdate) { s.ingestClientExpression(m) })
-	s.ep = ep
 	return s, nil
 }
 
 // Addr returns the server's endpoint address.
-func (s *Server) Addr() endpoint.Addr { return s.addr }
+func (s *Server) Addr() endpoint.Addr { return s.rt.Addr() }
 
 // Metrics exposes the metrics registry.
-func (s *Server) Metrics() *metrics.Registry { return s.reg }
+func (s *Server) Metrics() *metrics.Registry { return s.rt.Metrics() }
 
 // World exposes the merged world state (tests and experiments).
-func (s *Server) World() *core.Store { return s.world }
+func (s *Server) World() *core.Store { return s.rt.Store() }
+
+// Runtime exposes the shared node runtime (tests and experiments).
+func (s *Server) Runtime() *node.Runtime { return s.rt }
 
 // ConnectEdge links a campus edge server. The cloud replicates back only
 // entities the edge does not already author (cloud-authored VR users and
 // other campuses' participants arrive at edges via their own links).
 func (s *Server) ConnectEdge(addr endpoint.Addr, classroom protocol.ClassroomID) error {
-	if _, ok := s.edges[addr]; ok {
-		return fmt.Errorf("%w: %s", ErrPeerExists, addr)
+	if _, err := s.rt.ConnectReplica(addr, "edge.pose.age"); err != nil {
+		return err
 	}
-	ep := &edgePeer{
-		addr:    addr,
-		replica: core.NewReplica(s.cfg.InterpDelay, pose.Linear{}),
-	}
-	ep.replica.Latency = s.reg.Histogram("edge.pose.age")
-	s.edges[addr] = ep
 	// The edge receives only VR-user entities (Home == 0) from the cloud.
-	return s.repl.AddPeer(string(addr), func(id protocol.ParticipantID, _ uint64) bool {
-		e, ok := s.world.Get(id)
+	return s.rt.Replicate(addr, func(id protocol.ParticipantID, _ uint64) bool {
+		e, ok := s.rt.Store().Get(id)
 		return ok && e.Home == 0
 	})
 }
 
 // AddRelay links a regional relay, which receives the full world.
 func (s *Server) AddRelay(addr endpoint.Addr) error {
-	if s.relays[addr] {
+	if s.rt.Replicator().HasPeer(string(addr)) {
 		return fmt.Errorf("%w: %s", ErrPeerExists, addr)
 	}
-	s.relays[addr] = true
-	return s.repl.AddPeer(string(addr), nil)
+	return s.rt.Replicate(addr, nil)
 }
 
 // AddClient registers a remote VR learner served directly by this cloud.
@@ -203,62 +162,34 @@ func (s *Server) AddRelay(addr endpoint.Addr) error {
 // nothing extra is needed for relay-served clients (their relay replicates
 // to them).
 func (s *Server) AddClient(id protocol.ParticipantID, addr endpoint.Addr) error {
-	if _, ok := s.clients[id]; ok {
-		return fmt.Errorf("%w: %d", ErrClientExists, id)
-	}
-	c := &vrClient{id: id, addr: addr, iset: interest.NewSet()}
-	s.clients[id] = c
-	s.byAddr[addr] = c
-	return s.repl.AddPeer(string(addr), s.clientFilter(c))
+	return s.rt.AddClient(id, addr)
 }
 
 // RegisterRelayClient records a client whose pose updates will arrive via a
 // relay; the cloud seats and authors it but does not replicate to it
 // directly (its relay does).
 func (s *Server) RegisterRelayClient(id protocol.ParticipantID, relay endpoint.Addr) error {
-	if _, ok := s.clients[id]; ok {
-		return fmt.Errorf("%w: %d", ErrClientExists, id)
-	}
-	// iset stays nil: relay-routed clients get their interest management at
-	// the relay, never a cloud-side clientFilter.
-	c := &vrClient{id: id, addr: relay}
-	s.clients[id] = c
-	return nil
+	return s.rt.RegisterClient(id, relay)
 }
 
-// RemoveClient drops a remote learner, releasing their VR seat.
+// RemoveClient drops a remote learner: the runtime tears down the
+// replication peer (returning its scratch to the onboarding pool) and the
+// interest-grid entry; the cloud releases the VR seat and withdraws the
+// authored entity so the departure replicates to everyone else.
 func (s *Server) RemoveClient(id protocol.ParticipantID) error {
-	c, ok := s.clients[id]
-	if !ok {
+	if _, err := s.rt.RemoveClient(id); err != nil {
 		return fmt.Errorf("cloud: unknown client %d", id)
 	}
-	delete(s.clients, id)
-	delete(s.byAddr, c.addr)
-	_ = s.seats.Release(id)
-	if s.repl.HasPeer(string(c.addr)) {
-		_ = s.repl.RemovePeer(string(c.addr))
+	delete(s.seatStates, id)
+	// Release only if actually seated: a learner who never published a pose
+	// holds no seat, and a storm of such leaves must not pay the error-path
+	// allocation inside Release.
+	if _, seated := s.seats.SeatOf(id); seated {
+		_ = s.seats.Release(id)
 	}
-	s.grid.Remove(id)
-	s.world.BeginTick()
-	s.world.Remove(id)
+	s.rt.Store().BeginTick()
+	s.rt.Store().Remove(id)
 	return nil
-}
-
-// clientFilter builds the interest-management gate for one client. Instead
-// of an all-pairs sqrt distance test per (client, source), the filter
-// consults the client's interest.Set, rebuilt once per tick from a Grid
-// spatial query and squared-distance classification.
-func (s *Server) clientFilter(c *vrClient) core.FilterFunc {
-	return func(id protocol.ParticipantID, tick uint64) bool {
-		if id == c.id {
-			return false // clients predict themselves locally
-		}
-		if s.cfg.Interest == nil {
-			return true // broadcast mode
-		}
-		s.neighborScratch = c.iset.Refresh(s.grid, s.cfg.Interest, c.id, tick, s.neighborScratch)
-		return c.iset.Allows(s.grid, id)
-	}
 }
 
 // PinFocus marks a participant (the educator, the current speaker) as
@@ -271,90 +202,44 @@ func (s *Server) PinFocus(id protocol.ParticipantID) {
 
 // Start begins the fan-out tick loop.
 func (s *Server) Start() error {
-	if s.cancel != nil {
-		return errors.New("cloud: already started")
+	if err := s.rt.Start(s.ingestEdges); err != nil {
+		return fmt.Errorf("cloud: %w", err)
 	}
-	interval := time.Duration(float64(time.Second) / s.cfg.TickHz)
-	s.cancel = s.sim.Ticker(interval, s.tick)
 	return nil
 }
 
 // Stop halts the tick loop and releases the last tick's cohort frames.
-func (s *Server) Stop() {
-	if s.cancel != nil {
-		s.cancel()
-		s.cancel = nil
-	}
-	s.ep.ReleaseFrames()
-}
+func (s *Server) Stop() { s.rt.Stop() }
 
-func (s *Server) tick() {
-	s.world.BeginTick()
-
-	// Mirror edge-authored entities into the world.
-	live := s.liveScratch
-	clear(live)
-	for _, addr := range s.edgeAddrs() {
-		ep := s.edges[addr]
-		ep.replica.Store().Range(func(id protocol.ParticipantID, e protocol.EntityState) {
-			live[id] = true
-			if s.world.UpsertIfChanged(e) {
-				pos, _ := e.Pose.Dequantize()
-				s.grid.Update(id, pos)
-			}
-		})
-	}
-	// Propagate edge-side departures: any edge-authored world entity no
-	// longer present in its replica has left the classroom.
-	s.removeScratch = s.removeScratch[:0]
-	s.world.Range(func(id protocol.ParticipantID, e protocol.EntityState) {
-		if !live[id] && e.Home != 0 {
-			s.removeScratch = append(s.removeScratch, id)
-		}
-	})
-	for _, id := range s.removeScratch {
-		s.world.Remove(id)
-		s.grid.Remove(id)
-	}
-
-	// Fan out through the shared endpoint path: encode each cohort's payload
-	// once into a pooled frame, send the identical frame to every cohort
-	// member (one reference each; the transport releases it on delivery,
-	// loss, or drop).
-	s.ep.Fanout(s.repl.PlanTick())
-}
-
-func (s *Server) edgeAddrs() []endpoint.Addr {
-	out := s.edgeScratch[:0]
-	for a := range s.edges {
-		out = append(out, a)
-	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
-	s.edgeScratch = out
-	return out
-}
+// ingestEdges is the cloud's per-tick ingest policy: mirror edge-authored
+// entities into the world and propagate edge-side departures. Cloud-authored
+// VR users (Home == 0) are retained; everything else absent from its edge's
+// replica has left the classroom.
+func (s *Server) ingestEdges() { s.rt.MirrorPeers(s.retainOwn) }
 
 // ingestClientPose authors a remote VR learner's pose into the world,
 // seating them on first contact ("the cloud server arranges the avatars of
 // all users within an entirely virtual VR classroom").
 func (s *Server) ingestClientPose(m *protocol.PoseUpdate) {
-	c, ok := s.clients[m.Participant]
+	_, ok := s.rt.Client(m.Participant)
 	if !ok {
-		s.reg.Counter("recv.unknown_client").Inc()
+		s.rt.Metrics().Counter("recv.unknown_client").Inc()
 		return
 	}
 	pos, rot := m.Pose.Dequantize()
-	if !c.seated {
+	st := s.seatStates[m.Participant]
+	if !st.seated {
 		anchor := mathx.V3(pos.X, 0, pos.Z)
 		asg, err := s.seats.AssignVacant(m.Participant, anchor, rot.Yaw(), mathx.Vec3{})
 		if err != nil {
-			s.reg.Counter("seats.exhausted").Inc()
-			c.correction = mathx.TransformIdentity()
+			s.rt.Metrics().Counter("seats.exhausted").Inc()
+			st.correction = mathx.TransformIdentity()
 		} else {
-			c.correction = asg.Correction
-			s.reg.Counter("seats.assigned").Inc()
+			st.correction = asg.Correction
+			s.rt.Metrics().Counter("seats.assigned").Inc()
 		}
-		c.seated = true
+		st.seated = true
+		s.seatStates[m.Participant] = st
 	}
 	p := pose.Pose{
 		Time:     m.CapturedAt,
@@ -362,9 +247,9 @@ func (s *Server) ingestClientPose(m *protocol.PoseUpdate) {
 		Rotation: rot,
 		Velocity: mathx.V3(float64(m.VelMMS[0])/1000, float64(m.VelMMS[1])/1000, float64(m.VelMMS[2])/1000),
 	}
-	p = seat.ApplyCorrection(c.correction, p)
+	p = seat.ApplyCorrection(st.correction, p)
 	seatIdx, _ := s.seats.SeatOf(m.Participant)
-	s.world.Upsert(protocol.EntityState{
+	s.rt.Store().Upsert(protocol.EntityState{
 		Participant: m.Participant,
 		Home:        0,
 		CapturedAt:  m.CapturedAt,
@@ -374,19 +259,19 @@ func (s *Server) ingestClientPose(m *protocol.PoseUpdate) {
 		},
 		Seat: seatIdx,
 	})
-	s.grid.Update(m.Participant, p.Position)
+	s.rt.Grid().Update(m.Participant, p.Position)
 	s.mClientPoses.Inc()
-	s.hClientAge.Observe(s.sim.Now() - m.CapturedAt)
+	s.hClientAge.Observe(s.rt.Sim().Now() - m.CapturedAt)
 }
 
 func (s *Server) ingestClientExpression(m *protocol.ExpressionUpdate) {
-	e, ok := s.world.Get(m.Participant)
+	e, ok := s.rt.Store().Get(m.Participant)
 	if !ok {
 		return
 	}
 	e.Expression = m.Weights
-	s.world.Upsert(e)
+	s.rt.Store().Upsert(e)
 }
 
 // ClientCount returns the number of registered remote learners.
-func (s *Server) ClientCount() int { return len(s.clients) }
+func (s *Server) ClientCount() int { return s.rt.ClientCount() }

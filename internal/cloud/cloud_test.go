@@ -350,3 +350,58 @@ func TestCloudEdgeFilterOnlySendsVRUsers(t *testing.T) {
 		t.Error("cloud echoed the edge's own participant back (loop!)")
 	}
 }
+
+// TestRemoveClientWhileFramesInFlight is the netsim half of the
+// leave-while-frames-queued audit: a client leaves while the tick's cohort
+// frames are still traversing a slow link toward it. The removal tears down
+// the replication peer and detaches the endpoint; the in-flight frames must
+// still be released by their delivery events, leaving the accounting
+// balanced.
+func TestRemoveClientWhileFramesInFlight(t *testing.T) {
+	live0 := protocol.LiveFrames()
+	sim := vclock.New(9)
+	net := netsim.New(sim)
+	s := newCloud(t, sim, net, nil)
+	// Slow, narrow link: frames queue and stay in flight across ticks.
+	if err := net.AddHost("c1", nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := net.ConnectBoth("c1", "cloud", netsim.LinkConfig{
+		Latency: 300 * time.Millisecond, Bandwidth: 1e6, QueueLimit: 64 << 10,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.AddClient(7, "c1"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Start(); err != nil {
+		t.Fatal(err)
+	}
+	_ = net.Send("c1", "cloud", clientPose(7, 1, 0, 0.5))
+	// Run long enough for fan-out toward c1 to be in flight, then yank the
+	// client mid-flight.
+	if err := sim.Run(500 * time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.RemoveClient(7); err != nil {
+		t.Fatal(err)
+	}
+	if err := net.Endpoint("c1").Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Drain: in-flight deliveries fire against the detached endpoint and
+	// release their frames without a handler.
+	if err := sim.Run(5 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	s.Stop()
+	if err := sim.Run(10 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if live := protocol.LiveFrames(); live != live0 {
+		t.Fatalf("%d frames leaked across mid-flight client removal", live-live0)
+	}
+	if s.ClientCount() != 0 {
+		t.Fatalf("ClientCount = %d after removal", s.ClientCount())
+	}
+}

@@ -1,7 +1,6 @@
 package cloud
 
 import (
-	"errors"
 	"fmt"
 	"time"
 
@@ -9,7 +8,7 @@ import (
 	"metaclass/internal/endpoint"
 	"metaclass/internal/interest"
 	"metaclass/internal/metrics"
-	"metaclass/internal/pose"
+	"metaclass/internal/node"
 	"metaclass/internal/protocol"
 	"metaclass/internal/vclock"
 )
@@ -18,7 +17,8 @@ import (
 // servers" remedy): it mirrors the cloud's world state once per region and
 // serves nearby clients locally, so a lecture crosses the Pacific once
 // instead of per-client. Client pose updates are forwarded upstream
-// unchanged.
+// unchanged — zero-copy: the received frame itself is retained and pushed
+// on.
 type RelayConfig struct {
 	// Upstream is the cloud server's endpoint address.
 	Upstream endpoint.Addr
@@ -33,188 +33,97 @@ type RelayConfig struct {
 	Repl core.ReplConfig
 }
 
-func (c *RelayConfig) applyDefaults() {
-	if c.TickHz <= 0 {
-		c.TickHz = 30
-	}
-	if c.InterpDelay <= 0 {
-		c.InterpDelay = 100 * time.Millisecond
-	}
-}
-
-// relayClient is one locally-served client plus its per-tick interest set.
-type relayClient struct {
-	id   protocol.ParticipantID
-	addr endpoint.Addr
-	iset *interest.Set
-}
-
-// Relay mirrors the cloud world for one region.
+// Relay mirrors the cloud world for one region: the forward-upstream policy
+// over the shared node runtime.
 type Relay struct {
-	cfg  RelayConfig
-	sim  *vclock.Sim
-	addr endpoint.Addr
-	ep   *endpoint.Dispatcher
-
-	upstream *core.Replica
-	mirror   *core.Store
-	repl     *core.Replicator
-	clients  map[protocol.ParticipantID]*relayClient
-	byAddr   map[endpoint.Addr]protocol.ParticipantID
-	grid     *interest.Grid
-	reg      *metrics.Registry
+	cfg RelayConfig
+	rt  *node.Runtime
 
 	mForwardedUp *metrics.Counter
-	// scratch buffers reused every tick (valid only within one tick).
-	liveScratch     map[protocol.ParticipantID]bool
-	neighborScratch []protocol.ParticipantID
-	removeScratch   []protocol.ParticipantID
-
-	cancel func()
 }
 
 // NewRelay creates a relay on the given transport endpoint.
 func NewRelay(sim *vclock.Sim, tr endpoint.Transport, cfg RelayConfig) (*Relay, error) {
-	cfg.applyDefaults()
-	r := &Relay{
-		cfg:      cfg,
-		sim:      sim,
-		addr:     tr.LocalAddr(),
-		upstream: core.NewReplica(cfg.InterpDelay, pose.Linear{}),
-		mirror:   core.NewStore(),
-		clients:  make(map[protocol.ParticipantID]*relayClient),
-		byAddr:   make(map[endpoint.Addr]protocol.ParticipantID),
-		grid:     interest.NewGrid(4),
-		reg:      metrics.NewRegistry(string(tr.LocalAddr())),
-
-		liveScratch: make(map[protocol.ParticipantID]bool),
-	}
-	r.mForwardedUp = r.reg.Counter("forwarded.up")
-	r.repl = core.NewReplicator(r.mirror, cfg.Repl)
-	r.upstream.Latency = r.reg.Histogram("upstream.pose.age")
-	ep, err := endpoint.NewDispatcher(tr, r.reg, endpoint.Config{
-		Now:      sim.Now,
-		AutoPong: true,
+	rt, err := node.New(sim, tr, node.Config{
+		TickHz:      cfg.TickHz,
+		InterpDelay: cfg.InterpDelay,
+		Interest:    cfg.Interest,
+		Repl:        cfg.Repl,
+		AutoPong:    true,
 	})
 	if err != nil {
 		return nil, err
 	}
-	// Replication is mirrored only from upstream; sync traffic from any
-	// other source resolves to no replica and falls through to the forward
-	// fallback with everything else.
-	ep.OnSync(func(from endpoint.Addr) *core.Replica {
-		if from == r.cfg.Upstream {
-			return r.upstream
-		}
-		return nil
-	}, nil)
-	ep.OnAck(func(from endpoint.Addr, m *protocol.Ack) error {
-		if from == r.cfg.Upstream {
-			// The cloud is not a local replication client; a stray upstream
-			// ack is unhandled, not an unknown peer.
-			ep.CountUnhandled()
-			return nil
-		}
-		return r.repl.Ack(string(from), m.Tick)
-	})
-	// From a client: acks terminate above and pings are auto-ponged (RTT
-	// probes are answered whoever asks); everything else (pose/expression
-	// streams) forwards upstream unchanged. Stray non-ping traffic from
-	// upstream is counted, never echoed back.
+	r := &Relay{cfg: cfg, rt: rt}
+	r.mForwardedUp = rt.Metrics().Counter("forwarded.up")
+	// Replication is mirrored only from upstream; the runtime resolves sync
+	// traffic through its peer table, so anything from another source falls
+	// through to the forward fallback with the rest. Stray upstream acks are
+	// unhandled, not unknown (the cloud is not a local replication client) —
+	// the runtime's shared ack policy handles that because the upstream is a
+	// sync peer without a replicator registration.
+	if _, err := rt.ConnectReplica(cfg.Upstream, "upstream.pose.age"); err != nil {
+		return nil, err
+	}
+	// From a client: acks terminate in the runtime and pings are auto-ponged
+	// (RTT probes are answered whoever asks); everything else
+	// (pose/expression streams) forwards upstream unchanged. Stray non-ping
+	// traffic from upstream is counted, never echoed back.
+	ep := rt.Dispatcher()
 	ep.OnFallback(func(from endpoint.Addr, payload []byte, _ protocol.Message) {
 		if from == r.cfg.Upstream {
 			ep.CountUnhandled()
 			return
 		}
 		r.mForwardedUp.Inc()
-		// payload is only borrowed for the duration of this callback (its
-		// frame is recycled when we return), so Forward re-owns the bytes in
-		// a pooled frame of its own.
+		// The payload is borrowed for the duration of this callback, but the
+		// frame behind it is retainable: Forward retains and sends the exact
+		// frame upstream, copying nothing.
 		_ = ep.Forward(r.cfg.Upstream, payload)
 	})
-	r.ep = ep
 	return r, nil
 }
 
 // Addr returns the relay's endpoint address.
-func (r *Relay) Addr() endpoint.Addr { return r.addr }
+func (r *Relay) Addr() endpoint.Addr { return r.rt.Addr() }
 
 // Metrics exposes the relay's registry.
-func (r *Relay) Metrics() *metrics.Registry { return r.reg }
+func (r *Relay) Metrics() *metrics.Registry { return r.rt.Metrics() }
 
-// AddClient registers a client served by this relay.
+// Runtime exposes the shared node runtime (tests and experiments).
+func (r *Relay) Runtime() *node.Runtime { return r.rt }
+
+// AddClient registers a client served by this relay, interest-gated by the
+// runtime's shared set-based filter.
 func (r *Relay) AddClient(id protocol.ParticipantID, addr endpoint.Addr) error {
-	if _, ok := r.clients[id]; ok {
-		return fmt.Errorf("%w: %d", ErrClientExists, id)
-	}
-	c := &relayClient{id: id, addr: addr, iset: interest.NewSet()}
-	r.clients[id] = c
-	r.byAddr[addr] = id
-	return r.repl.AddPeer(string(addr), r.clientFilter(c))
+	return r.rt.AddClient(id, addr)
 }
 
-// clientFilter mirrors the cloud server's set-based interest gate: one Grid
-// spatial query plus squared-distance classification per client per tick,
-// instead of an all-pairs sqrt test per (client, source).
-func (r *Relay) clientFilter(c *relayClient) core.FilterFunc {
-	return func(id protocol.ParticipantID, tick uint64) bool {
-		if id == c.id {
-			return false
-		}
-		if r.cfg.Interest == nil {
-			return true
-		}
-		r.neighborScratch = c.iset.Refresh(r.grid, r.cfg.Interest, c.id, tick, r.neighborScratch)
-		return c.iset.Allows(r.grid, id)
+// RemoveClient drops a locally-served client: its replication peer (and
+// scratch) and interest state are torn down by the runtime; the mirrored
+// world entry is owned upstream and expires via the cloud's own removal.
+func (r *Relay) RemoveClient(id protocol.ParticipantID) error {
+	if _, err := r.rt.RemoveClient(id); err != nil {
+		return fmt.Errorf("cloud: relay: unknown client %d", id)
 	}
+	return nil
 }
 
 // Start begins the local fan-out loop.
 func (r *Relay) Start() error {
-	if r.cancel != nil {
-		return errors.New("cloud: relay already started")
+	if err := r.rt.Start(r.ingestUpstream); err != nil {
+		return fmt.Errorf("cloud: relay %w", err)
 	}
-	interval := time.Duration(float64(time.Second) / r.cfg.TickHz)
-	r.cancel = r.sim.Ticker(interval, r.tick)
 	return nil
 }
 
 // Stop halts the loop and releases the last tick's cohort frames.
-func (r *Relay) Stop() {
-	if r.cancel != nil {
-		r.cancel()
-		r.cancel = nil
-	}
-	r.ep.ReleaseFrames()
-}
+func (r *Relay) Stop() { r.rt.Stop() }
 
-func (r *Relay) tick() {
-	r.mirror.BeginTick()
-	live := r.liveScratch
-	clear(live)
-	r.upstream.Store().Range(func(id protocol.ParticipantID, e protocol.EntityState) {
-		live[id] = true
-		if r.mirror.UpsertIfChanged(e) {
-			pos, _ := e.Pose.Dequantize()
-			r.grid.Update(id, pos)
-		}
-	})
-	// Propagate upstream removals into the mirror.
-	r.removeScratch = r.removeScratch[:0]
-	r.mirror.Range(func(id protocol.ParticipantID, _ protocol.EntityState) {
-		if !live[id] {
-			r.removeScratch = append(r.removeScratch, id)
-		}
-	})
-	for _, id := range r.removeScratch {
-		r.mirror.Remove(id)
-		r.grid.Remove(id)
-	}
-	// Fan out through the shared endpoint path: encode once per cohort into
-	// a pooled frame, send the shared frame to members (one reference each,
-	// released by the transport).
-	r.ep.Fanout(r.repl.PlanTick())
-}
+// ingestUpstream mirrors the upstream replica into the local store and
+// propagates upstream removals (nothing is authored locally, so every
+// absent entity is gone).
+func (r *Relay) ingestUpstream() { r.rt.MirrorPeers(nil) }
 
 // ClientCount returns the number of clients served locally.
-func (r *Relay) ClientCount() int { return len(r.clients) }
+func (r *Relay) ClientCount() int { return r.rt.ClientCount() }

@@ -42,10 +42,12 @@ type peerState struct {
 	lastSnapshot uint64
 	snapshots    uint64
 	deltas       uint64
-	// boundFilter adapts the peer's FilterFunc to the single-argument Store
-	// signature (nil when the peer is unfiltered). It is built once at
-	// AddPeer — reading the replicator's current plan tick — so PlanTick
-	// allocates no closures.
+	// filter is the peer's interest gate (nil when unfiltered). boundFilter
+	// adapts it to the single-argument Store signature, reading the
+	// replicator's current plan tick; it is built once per peerState
+	// *allocation* and reads filter dynamically, so pooled peer states
+	// (join/leave churn) reuse the closure instead of minting one per join.
+	filter      FilterFunc
 	boundFilter func(protocol.ParticipantID) bool
 	// scratch is the reusable per-peer Delta for filtered peers (their
 	// payloads are peer-specific, so the message cannot be cohort-shared).
@@ -55,6 +57,22 @@ type peerState struct {
 	// snapScratch is the reusable per-peer Snapshot for filtered peers,
 	// with the same lifetime contract as scratch.
 	snapScratch *protocol.Snapshot
+}
+
+// reset clears a peer's replication state for reuse while keeping its
+// allocated scratch (delta/snapshot entity slices, the bound filter closure),
+// so onboarding a client after a departure allocates nothing.
+func (p *peerState) reset() {
+	p.ackTick, p.acked, p.lastSnapshot = 0, false, 0
+	p.snapshots, p.deltas = 0, 0
+	p.filter = nil
+	if p.scratch != nil {
+		p.scratch.Changed = p.scratch.Changed[:0]
+		p.scratch.Removed = p.scratch.Removed[:0]
+	}
+	if p.snapScratch != nil {
+		p.snapScratch.Entities = p.snapScratch.Entities[:0]
+	}
 }
 
 // deltaCohort memoizes one distinct delta built during a PlanTick. A nil msg
@@ -98,6 +116,11 @@ type Replicator struct {
 	// record their tick, so a fully-acking classroom costs O(peers) per tick
 	// instead of O(peers²) (one O(peers) min-scan per Ack).
 	pruneDirty bool
+
+	// freePeers pools peer states released by RemovePeer so a join/leave
+	// storm (E11 churn) reuses scratch snapshots, deltas, and filter
+	// closures instead of reallocating them per onboarding.
+	freePeers []*peerState
 }
 
 // NewReplicator creates a replicator over store.
@@ -118,22 +141,36 @@ func (r *Replicator) AddPeer(id string, filter FilterFunc) error {
 	if _, ok := r.peers[id]; ok {
 		return fmt.Errorf("%w: %s", ErrPeerExists, id)
 	}
-	p := &peerState{}
-	if filter != nil {
-		p.boundFilter = func(eid protocol.ParticipantID) bool { return filter(eid, r.planTick) }
+	var p *peerState
+	if n := len(r.freePeers); n > 0 {
+		p = r.freePeers[n-1]
+		r.freePeers[n-1] = nil
+		r.freePeers = r.freePeers[:n-1]
+	} else {
+		p = &peerState{}
+		p.boundFilter = func(eid protocol.ParticipantID) bool { return p.filter(eid, r.planTick) }
 	}
+	p.filter = filter
 	r.peers[id] = p
 	r.idsDirty = true
 	return nil
 }
 
-// RemovePeer unregisters a peer.
+// RemovePeer unregisters a peer. Its state returns to the replicator's pool
+// (scratch capacity and filter closure intact) so the next AddPeer is
+// allocation-free; the departing peer's ack baseline and filter are cleared.
 func (r *Replicator) RemovePeer(id string) error {
-	if _, ok := r.peers[id]; !ok {
+	p, ok := r.peers[id]
+	if !ok {
 		return fmt.Errorf("%w: %s", ErrUnknownPeer, id)
 	}
 	delete(r.peers, id)
+	p.reset()
+	r.freePeers = append(r.freePeers, p)
 	r.idsDirty = true
+	// A departure can leave the removal log pinned to the departed peer's
+	// baseline; re-evaluate the prune floor at the next PlanTick.
+	r.pruneDirty = true
 	return nil
 }
 
@@ -247,7 +284,7 @@ func (r *Replicator) PlanTick() []PeerMessage {
 		if wantSnapshot {
 			var snap *protocol.Snapshot
 			var cohort int
-			if p.boundFilter != nil {
+			if p.filter != nil {
 				if p.snapScratch == nil {
 					p.snapScratch = &protocol.Snapshot{}
 				}
@@ -273,7 +310,7 @@ func (r *Replicator) PlanTick() []PeerMessage {
 			out = append(out, PeerMessage{Peer: id, Msg: snap, Cohort: cohort})
 			continue
 		}
-		if p.boundFilter != nil {
+		if p.filter != nil {
 			if p.scratch == nil {
 				p.scratch = &protocol.Delta{}
 			}

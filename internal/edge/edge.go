@@ -10,6 +10,9 @@
 //   - on receive, "identifies the vacant seats to display virtual avatars"
 //     and "corrects the pose to match the new position of the avatar";
 //   - serves the merged local+remote scene to the classroom's MR displays.
+//
+// Peer tables, replication wiring, and the tick loop live in the shared
+// node.Runtime; this package is the sensing/fusion/seating policy over it.
 package edge
 
 import (
@@ -26,6 +29,7 @@ import (
 	"metaclass/internal/fusion"
 	"metaclass/internal/mathx"
 	"metaclass/internal/metrics"
+	"metaclass/internal/node"
 	"metaclass/internal/pose"
 	"metaclass/internal/protocol"
 	"metaclass/internal/seat"
@@ -36,7 +40,7 @@ import (
 // Edge server errors.
 var (
 	ErrNotRegistered = errors.New("edge: participant not registered")
-	ErrStarted       = errors.New("edge: server already started")
+	ErrStarted       = node.ErrStarted
 )
 
 // Config parameterizes an edge server.
@@ -61,9 +65,6 @@ type Config struct {
 }
 
 func (c *Config) applyDefaults() {
-	if c.TickHz <= 0 {
-		c.TickHz = 30
-	}
 	if c.SeatRows <= 0 {
 		c.SeatRows = 6
 	}
@@ -73,47 +74,30 @@ func (c *Config) applyDefaults() {
 	if c.SeatPitch <= 0 {
 		c.SeatPitch = 1.2
 	}
-	if c.InterpDelay <= 0 {
-		c.InterpDelay = 100 * time.Millisecond
-	}
 	if c.StaleAfter <= 0 {
 		c.StaleAfter = 2 * time.Second
 	}
 }
 
-// remotePeer is one upstream/downstream sync partner (peer edge or cloud).
-type remotePeer struct {
-	addr    endpoint.Addr
-	replica *core.Replica
-	// corrections maps remote participants to the rigid transform from
-	// their source frame into their assigned local seat frame.
-	corrections map[protocol.ParticipantID]mathx.Transform
-}
-
-// Server is a classroom edge server.
+// Server is a classroom edge server: the sensing and seat-correction policy
+// over the shared node runtime.
 type Server struct {
-	cfg  Config
-	sim  *vclock.Sim
-	addr endpoint.Addr
-	ep   *endpoint.Dispatcher
+	cfg Config
+	rt  *node.Runtime
 
-	local   *core.Store
-	repl    *core.Replicator
-	fusers  map[protocol.ParticipantID]*fusion.Fuser
-	exprs   map[protocol.ParticipantID][]byte
-	flags   map[protocol.ParticipantID]uint8
-	peers   map[endpoint.Addr]*remotePeer
-	seats   *seat.Map
-	avatars *avatar.Registry
-	reg     *metrics.Registry
+	fusers map[protocol.ParticipantID]*fusion.Fuser
+	exprs  map[protocol.ParticipantID][]byte
+	flags  map[protocol.ParticipantID]uint8
+	// corrections maps, per sync peer, remote participants to the rigid
+	// transform from their source frame into their assigned local seat frame.
+	corrections map[endpoint.Addr]map[protocol.ParticipantID]mathx.Transform
+	seats       *seat.Map
+	avatars     *avatar.Registry
 
 	// Hot-path caches: metric handles resolved once and per-tick scratch
-	// slices reused (the send/receive paths live in the dispatcher).
+	// slices reused (the send/receive paths live in the runtime).
 	mLocalDespawn *metrics.Counter
 	idScratch     []protocol.ParticipantID
-
-	cancel  func()
-	started bool
 }
 
 // New creates an edge server on the given transport endpoint: its address,
@@ -124,44 +108,32 @@ func New(sim *vclock.Sim, tr endpoint.Transport, cfg Config) (*Server, error) {
 	if cfg.Classroom == 0 {
 		return nil, errors.New("edge: classroom ID must be nonzero")
 	}
-	s := &Server{
-		cfg:     cfg,
-		sim:     sim,
-		addr:    tr.LocalAddr(),
-		local:   core.NewStore(),
-		fusers:  make(map[protocol.ParticipantID]*fusion.Fuser),
-		exprs:   make(map[protocol.ParticipantID][]byte),
-		flags:   make(map[protocol.ParticipantID]uint8),
-		peers:   make(map[endpoint.Addr]*remotePeer),
-		seats:   seat.NewGrid(cfg.Classroom, cfg.SeatRows, cfg.SeatCols, cfg.SeatPitch),
-		avatars: avatar.NewRegistry(),
-		reg:     metrics.NewRegistry(string(tr.LocalAddr())),
-	}
-	s.mLocalDespawn = s.reg.Counter("local.despawned")
-	s.repl = core.NewReplicator(s.local, cfg.Repl)
-	ep, err := endpoint.NewDispatcher(tr, s.reg, endpoint.Config{
-		Now:       sim.Now,
-		CountRecv: true,
-		AutoPong:  true,
+	rt, err := node.New(sim, tr, node.Config{
+		TickHz:      cfg.TickHz,
+		InterpDelay: cfg.InterpDelay,
+		Repl:        cfg.Repl,
+		CountRecv:   true,
+		AutoPong:    true,
 	})
 	if err != nil {
 		return nil, err
 	}
-	ep.OnSync(func(from endpoint.Addr) *core.Replica {
-		if rp, ok := s.peers[from]; ok {
-			return rp.replica
-		}
-		return nil
-	}, nil)
-	ep.OnAck(func(from endpoint.Addr, m *protocol.Ack) error {
-		return s.repl.Ack(string(from), m.Tick)
-	})
-	s.ep = ep
+	s := &Server{
+		cfg:         cfg,
+		rt:          rt,
+		fusers:      make(map[protocol.ParticipantID]*fusion.Fuser),
+		exprs:       make(map[protocol.ParticipantID][]byte),
+		flags:       make(map[protocol.ParticipantID]uint8),
+		corrections: make(map[endpoint.Addr]map[protocol.ParticipantID]mathx.Transform),
+		seats:       seat.NewGrid(cfg.Classroom, cfg.SeatRows, cfg.SeatCols, cfg.SeatPitch),
+		avatars:     avatar.NewRegistry(),
+	}
+	s.mLocalDespawn = rt.Metrics().Counter("local.despawned")
 	return s, nil
 }
 
 // Addr returns the server's endpoint address.
-func (s *Server) Addr() endpoint.Addr { return s.addr }
+func (s *Server) Addr() endpoint.Addr { return s.rt.Addr() }
 
 // Classroom returns the classroom ID.
 func (s *Server) Classroom() protocol.ClassroomID { return s.cfg.Classroom }
@@ -170,7 +142,10 @@ func (s *Server) Classroom() protocol.ClassroomID { return s.cfg.Classroom }
 func (s *Server) Seats() *seat.Map { return s.seats }
 
 // Metrics exposes the server's metrics registry.
-func (s *Server) Metrics() *metrics.Registry { return s.reg }
+func (s *Server) Metrics() *metrics.Registry { return s.rt.Metrics() }
+
+// Runtime exposes the shared node runtime (tests and experiments).
+func (s *Server) Runtime() *node.Runtime { return s.rt }
 
 // RegisterLocal adds a physically-present participant, seating them at
 // seatIdx and creating their sensor-fusion pipeline.
@@ -187,7 +162,9 @@ func (s *Server) RegisterLocal(av avatar.Avatar, seatIdx uint16) error {
 	return nil
 }
 
-// UnregisterLocal removes a local participant (left the room).
+// UnregisterLocal removes a local participant (left the room). Their fused
+// state, expression/flag entries, seat, avatar, and authored store entry are
+// all released; the store removal replicates the departure to every peer.
 func (s *Server) UnregisterLocal(id protocol.ParticipantID) error {
 	if _, ok := s.fusers[id]; !ok {
 		return fmt.Errorf("%w: %d", ErrNotRegistered, id)
@@ -197,8 +174,8 @@ func (s *Server) UnregisterLocal(id protocol.ParticipantID) error {
 	delete(s.flags, id)
 	_ = s.seats.Release(id)
 	_ = s.avatars.Remove(id)
-	s.local.BeginTick()
-	s.local.Remove(id)
+	s.rt.Store().BeginTick()
+	s.rt.Store().Remove(id)
 	return nil
 }
 
@@ -211,9 +188,9 @@ func (s *Server) IngestObservation(id protocol.ParticipantID, o sensors.Observat
 		return fmt.Errorf("%w: %d", ErrNotRegistered, id)
 	}
 	if f.Observe(o) {
-		s.reg.Counter("fusion.accepted").Inc()
+		s.rt.Metrics().Counter("fusion.accepted").Inc()
 	} else {
-		s.reg.Counter("fusion.rejected").Inc()
+		s.rt.Metrics().Counter("fusion.rejected").Inc()
 	}
 	return nil
 }
@@ -239,42 +216,41 @@ func (s *Server) SetFlags(id protocol.ParticipantID, flags uint8) error {
 // ConnectPeer links this edge to another sync server (peer edge or cloud).
 // Replication is unfiltered: servers need the full authored set.
 func (s *Server) ConnectPeer(addr endpoint.Addr) error {
-	if _, ok := s.peers[addr]; ok {
+	if s.rt.HasSyncPeer(addr) {
 		return fmt.Errorf("edge: peer %s already connected", addr)
 	}
-	if err := s.repl.AddPeer(string(addr), nil); err != nil {
+	if err := s.rt.Replicate(addr, nil); err != nil {
 		return err
 	}
-	rp := &remotePeer{
-		addr:        addr,
-		replica:     core.NewReplica(s.cfg.InterpDelay, pose.Linear{}),
-		corrections: make(map[protocol.ParticipantID]mathx.Transform),
+	p, err := s.rt.ConnectReplica(addr, "remote.pose.age")
+	if err != nil {
+		return err
 	}
-	rp.replica.Latency = s.reg.Histogram("remote.pose.age")
-	rp.replica.OnNew = func(e protocol.EntityState) { s.assignSeat(rp, e) }
-	rp.replica.OnRemove = func(id protocol.ParticipantID) {
-		delete(rp.corrections, id)
+	corr := make(map[protocol.ParticipantID]mathx.Transform)
+	s.corrections[addr] = corr
+	p.Replica.OnNew = func(e protocol.EntityState) { s.assignSeat(corr, e) }
+	p.Replica.OnRemove = func(id protocol.ParticipantID) {
+		delete(corr, id)
 		_ = s.seats.Release(id)
 		_ = s.avatars.Remove(id)
 	}
-	s.peers[addr] = rp
 	return nil
 }
 
 // assignSeat implements the Fig. 3 receive path: place the new remote
 // avatar in the nearest vacant seat and derive its pose correction.
-func (s *Server) assignSeat(rp *remotePeer, e protocol.EntityState) {
+func (s *Server) assignSeat(corr map[protocol.ParticipantID]mathx.Transform, e protocol.EntityState) {
 	pos, rot := e.Pose.Dequantize()
 	anchor := mathx.V3(pos.X, 0, pos.Z) // floor point under first pose
 	asg, err := s.seats.AssignVacant(e.Participant, anchor, rot.Yaw(), anchor)
 	if err != nil {
 		// Standing room only: identity correction, avatar stands at the back.
-		s.reg.Counter("seats.exhausted").Inc()
-		rp.corrections[e.Participant] = mathx.TransformIdentity()
+		s.rt.Metrics().Counter("seats.exhausted").Inc()
+		corr[e.Participant] = mathx.TransformIdentity()
 		return
 	}
-	s.reg.Counter("seats.assigned").Inc()
-	rp.corrections[e.Participant] = asg.Correction
+	s.rt.Metrics().Counter("seats.assigned").Inc()
+	corr[e.Participant] = asg.Correction
 	_ = s.avatars.Add(avatar.Avatar{
 		Participant: e.Participant,
 		Home:        e.Home,
@@ -284,31 +260,22 @@ func (s *Server) assignSeat(rp *remotePeer, e protocol.EntityState) {
 
 // Start begins the replication tick loop.
 func (s *Server) Start() error {
-	if s.started {
+	if s.rt.Started() {
 		return ErrStarted
 	}
-	s.started = true
-	interval := time.Duration(float64(time.Second) / s.cfg.TickHz)
-	s.cancel = s.sim.Ticker(interval, s.tick)
-	return nil
+	return s.rt.Start(s.authorLocals)
 }
 
 // Stop halts the tick loop and releases the last tick's cohort frames.
 // Safe to call repeatedly.
-func (s *Server) Stop() {
-	if s.cancel != nil {
-		s.cancel()
-		s.cancel = nil
-	}
-	s.started = false
-	s.ep.ReleaseFrames()
-}
+func (s *Server) Stop() { s.rt.Stop() }
 
-func (s *Server) tick() {
-	now := s.sim.Now()
-	s.local.BeginTick()
-
-	// Author local participants from fused sensor state.
+// authorLocals is the edge's per-tick ingest policy: author local
+// participants into the replicated store from fused sensor state, despawning
+// anyone whose sensors went quiet.
+func (s *Server) authorLocals() {
+	now := s.rt.Sim().Now()
+	local := s.rt.Store()
 	ids := s.idScratch[:0]
 	for id := range s.fusers {
 		ids = append(ids, id)
@@ -318,8 +285,8 @@ func (s *Server) tick() {
 	for _, id := range ids {
 		f := s.fusers[id]
 		if f.Stale(now, s.cfg.StaleAfter) {
-			if _, present := s.local.Get(id); present {
-				s.local.Remove(id)
+			if _, present := local.Get(id); present {
+				local.Remove(id)
 				s.mLocalDespawn.Inc()
 			}
 			continue
@@ -329,7 +296,7 @@ func (s *Server) tick() {
 			continue
 		}
 		seatIdx, _ := s.seats.SeatOf(id)
-		s.local.Upsert(protocol.EntityState{
+		local.Upsert(protocol.EntityState{
 			Participant: id,
 			Home:        s.cfg.Classroom,
 			CapturedAt:  f.LastObservation(),
@@ -342,12 +309,6 @@ func (s *Server) tick() {
 			Flags:      s.flags[id],
 		})
 	}
-
-	// Replicate to peers through the shared endpoint path: encode once per
-	// cohort into a pooled frame (both sync partners share the same frame
-	// whenever their ack baselines coincide); the transport releases each
-	// recipient's reference.
-	s.ep.Fanout(s.repl.PlanTick())
 }
 
 // DisplayPose returns the pose of any participant as the classroom's MR
@@ -357,27 +318,18 @@ func (s *Server) DisplayPose(id protocol.ParticipantID, at time.Duration) (pose.
 	if f, ok := s.fusers[id]; ok {
 		return f.Estimate(at)
 	}
-	for _, addr := range s.peerAddrs() {
-		rp := s.peers[addr]
-		p, ok := rp.replica.Pose(id, at)
+	for _, addr := range s.rt.SyncPeerAddrs() {
+		rp, _ := s.rt.SyncPeer(addr)
+		p, ok := rp.Replica.Pose(id, at)
 		if !ok {
 			continue
 		}
-		if corr, ok := rp.corrections[id]; ok {
+		if corr, ok := s.corrections[addr][id]; ok {
 			p = seat.ApplyCorrection(corr, p)
 		}
 		return p, true
 	}
 	return pose.Pose{}, false
-}
-
-func (s *Server) peerAddrs() []endpoint.Addr {
-	out := make([]endpoint.Addr, 0, len(s.peers))
-	for a := range s.peers {
-		out = append(out, a)
-	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
-	return out
 }
 
 // VisibleParticipants lists everyone the room's displays can currently
@@ -391,8 +343,9 @@ func (s *Server) VisibleParticipants() []protocol.ParticipantID {
 			out = append(out, id)
 		}
 	}
-	for _, addr := range s.peerAddrs() {
-		for _, id := range s.peers[addr].replica.Participants() {
+	for _, addr := range s.rt.SyncPeerAddrs() {
+		rp, _ := s.rt.SyncPeer(addr)
+		for _, id := range rp.Replica.Participants() {
 			if !seen[id] {
 				seen[id] = true
 				out = append(out, id)
@@ -404,13 +357,13 @@ func (s *Server) VisibleParticipants() []protocol.ParticipantID {
 }
 
 // LocalStore exposes the authored state (tests and experiments).
-func (s *Server) LocalStore() *core.Store { return s.local }
+func (s *Server) LocalStore() *core.Store { return s.rt.Store() }
 
 // ReplicaOf exposes a peer's replica (tests and experiments).
 func (s *Server) ReplicaOf(addr endpoint.Addr) (*core.Replica, bool) {
-	rp, ok := s.peers[addr]
+	rp, ok := s.rt.SyncPeer(addr)
 	if !ok {
 		return nil, false
 	}
-	return rp.replica, true
+	return rp.Replica, true
 }

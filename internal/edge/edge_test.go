@@ -157,7 +157,7 @@ func TestEdgeReplicatesToPeer(t *testing.T) {
 		t.Errorf("visible at b = %v", vis)
 	}
 	// Replication is acked, so the sender eventually uses deltas.
-	st, err := a.repl.StatsOf("b")
+	st, err := a.Runtime().Replicator().StatsOf("b")
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -43,14 +43,19 @@ type Config struct {
 // called from the goroutine that owns the node (the simulation goroutine, or
 // the goroutine pumping a TCP endpoint).
 type Dispatcher struct {
-	tr  Transport
-	reg *metrics.Registry
-	cfg Config
+	tr      Transport
+	batcher Batcher // tr's Batcher view, nil when the transport has none
+	reg     *metrics.Registry
+	cfg     Config
 
 	dec         protocol.Decoder
 	frames      core.FrameCache
 	ackScratch  protocol.Ack
 	pongScratch protocol.Pong
+	// recvFrame is the refcounted frame backing the payload currently being
+	// dispatched (nil for frameless receives). Forward retains it to push the
+	// exact bytes onward without a copy.
+	recvFrame *protocol.Frame
 
 	mMsgsRecv     *metrics.Counter
 	mDecodeErrors *metrics.Counter
@@ -79,6 +84,7 @@ func NewDispatcher(tr Transport, reg *metrics.Registry, cfg Config) (*Dispatcher
 		cfg.Now = func() time.Duration { return 0 }
 	}
 	d := &Dispatcher{tr: tr, reg: reg, cfg: cfg}
+	d.batcher, _ = tr.(Batcher)
 	d.mDecodeErrors = reg.Counter("recv.decode_errors")
 	reg.AliasCounter("decode.errors", "recv.decode_errors")
 	d.mUnknownPeer = reg.Counter("recv.unknown_peer")
@@ -135,6 +141,16 @@ func (d *Dispatcher) OnFallback(h func(from Addr, payload []byte, msg protocol.M
 // CountUnhandled records one unhandled message; fallback handlers call it
 // for traffic they decline (keeping the shared counter authoritative).
 func (d *Dispatcher) CountUnhandled() { d.mUnhandled.Inc() }
+
+// ReceiveFrame implements FrameReceiver: the transport hands over the
+// refcounted frame backing the payload, so a Forward issued from inside the
+// dispatch retains the frame instead of copying its bytes. The frame is
+// borrowed — the transport still releases its reference when this returns.
+func (d *Dispatcher) ReceiveFrame(from Addr, f *protocol.Frame) {
+	d.recvFrame = f
+	d.Receive(from, f.Bytes())
+	d.recvFrame = nil
+}
 
 // Receive implements Receiver: decode, count, route, and auto-reply.
 func (d *Dispatcher) Receive(from Addr, payload []byte) {
@@ -229,9 +245,15 @@ func (d *Dispatcher) reply(to Addr, msg protocol.Message) {
 // cohort payload is encoded exactly once into a pooled frame, every cohort
 // member receives the identical frame with its own reference, and the
 // transport releases each reference on delivery, loss, drop, or error.
-// Call once per tick with the node's PlanTick result.
+// Call once per tick with the node's PlanTick result. On a batching
+// transport the whole plan is queued and flushed with one vectored write per
+// touched connection — one flush per tick per conn — instead of one flush
+// per send.
 func (d *Dispatcher) Fanout(plan []core.PeerMessage) {
 	d.frames.Reset()
+	if d.batcher != nil {
+		d.batcher.BeginBatch()
+	}
 	for _, pm := range plan {
 		frame := d.frames.FrameFor(pm)
 		if frame == nil {
@@ -241,6 +263,11 @@ func (d *Dispatcher) Fanout(plan []core.PeerMessage) {
 		d.mMsgsSent.Inc()
 		d.mBytesSent.Add(uint64(frame.Len()))
 		if err := d.tr.SendFrame(Addr(pm.Peer), frame); err != nil {
+			d.mSendErrors.Inc()
+		}
+	}
+	if d.batcher != nil {
+		if err := d.batcher.FlushBatch(); err != nil {
 			d.mSendErrors.Inc()
 		}
 	}
@@ -261,9 +288,19 @@ func (d *Dispatcher) Send(to Addr, msg protocol.Message) error {
 	return d.tr.SendFrame(to, frame)
 }
 
-// Forward re-owns a borrowed payload in a pooled frame of its own and sends
-// it (a relay pushing client traffic upstream from inside a receive
-// callback, where the original bytes die on return).
+// Forward pushes a borrowed payload onward (a relay sending client traffic
+// upstream from inside a receive callback, where the borrow dies on return).
+// When the payload is backed by the receive frame currently being dispatched
+// — the common case on both netsim and TCP — the frame is retained and sent
+// as-is: zero payload copies, with the transport consuming the forwarded
+// reference as usual. Payloads from frameless receives fall back to
+// re-owning the bytes in a pooled frame.
 func (d *Dispatcher) Forward(to Addr, payload []byte) error {
+	if f := d.recvFrame; f != nil {
+		if b := f.Bytes(); len(payload) == len(b) && (len(b) == 0 || &payload[0] == &b[0]) {
+			f.Retain()
+			return d.tr.SendFrame(to, f)
+		}
+	}
 	return d.tr.SendFrame(to, protocol.CopyFrame(payload))
 }

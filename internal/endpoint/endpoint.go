@@ -23,6 +23,29 @@ type Receiver interface {
 	Receive(from Addr, payload []byte)
 }
 
+// FrameReceiver is an optional Receiver extension for transports that hold
+// inbound bytes in refcounted frames (netsim SendFrame deliveries, the TCP
+// read path). The frame is borrowed exactly like a Receive payload — the
+// transport releases its reference when the call returns — but the receiver
+// may Retain it to keep or forward the bytes without a copy. This is the
+// retainable receive-frame handle the relay's zero-copy upstream forward
+// rides on.
+type FrameReceiver interface {
+	Receiver
+	ReceiveFrame(from Addr, f *protocol.Frame)
+}
+
+// Batcher is an optional Transport extension for backends with a per-peer
+// write queue (the TCP mesh). Between BeginBatch and FlushBatch, SendFrame
+// queues frames instead of flushing each one to its socket; FlushBatch
+// drains every touched connection with one vectored write each — one flush
+// per tick per conn, the way Room.tick batches. Transports without the
+// extension flush per send as before, and callers must tolerate both.
+type Batcher interface {
+	BeginBatch()
+	FlushBatch() error
+}
+
 // Transport moves encoded protocol frames between endpoints.
 //
 // Frame ownership at this boundary follows one rule: SendFrame consumes

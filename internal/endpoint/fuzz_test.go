@@ -37,6 +37,11 @@ func FuzzDispatch(f *testing.F) {
 		&protocol.Pong{Nonce: 42, SentAt: time.Second},
 		&protocol.PoseUpdate{Participant: 2, Seq: 1},
 		&protocol.AudioFrame{Participant: 2, Seq: 1, Data: []byte{1, 2}},
+		// TCP-mesh handshake traffic: a Hello/HelloAck that leaks onto a
+		// bound endpoint must route through the fallback/unhandled path
+		// without panicking or leaking frames.
+		&protocol.Hello{Participant: 5, Role: protocol.RoleLearner, Name: "edge-a"},
+		&protocol.HelloAck{Participant: 5, TickRateHz: 30, ServerTick: 7},
 	}
 	for _, msg := range seeds {
 		frame, err := protocol.Encode(msg)

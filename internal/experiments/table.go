@@ -83,5 +83,6 @@ func All() []Runner {
 		{"E8", E8Sickness},
 		{"E9", E9DeadReckoning},
 		{"E10", E10Fusion},
+		{"E11", E11Churn},
 	}
 }

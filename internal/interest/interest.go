@@ -261,6 +261,15 @@ func NewSet() *Set {
 	return &Set{allowed: make(map[protocol.ParticipantID]bool)}
 }
 
+// Reset clears the set for reuse by another receiver (the node runtime pools
+// per-client sets across join/leave churn). The allowed map keeps its
+// capacity; the tick marker rewinds so the next Refresh rebuilds.
+func (s *Set) Reset() {
+	clear(s.allowed)
+	s.allowAll = false
+	s.tick = 0
+}
+
 // Refresh rebuilds the set for receiver recv at tick, at most once per tick
 // (ticks start at 1; zero means never built). While recv is not indexed in
 // g the set admits everything — a just-joined receiver needs the full world

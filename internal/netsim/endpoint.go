@@ -31,12 +31,32 @@ func (e *Endpoint) SendFrame(to endpoint.Addr, f *protocol.Frame) error {
 	return e.n.SendFrame(e.addr, Addr(to), f)
 }
 
+// receiverHandler adapts an endpoint.Receiver to the fabric's Handler
+// surface. When the receiver understands frames, frame-backed deliveries are
+// handed over with the retainable handle; raw Send deliveries and plain
+// receivers keep the borrowed-payload path.
+type receiverHandler struct {
+	r  endpoint.Receiver
+	fr endpoint.FrameReceiver // r's FrameReceiver view, nil if unsupported
+}
+
+func (h *receiverHandler) HandleMessage(from Addr, payload []byte) {
+	h.r.Receive(endpoint.Addr(from), payload)
+}
+
+func (h *receiverHandler) HandleFrame(from Addr, f *protocol.Frame) {
+	if h.fr != nil {
+		h.fr.ReceiveFrame(endpoint.Addr(from), f)
+		return
+	}
+	h.r.Receive(endpoint.Addr(from), f.Bytes())
+}
+
 // Bind implements endpoint.Transport: it registers (or rebinds) the host and
 // forwards deliveries to r with the borrowed-payload contract unchanged.
 func (e *Endpoint) Bind(r endpoint.Receiver) error {
-	h := HandlerFunc(func(from Addr, payload []byte) {
-		r.Receive(endpoint.Addr(from), payload)
-	})
+	h := &receiverHandler{r: r}
+	h.fr, _ = r.(endpoint.FrameReceiver)
 	if !e.n.HasHost(e.addr) {
 		return e.n.AddHost(e.addr, h)
 	}

@@ -52,6 +52,18 @@ type HandlerFunc func(from Addr, payload []byte)
 // HandleMessage implements Handler.
 func (f HandlerFunc) HandleMessage(from Addr, payload []byte) { f(from, payload) }
 
+// FrameHandler is an optional extension of Handler for receivers that want
+// the refcounted frame behind a SendFrame delivery (the retainable
+// receive-frame handle). The frame is borrowed for the duration of the call —
+// the network still releases its delivery reference when the handler returns
+// — so a handler that wants to keep or forward the bytes zero-copy must
+// Retain the frame and release its own reference later. Raw Send deliveries
+// have no frame and always arrive via HandleMessage.
+type FrameHandler interface {
+	Handler
+	HandleFrame(from Addr, f *protocol.Frame)
+}
+
 // LinkConfig describes one direction of a point-to-point path.
 type LinkConfig struct {
 	// Latency is the one-way propagation delay.
@@ -101,7 +113,15 @@ type link struct {
 type host struct {
 	addr    Addr
 	handler Handler
-	links   map[Addr]*link // destination -> link
+	// frameHandler is handler's FrameHandler view, asserted once at Bind so
+	// the per-delivery dispatch is a nil check, not a type switch.
+	frameHandler FrameHandler
+	links        map[Addr]*link // destination -> link
+}
+
+func (h *host) bind(hd Handler) {
+	h.handler = hd
+	h.frameHandler, _ = hd.(FrameHandler)
 }
 
 // delivery is the in-flight state of one Send, recycled through the
@@ -132,10 +152,11 @@ func runDelivery(a any) {
 		d.l.queued -= d.size
 	}
 	n := d.n
-	n.deliver(d.src, d.dst, d.payload, d.sentAt)
+	n.deliver(d.src, d.dst, d.payload, d.frame, d.sentAt)
 	if d.frame != nil {
 		// The handler has returned (or the network is closed): the
 		// delivery's reference — and with it the payload bytes — goes back.
+		// A handler that retained the frame keeps it alive past this point.
 		d.frame.ReleaseGen(d.frameGen)
 		d.frame = nil
 	}
@@ -168,7 +189,9 @@ func (n *Network) AddHost(addr Addr, h Handler) error {
 	if _, ok := n.hosts[addr]; ok {
 		return fmt.Errorf("%w: %s", ErrHostExists, addr)
 	}
-	n.hosts[addr] = &host{addr: addr, handler: h, links: make(map[Addr]*link)}
+	hst := &host{addr: addr, links: make(map[Addr]*link)}
+	hst.bind(h)
+	n.hosts[addr] = hst
 	return nil
 }
 
@@ -178,7 +201,7 @@ func (n *Network) Bind(addr Addr, h Handler) error {
 	if !ok {
 		return fmt.Errorf("%w: %s", ErrUnknownHost, addr)
 	}
-	hst.handler = h
+	hst.bind(h)
 	return nil
 }
 
@@ -342,7 +365,7 @@ func (n *Network) send(src, dst Addr, payload []byte, f *protocol.Frame, gen uin
 	return nil
 }
 
-func (n *Network) deliver(src, dst Addr, payload []byte, sentAt time.Duration) {
+func (n *Network) deliver(src, dst Addr, payload []byte, f *protocol.Frame, sentAt time.Duration) {
 	if n.closed {
 		return
 	}
@@ -352,6 +375,10 @@ func (n *Network) deliver(src, dst Addr, payload []byte, sentAt time.Duration) {
 	}
 	n.delivered.Inc()
 	n.latency.Observe(n.sim.Now() - sentAt)
+	if f != nil && d.frameHandler != nil {
+		d.frameHandler.HandleFrame(src, f)
+		return
+	}
 	d.handler.HandleMessage(src, payload)
 }
 

@@ -1,0 +1,196 @@
+package node
+
+import (
+	"testing"
+	"time"
+
+	"metaclass/internal/endpoint"
+	"metaclass/internal/interest"
+	"metaclass/internal/protocol"
+	"metaclass/internal/vclock"
+)
+
+// sinkTransport consumes sends, releasing each frame per the Transport
+// contract.
+type sinkTransport struct {
+	addr endpoint.Addr
+	sent int
+}
+
+func (s *sinkTransport) SendFrame(_ endpoint.Addr, f *protocol.Frame) error {
+	f.Release()
+	s.sent++
+	return nil
+}
+func (s *sinkTransport) LocalAddr() endpoint.Addr       { return s.addr }
+func (s *sinkTransport) Bind(r endpoint.Receiver) error { return nil }
+func (s *sinkTransport) Close() error                   { return nil }
+
+func newRuntime(t *testing.T, cfg Config) (*Runtime, *sinkTransport) {
+	t.Helper()
+	tr := &sinkTransport{addr: "node"}
+	rt, err := New(vclock.New(1), tr, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rt, tr
+}
+
+func TestRuntimeClientLifecycle(t *testing.T) {
+	rt, _ := newRuntime(t, Config{Interest: interest.NewPolicy()})
+	if err := rt.AddClient(1, "c1"); err != nil {
+		t.Fatal(err)
+	}
+	if err := rt.AddClient(1, "c1"); err == nil {
+		t.Fatal("duplicate client accepted")
+	}
+	if err := rt.RegisterClient(2, "relay"); err != nil {
+		t.Fatal(err)
+	}
+	if rt.ClientCount() != 2 {
+		t.Fatalf("ClientCount = %d, want 2", rt.ClientCount())
+	}
+	if !rt.Replicator().HasPeer("c1") {
+		t.Fatal("replicated client has no replicator peer")
+	}
+	if rt.Replicator().HasPeer("relay") {
+		t.Fatal("passive client registered a replicator peer")
+	}
+	addr, err := rt.RemoveClient(1)
+	if err != nil || addr != "c1" {
+		t.Fatalf("RemoveClient = %q, %v", addr, err)
+	}
+	if rt.Replicator().HasPeer("c1") {
+		t.Fatal("replicator peer survived removal")
+	}
+	if _, err := rt.RemoveClient(1); err == nil {
+		t.Fatal("double remove accepted")
+	}
+	if _, err := rt.RemoveClient(2); err != nil {
+		t.Fatal(err)
+	}
+	if rt.ClientCount() != 0 {
+		t.Fatalf("ClientCount = %d after removals", rt.ClientCount())
+	}
+}
+
+// TestRuntimeOnboardingAllocationFlat pins the pooled onboarding path: after
+// warm-up, a join/leave cycle (client table + interest set + replicator peer
+// state + first-snapshot scratch) performs no steady-state allocations
+// beyond map bookkeeping.
+func TestRuntimeOnboardingAllocationFlat(t *testing.T) {
+	rt, _ := newRuntime(t, Config{Interest: interest.NewPolicy()})
+	// World content so the first snapshot per join is non-trivial.
+	rt.Store().BeginTick()
+	for i := 1; i <= 32; i++ {
+		rt.Store().Upsert(protocol.EntityState{Participant: protocol.ParticipantID(100 + i)})
+	}
+	cycle := func() {
+		if err := rt.AddClient(7, "c7"); err != nil {
+			t.Fatal(err)
+		}
+		rt.Store().BeginTick()
+		rt.Dispatcher().Fanout(rt.Replicator().PlanTick())
+		if _, err := rt.RemoveClient(7); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 8; i++ {
+		cycle() // warm the pools
+	}
+	if allocs := testing.AllocsPerRun(200, cycle); allocs > 3 {
+		t.Fatalf("join/tick/leave cycle allocates %.1f objects/op, want ~0", allocs)
+	}
+}
+
+func TestRuntimeSyncPeerAddrsSortedAndAckPolicy(t *testing.T) {
+	rt, _ := newRuntime(t, Config{})
+	for _, a := range []endpoint.Addr{"zeta", "alpha", "mid"} {
+		if _, err := rt.ConnectReplica(a, "age"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	addrs := rt.SyncPeerAddrs()
+	for i := 1; i < len(addrs); i++ {
+		if addrs[i-1] >= addrs[i] {
+			t.Fatalf("peer addrs not sorted: %v", addrs)
+		}
+	}
+	// alpha is also a replication peer; zeta is a pure sync source (a
+	// relay's upstream shape): its acks are unhandled, not unknown.
+	if err := rt.Replicate("alpha", nil); err != nil {
+		t.Fatal(err)
+	}
+	ack, err := protocol.Encode(&protocol.Ack{Tick: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt.Dispatcher().Receive("zeta", ack)
+	if got := rt.Metrics().Counter("recv.unhandled").Value(); got != 1 {
+		t.Fatalf("upstream ack unhandled = %d, want 1", got)
+	}
+	if got := rt.Metrics().Counter("recv.unknown_peer").Value(); got != 0 {
+		t.Fatalf("upstream ack counted unknown_peer = %d", got)
+	}
+	rt.Dispatcher().Receive("stranger", ack)
+	if got := rt.Metrics().Counter("recv.unknown_peer").Value(); got != 1 {
+		t.Fatalf("stranger ack unknown_peer = %d, want 1", got)
+	}
+}
+
+func TestRuntimeMirrorPeersRetention(t *testing.T) {
+	rt, _ := newRuntime(t, Config{})
+	p, err := rt.ConnectReplica("up", "age")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The peer's replica authors entity 1; the runtime authors entity 2
+	// locally (Home 0) and entity 3 that the upstream no longer carries.
+	p.Replica.Store().BeginTick()
+	p.Replica.Store().Upsert(protocol.EntityState{Participant: 1, Home: 5})
+	rt.Store().BeginTick()
+	rt.Store().Upsert(protocol.EntityState{Participant: 2, Home: 0})
+	rt.Store().Upsert(protocol.EntityState{Participant: 3, Home: 5})
+	rt.MirrorPeers(func(e protocol.EntityState) bool { return e.Home == 0 })
+	for id, want := range map[protocol.ParticipantID]bool{1: true, 2: true, 3: false} {
+		if _, ok := rt.Store().Get(id); ok != want {
+			t.Errorf("entity %d present=%v, want %v", id, ok, want)
+		}
+	}
+	// Without retention, locally-authored entities are culled too.
+	rt.Store().Upsert(protocol.EntityState{Participant: 2, Home: 0})
+	rt.MirrorPeers(nil)
+	if _, ok := rt.Store().Get(2); ok {
+		t.Error("nil retention kept an absent entity")
+	}
+}
+
+func TestRuntimeStartStop(t *testing.T) {
+	rt, tr := newRuntime(t, Config{TickHz: 10})
+	ticks := 0
+	if err := rt.Start(func() { ticks++ }); err != nil {
+		t.Fatal(err)
+	}
+	if err := rt.Start(nil); err == nil {
+		t.Fatal("double start accepted")
+	}
+	if err := rt.Replicate("peer", nil); err != nil {
+		t.Fatal(err)
+	}
+	rt.Store().BeginTick()
+	rt.Store().Upsert(protocol.EntityState{Participant: 1})
+	if err := rt.Sim().Run(time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if ticks != 10 {
+		t.Fatalf("onTick ran %d times, want 10", ticks)
+	}
+	if tr.sent == 0 {
+		t.Fatal("tick loop never fanned out")
+	}
+	rt.Stop()
+	rt.Stop() // idempotent
+	if rt.Started() {
+		t.Fatal("Started after Stop")
+	}
+}

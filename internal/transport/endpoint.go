@@ -44,6 +44,15 @@ type Endpoint struct {
 	all    map[*Conn]struct{} // every live conn, named or mid-handshake
 	closed bool
 	recv   endpoint.Receiver
+	// recvFrames is recv's FrameReceiver view (nil if unsupported): inbound
+	// frames are handed over retainably instead of as borrowed bytes.
+	recvFrames endpoint.FrameReceiver
+	// batching, when true, makes SendFrame queue without flushing; dirty
+	// tracks the connections touched since BeginBatch, each flushed once by
+	// FlushBatch (one vectored write per conn per tick, like Room.tick).
+	batching     bool
+	dirty        map[endpoint.Addr]*Conn
+	flushScratch []flushEntry
 
 	inbox     chan inbound
 	done      chan struct{}
@@ -63,6 +72,7 @@ func ListenEndpoint(name endpoint.Addr, tcpAddr string) (*Endpoint, error) {
 		ln:    ln,
 		conns: make(map[endpoint.Addr]*Conn),
 		all:   make(map[*Conn]struct{}),
+		dirty: make(map[endpoint.Addr]*Conn),
 		inbox: make(chan inbound, 256),
 		done:  make(chan struct{}),
 	}
@@ -221,22 +231,32 @@ func (e *Endpoint) LocalAddr() endpoint.Addr { return e.addr }
 func (e *Endpoint) Bind(r endpoint.Receiver) error {
 	e.mu.Lock()
 	e.recv = r
+	e.recvFrames, _ = r.(endpoint.FrameReceiver)
 	e.mu.Unlock()
 	return nil
 }
 
 // SendFrame implements endpoint.Transport: the frame is queued on the peer's
 // connection and flushed with a vectored write sharing the frame's bytes —
-// no copy — consuming exactly one caller reference on every outcome.
+// no copy — consuming exactly one caller reference on every outcome. Inside
+// a BeginBatch/FlushBatch window the flush is deferred, so a tick's whole
+// fan-out (and a pump's burst of acks) hits each socket once.
 func (e *Endpoint) SendFrame(to endpoint.Addr, f *protocol.Frame) error {
 	e.mu.Lock()
 	c := e.conns[to]
+	batched := e.batching
+	if c != nil && batched {
+		e.dirty[to] = c
+	}
 	e.mu.Unlock()
 	if c == nil {
 		f.Release()
 		return fmt.Errorf("%w: %s", ErrUnknownPeer, to)
 	}
 	c.QueueFrame(f)
+	if batched {
+		return nil
+	}
 	if err := c.Flush(); err != nil {
 		e.dropConn(to, c)
 		return err
@@ -244,10 +264,58 @@ func (e *Endpoint) SendFrame(to endpoint.Addr, f *protocol.Frame) error {
 	return nil
 }
 
+// BeginBatch implements endpoint.Batcher: subsequent SendFrames queue
+// without flushing until FlushBatch.
+func (e *Endpoint) BeginBatch() {
+	e.mu.Lock()
+	e.batching = true
+	e.mu.Unlock()
+}
+
+// FlushBatch implements endpoint.Batcher: every connection touched since
+// BeginBatch is flushed with one vectored write; failing connections are
+// dropped. Returns the first flush error.
+func (e *Endpoint) FlushBatch() error {
+	e.mu.Lock()
+	e.batching = false
+	if len(e.dirty) == 0 {
+		e.mu.Unlock()
+		return nil
+	}
+	scratch := e.flushScratch[:0]
+	for to, c := range e.dirty {
+		scratch = append(scratch, flushEntry{to: to, c: c})
+		delete(e.dirty, to)
+	}
+	e.mu.Unlock()
+	var first error
+	for i, d := range scratch {
+		if err := d.c.Flush(); err != nil {
+			e.dropConn(d.to, d.c)
+			if first == nil {
+				first = err
+			}
+		}
+		scratch[i] = flushEntry{} // no conn refs parked in the scratch
+	}
+	e.mu.Lock()
+	e.flushScratch = scratch[:0]
+	e.mu.Unlock()
+	return first
+}
+
+// flushEntry is one touched connection in a write batch.
+type flushEntry struct {
+	to endpoint.Addr
+	c  *Conn
+}
+
 // Pump dispatches queued inbound messages to the bound receiver until the
 // inbox is empty, returning the number dispatched. Call from the goroutine
-// that owns the node.
+// that owns the node. Replies the receiver sends while dispatching (acks,
+// pongs, forwards) are batched and flushed once per pump, not per message.
 func (e *Endpoint) Pump() int {
+	e.BeginBatch()
 	n := 0
 	for {
 		select {
@@ -255,6 +323,7 @@ func (e *Endpoint) Pump() int {
 			e.dispatch(in)
 			n++
 		default:
+			_ = e.FlushBatch()
 			return n
 		}
 	}
@@ -267,6 +336,10 @@ func (e *Endpoint) PumpWait(timeout time.Duration) int {
 	defer t.Stop()
 	select {
 	case in := <-e.inbox:
+		// Open the batch window before the first dispatch so its replies
+		// batch with the drain's; Pump re-arms the (idempotent) flag and
+		// flushes everything queued since.
+		e.BeginBatch()
 		e.dispatch(in)
 		return 1 + e.Pump()
 	case <-t.C:
@@ -278,9 +351,14 @@ func (e *Endpoint) PumpWait(timeout time.Duration) int {
 
 func (e *Endpoint) dispatch(in inbound) {
 	e.mu.Lock()
-	r := e.recv
+	r, fr := e.recv, e.recvFrames
 	e.mu.Unlock()
-	if r != nil {
+	switch {
+	case fr != nil:
+		// Retainable handle: the receiver may keep or forward the frame
+		// zero-copy; our inbox reference is still released below.
+		fr.ReceiveFrame(in.from, in.frame)
+	case r != nil:
 		r.Receive(in.from, in.frame.Bytes())
 	}
 	in.frame.Release()

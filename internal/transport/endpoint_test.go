@@ -138,3 +138,74 @@ func TestEndpointRoundTrip(t *testing.T) {
 type recvFunc func(from endpoint.Addr, payload []byte)
 
 func (f recvFunc) Receive(from endpoint.Addr, payload []byte) { f(from, payload) }
+
+// TestLeaveWhileFramesQueuedReleasesFrames is the FrameAccounting regression
+// gate for the leave-while-frames-queued race: a peer departs while a write
+// batch is still queued on its connection. Whether the batch is flushed into
+// a dead socket, dropped by closing the connection, or stranded by closing
+// the whole endpoint mid-batch, every queued reference must be released
+// exactly once.
+func TestLeaveWhileFramesQueuedReleasesFrames(t *testing.T) {
+	queueTwo := func(t *testing.T, srv *Endpoint) {
+		t.Helper()
+		srv.BeginBatch()
+		for n := uint64(1); n <= 2; n++ {
+			f, err := protocol.EncodeFrame(&protocol.Ping{Nonce: n})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := srv.SendFrame("cli", f); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	dialPair := func(t *testing.T) (srv, cli *Endpoint) {
+		t.Helper()
+		srv, err := ListenEndpoint("srv", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		cli, err = ListenEndpoint("cli", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := cli.Dial("srv", srv.TCPAddr()); err != nil {
+			t.Fatal(err)
+		}
+		return srv, cli
+	}
+
+	t.Run("flush-after-peer-left", func(t *testing.T) {
+		live0 := protocol.LiveFrames()
+		srv, cli := dialPair(t)
+		queueTwo(t, srv)
+		// The peer leaves with the batch still queued; the flush either lands
+		// in a dying socket or errors — both must release the batch.
+		if err := cli.Close(); err != nil {
+			t.Fatal(err)
+		}
+		_ = srv.FlushBatch()
+		if err := srv.Close(); err != nil {
+			t.Fatal(err)
+		}
+		if live := protocol.LiveFrames(); live != live0 {
+			t.Fatalf("%d frames leaked flushing to a departed peer", live-live0)
+		}
+	})
+	t.Run("close-with-batch-queued", func(t *testing.T) {
+		live0 := protocol.LiveFrames()
+		srv, cli := dialPair(t)
+		queueTwo(t, srv)
+		// No flush at all: endpoint shutdown must release the queued batch
+		// via the connection teardown.
+		if err := srv.Close(); err != nil {
+			t.Fatal(err)
+		}
+		if err := cli.Close(); err != nil {
+			t.Fatal(err)
+		}
+		if live := protocol.LiveFrames(); live != live0 {
+			t.Fatalf("%d frames leaked closing with a queued batch", live-live0)
+		}
+	})
+}

@@ -18,25 +18,43 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-# e4_allocs FILE — extract E4Scale's allocs_per_op from a BENCH json.
-e4_allocs() {
-    sed -n 's/.*"name": "E4Scale".*"allocs_per_op": \([0-9][0-9]*\).*/\1/p' "$1"
+# allocs_of FILE NAME — extract NAME's allocs_per_op from a BENCH json.
+allocs_of() {
+    sed -n 's|.*"name": "'"$2"'".*"allocs_per_op": \([0-9][0-9]*\).*|\1|p' "$1"
 }
 
-# compare_allocs OLD NEW — fail when E4Scale allocs/op regressed >5%.
-compare_allocs() {
-    local old_file="$1" new_file="$2" old new
-    old="$(e4_allocs "$old_file")"
-    new="$(e4_allocs "$new_file")"
-    if [[ -z "$old" || -z "$new" ]]; then
-        echo "bench.sh: missing E4Scale allocs_per_op in $old_file or $new_file" >&2
+# gate_allocs NAME OLD NEW REQUIRED — fail when NAME's allocs/op regressed
+# >5%. With REQUIRED=optional the gate is skipped (with a notice) when the
+# old file predates the benchmark.
+gate_allocs() {
+    local name="$1" old_file="$2" new_file="$3" required="$4" old new
+    old="$(allocs_of "$old_file" "$name")"
+    new="$(allocs_of "$new_file" "$name")"
+    if [[ -z "$new" ]]; then
+        echo "bench.sh: missing $name allocs_per_op in $new_file" >&2
         exit 1
     fi
-    echo "E4Scale allocs/op: $old ($old_file) -> $new ($new_file)" >&2
+    if [[ -z "$old" ]]; then
+        if [[ "$required" == "optional" ]]; then
+            echo "bench.sh: note — $old_file has no $name baseline; gate skipped" >&2
+            return 0
+        fi
+        echo "bench.sh: missing $name allocs_per_op in $old_file" >&2
+        exit 1
+    fi
+    echo "$name allocs/op: $old ($old_file) -> $new ($new_file)" >&2
     if ! awk -v o="$old" -v n="$new" 'BEGIN { exit !(n <= o * 1.05) }'; then
-        echo "bench.sh: FAIL — E4Scale allocs/op regressed >5% ($old -> $new)" >&2
+        echo "bench.sh: FAIL — $name allocs/op regressed >5% ($old -> $new)" >&2
         exit 1
     fi
+}
+
+# compare_allocs OLD NEW — fail when E4Scale or the onboarding storm bench
+# regressed >5% in allocs/op. (Onboard joined the suite with BENCH_5.json;
+# older baselines skip its gate.)
+compare_allocs() {
+    gate_allocs "E4Scale" "$1" "$2" required
+    gate_allocs "Onboard/storm=64" "$1" "$2" optional
     echo "bench.sh: OK — within the 5% allocation budget" >&2
 }
 
@@ -80,7 +98,7 @@ fi
 RAW="$(mktemp)"
 trap 'rm -f "$RAW" $TMP_OUT' EXIT
 
-go test -bench 'BenchmarkE[0-9]' -benchmem -run '^$' ${BENCHTIME:+-benchtime "$BENCHTIME"} . | tee "$RAW" >&2
+go test -bench 'BenchmarkE[0-9]|BenchmarkOnboard' -benchmem -run '^$' ${BENCHTIME:+-benchtime "$BENCHTIME"} . | tee "$RAW" >&2
 
 awk -v goversion="$(go version | awk '{print $3}')" '
 BEGIN { n = 0 }
@@ -110,9 +128,9 @@ BEGIN { n = 0 }
 }
 END {
     print "{"
-    printf "  \"suite\": \"E1-E10 root benchmarks\",\n"
+    printf "  \"suite\": \"E1-E11 + onboarding root benchmarks\",\n"
     printf "  \"go\": \"%s\",\n", goversion
-    printf "  \"command\": \"go test -bench BenchmarkE[0-9] -benchmem -run ^$ .\",\n"
+    printf "  \"command\": \"go test -bench BenchmarkE[0-9]|BenchmarkOnboard -benchmem -run ^$ .\",\n"
     print  "  \"benchmarks\": ["
     for (i = 0; i < n; i++) print bench[i] (i < n - 1 ? "," : "")
     print "  ]"
