@@ -14,10 +14,12 @@ import (
 	"time"
 
 	"metaclass/classroom"
+	"metaclass/internal/core"
 	"metaclass/internal/endpoint"
 	"metaclass/internal/experiments"
 	"metaclass/internal/fusion"
 	"metaclass/internal/mathx"
+	"metaclass/internal/metrics"
 	"metaclass/internal/netsim"
 	"metaclass/internal/pose"
 	"metaclass/internal/protocol"
@@ -27,6 +29,7 @@ import (
 	"metaclass/internal/trace"
 	"metaclass/internal/vclock"
 	"metaclass/internal/video"
+	"metaclass/internal/work"
 )
 
 // benchSeed keeps benchmark workloads deterministic run to run.
@@ -461,4 +464,146 @@ func buildBenchDeployment(b *testing.B, localsPerCampus, remotes int) (*classroo
 		}
 	}
 	return d, gz
+}
+
+// sinkTransport is a Transport that counts and releases every frame — the
+// minimal backend for benchmarking the fan-out encode path with no
+// simulated network in the way.
+type sinkTransport struct{ frames, bytes uint64 }
+
+func (s *sinkTransport) SendFrame(_ endpoint.Addr, f *protocol.Frame) error {
+	s.frames++
+	s.bytes += uint64(f.Len())
+	f.Release()
+	return nil
+}
+func (s *sinkTransport) LocalAddr() endpoint.Addr     { return "bench-sink" }
+func (s *sinkTransport) Bind(endpoint.Receiver) error { return nil }
+func (s *sinkTransport) Close() error                 { return nil }
+
+func benchEntity(id int, x float64) protocol.EntityState {
+	return protocol.EntityState{
+		Participant: protocol.ParticipantID(id),
+		Pose:        protocol.QuantizePose(mathx.V3(x, 0, x*0.5), mathx.QuatIdentity()),
+	}
+}
+
+// buildPlanFixture assembles a store and replicator loaded like a busy cloud
+// tick — 192 entities and 96 peers, a third interest-filtered (per-peer
+// builds and singleton cohorts) and the rest unfiltered across six distinct
+// ack baselines (shared delta cohorts) — pre-warmed past first-contact
+// snapshots. step advances one tick: churn a quarter of the entities and
+// re-ack every peer at its fixed lag, so each iteration plans the same
+// amount of work.
+func buildPlanFixture(b *testing.B, pool *work.Pool) (*core.Replicator, func()) {
+	b.Helper()
+	s := core.NewStore()
+	r := core.NewReplicator(s, core.ReplConfig{Pool: pool})
+	evens := func(id protocol.ParticipantID, _ uint64) bool { return id%2 == 0 }
+	thirds := func(id protocol.ParticipantID, _ uint64) bool { return id%3 != 0 }
+	for i := 0; i < 96; i++ {
+		var f core.FilterFunc
+		if i%3 == 0 {
+			if i%2 == 0 {
+				f = evens
+			} else {
+				f = thirds
+			}
+		}
+		if err := r.AddPeer(fmt.Sprintf("peer-%03d", i), f); err != nil {
+			b.Fatal(err)
+		}
+	}
+	var peerBuf []string
+	ack := func() {
+		peerBuf = r.PeersAppend(peerBuf[:0])
+		tick := s.Tick()
+		for i, id := range peerBuf {
+			lag := uint64(i%6) * 2
+			if tick > lag {
+				if err := r.Ack(id, tick-lag); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	}
+	step := func() {
+		s.BeginTick()
+		tick := s.Tick()
+		for i := 0; i < 48; i++ {
+			id := 1 + int((tick*7+uint64(i)*11)%192)
+			s.Upsert(benchEntity(id, float64((tick+uint64(i))%40)))
+		}
+		ack()
+	}
+	s.BeginTick()
+	for i := 1; i <= 192; i++ {
+		s.Upsert(benchEntity(i, float64(i%40)))
+	}
+	_ = r.PlanTick() // first-contact snapshots
+	ack()
+	for i := 0; i < 12; i++ { // settle into steady-state deltas
+		step()
+		_ = r.PlanTick()
+	}
+	return r, step
+}
+
+// BenchmarkPlanTick measures the replication planner alone at pool widths
+// 1, 2, and 4: width 1 is the serial legacy path; wider pools shard the
+// filtered per-peer and ack-cohort builds and pay only the deterministic
+// merge on top. The plan is byte-identical at every width (the
+// TestParallelPlanMatchesSerial contract), so ns/op is the only thing that
+// may move.
+func BenchmarkPlanTick(b *testing.B) {
+	for _, workers := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			pool := work.New(workers)
+			defer pool.Close()
+			r, step := buildPlanFixture(b, pool)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				step()
+				if plan := r.PlanTick(); len(plan) == 0 {
+					b.Fatal("empty plan")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkFanout measures the dispatcher's cohort encode + send walk over
+// a fixed ~40-cohort plan at pool widths 1, 2, and 4, against a sink
+// transport. Wider pools pre-encode the distinct cohorts in parallel; the
+// send walk stays in plan order on the caller.
+func BenchmarkFanout(b *testing.B) {
+	for _, workers := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			pool := work.New(workers)
+			defer pool.Close()
+			r, step := buildPlanFixture(b, pool)
+			sink := &sinkTransport{}
+			d, err := endpoint.NewDispatcher(sink, metrics.NewRegistry("bench"), endpoint.Config{Pool: pool})
+			if err != nil {
+				b.Fatal(err)
+			}
+			step()
+			plan := r.PlanTick()
+			if len(plan) == 0 {
+				b.Fatal("empty plan")
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				d.Fanout(plan)
+			}
+			b.StopTimer()
+			d.ReleaseFrames()
+			if sink.frames == 0 {
+				b.Fatal("fanout sent nothing")
+			}
+			b.ReportMetric(float64(sink.bytes)/float64(b.N), "bytes/op")
+		})
+	}
 }

@@ -79,6 +79,10 @@ type Config struct {
 	HeadsetHz float64
 	// RoomSensorCount is the per-campus sensor array size (default 4).
 	RoomSensorCount int
+	// Parallelism bounds every node's tick worker pool (see
+	// node.Config.Parallelism): 0 means GOMAXPROCS, 1 the exact
+	// single-threaded legacy path. Results are identical at every width.
+	Parallelism int
 }
 
 func (c *Config) applyDefaults() {
@@ -129,6 +133,7 @@ func NewDeployment(cfg Config) (*Deployment, error) {
 		TickHz:      cfg.TickHz,
 		InterpDelay: cfg.InterpDelay,
 		Interest:    pol,
+		Parallelism: cfg.Parallelism,
 	})
 	if err != nil {
 		return nil, err
@@ -195,6 +200,7 @@ func (d *Deployment) AddCampus(name string, id ClassroomID) (*Campus, error) {
 		Classroom:   id,
 		TickHz:      d.cfg.TickHz,
 		InterpDelay: d.cfg.InterpDelay,
+		Parallelism: d.cfg.Parallelism,
 	})
 	if err != nil {
 		return nil, err
@@ -342,6 +348,7 @@ func (d *Deployment) AddRelay(name string, link netsim.LinkConfig) (*cloud.Relay
 		Upstream:    d.cloud.Addr(),
 		TickHz:      d.cfg.TickHz,
 		InterpDelay: d.cfg.InterpDelay,
+		Parallelism: d.cfg.Parallelism,
 	})
 	if err != nil {
 		return nil, err

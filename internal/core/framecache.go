@@ -1,10 +1,18 @@
 package core
 
-import "metaclass/internal/protocol"
+import (
+	"metaclass/internal/protocol"
+	"metaclass/internal/work"
+)
 
 // encodeFailed marks a cohort whose payload could not be encoded; it is
-// only ever compared by pointer, never used as a frame.
-var encodeFailed = &protocol.Frame{}
+// only ever compared by pointer, never used as a frame. encodePending
+// reserves a slot inside EncodePlan so each cohort is queued exactly once;
+// pool runs are synchronous, so it never survives past EncodePlan's return.
+var (
+	encodeFailed  = &protocol.Frame{}
+	encodePending = &protocol.Frame{}
+)
 
 // FrameCache turns a PlanTick result into refcounted wire frames, encoding
 // each distinct cohort payload exactly once per tick and handing the
@@ -14,6 +22,19 @@ var encodeFailed = &protocol.Frame{}
 // slowest in-flight copy needs them and then return to the frame pool.
 type FrameCache struct {
 	frames []*protocol.Frame
+
+	// Parallel-encode scratch (see EncodePlan): the distinct cohorts of the
+	// plan being encoded and the hoisted job body, built once so pool runs
+	// allocate nothing.
+	jobs []encodeJob
+	fn   func(worker, i int)
+}
+
+// encodeJob is one cohort's encode: the payload and the frame-table slot it
+// fills. Slots are distinct per job, so jobs run concurrently.
+type encodeJob struct {
+	msg    protocol.Message
+	cohort int
 }
 
 // Reset releases the cache's base reference on every cohort frame and
@@ -22,7 +43,7 @@ type FrameCache struct {
 // frames are not pinned forever).
 func (c *FrameCache) Reset() {
 	for i, f := range c.frames {
-		if f != nil && f != encodeFailed {
+		if f != nil && f != encodeFailed && f != encodePending {
 			f.Release()
 		}
 		c.frames[i] = nil
@@ -53,4 +74,48 @@ func (c *FrameCache) FrameFor(pm PeerMessage) *protocol.Frame {
 	}
 	f.Retain()
 	return f
+}
+
+// EncodePlan pre-encodes every distinct cohort of plan across the pool's
+// workers, so the subsequent in-order FrameFor walk only retains cached
+// frames. Each job encodes into its own frame-table slot; EncodeFrame
+// itself is thread-safe (pooled frames, atomic refcounts). Cohorts whose
+// payload fails to encode get the failure sentinel, exactly as the lazy
+// path would — FrameFor still reports them as nil per recipient, and no
+// frame reference leaks. A nil or serial pool makes this a no-op: the lazy
+// single-threaded path is the legacy behavior.
+func (c *FrameCache) EncodePlan(plan []PeerMessage, pool *work.Pool) {
+	if !pool.Parallel() || len(plan) < 2 {
+		return
+	}
+	jobs := c.jobs[:0]
+	for _, pm := range plan {
+		for pm.Cohort >= len(c.frames) {
+			c.frames = append(c.frames, nil)
+		}
+		if c.frames[pm.Cohort] == nil {
+			c.frames[pm.Cohort] = encodePending
+			jobs = append(jobs, encodeJob{msg: pm.Msg, cohort: pm.Cohort})
+		}
+	}
+	c.jobs = jobs
+	if c.fn == nil {
+		c.fn = c.encodeJobAt
+	}
+	pool.Run(len(jobs), c.fn)
+	// Release payload references so plan messages are not pinned past the
+	// tick (the jobs slice is reused scratch).
+	for i := range c.jobs {
+		c.jobs[i].msg = nil
+	}
+}
+
+// encodeJobAt encodes one cohort's payload into its reserved slot.
+func (c *FrameCache) encodeJobAt(_, i int) {
+	j := &c.jobs[i]
+	f, err := protocol.EncodeFrame(j.msg)
+	if err != nil {
+		f = encodeFailed
+	}
+	c.frames[j.cohort] = f
 }

@@ -37,6 +37,7 @@ func TestFrameCacheRefcountsMatchRecipients(t *testing.T) {
 	}
 
 	var cache FrameCache
+	var peerScratch []string
 	for tick := 0; tick < 120; tick++ {
 		s.BeginTick()
 		for i := 0; i < 4; i++ {
@@ -78,7 +79,8 @@ func TestFrameCacheRefcountsMatchRecipients(t *testing.T) {
 			}
 		}
 		// Random subset of peers ack, creating mixed baselines next tick.
-		for _, id := range repl.Peers() {
+		peerScratch = repl.PeersAppend(peerScratch[:0])
+		for _, id := range peerScratch {
 			if rng.Float64() < 0.6 {
 				_ = repl.Ack(id, s.Tick())
 			}

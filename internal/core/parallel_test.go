@@ -1,0 +1,260 @@
+package core
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"metaclass/internal/protocol"
+	"metaclass/internal/work"
+)
+
+// driveParallelVsSerial churns two identically-mutated stores for many ticks
+// — one planned serially (nil pool), one planned on a parallel pool — with a
+// randomized mix of filtered peers, ack-cohort peers, a never-acking peer,
+// and membership churn, asserting every tick that the parallel plan is
+// byte-identical to the serial one: same peer order, same cohort numbering,
+// same encoded frames, and at the end the same per-peer counters. Run under
+// -race in CI, it is also the data-race probe for the concurrent builds.
+func driveParallelVsSerial(t *testing.T, workers, ticks int) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(int64(workers)*1000 + 17))
+	cfg := ReplConfig{MaxDeltaWindow: 30, SnapshotEvery: 70}
+	pcfg := cfg
+	pcfg.Pool = work.New(workers)
+	defer pcfg.Pool.Close()
+
+	sSer, sPar := NewStore(), NewStore()
+	rSer := NewReplicator(sSer, cfg)
+	rPar := NewReplicator(sPar, pcfg)
+
+	filters := []FilterFunc{
+		nil,
+		nil, // unfiltered peers dominate so ack-cohorts form
+		func(id protocol.ParticipantID, _ uint64) bool { return id%2 == 0 },
+		func(id protocol.ParticipantID, _ uint64) bool { return id%3 != 0 },
+		func(id protocol.ParticipantID, tick uint64) bool { return (uint64(id)+tick)%4 != 0 },
+	}
+	nPeers := 0
+	addPeer := func() string {
+		id := fmt.Sprintf("peer-%03d", nPeers)
+		f := filters[nPeers%len(filters)]
+		if err := rSer.AddPeer(id, f); err != nil {
+			t.Fatal(err)
+		}
+		if err := rPar.AddPeer(id, f); err != nil {
+			t.Fatal(err)
+		}
+		nPeers++
+		return id
+	}
+	for i := 0; i < 10; i++ {
+		addPeer()
+	}
+
+	var peerBuf []string
+	compared := 0
+	for tick := 0; tick < ticks; tick++ {
+		mutSeed := rng.Int63()
+		for _, s := range []*Store{sSer, sPar} {
+			mrng := rand.New(rand.NewSource(mutSeed))
+			s.BeginTick()
+			for i := 0; i < 6; i++ {
+				id := protocol.ParticipantID(mrng.Intn(48) + 1)
+				if mrng.Float64() < 0.12 {
+					s.Remove(id)
+				} else {
+					s.Upsert(ent(id, mrng.Float64()*20))
+				}
+			}
+		}
+		if tick%23 == 11 {
+			addPeer()
+		}
+		if tick%31 == 19 && nPeers > 4 {
+			victim := fmt.Sprintf("peer-%03d", rng.Intn(nPeers))
+			if rSer.HasPeer(victim) {
+				_ = rSer.RemovePeer(victim)
+				_ = rPar.RemovePeer(victim)
+			}
+		}
+
+		planSer := rSer.PlanTick()
+		planPar := rPar.PlanTick()
+		if len(planSer) != len(planPar) {
+			t.Fatalf("workers=%d tick %d: parallel planned %d messages, serial %d",
+				workers, tick, len(planPar), len(planSer))
+		}
+		for i := range planSer {
+			if planPar[i].Peer != planSer[i].Peer {
+				t.Fatalf("workers=%d tick %d msg %d: peer %s, serial %s",
+					workers, tick, i, planPar[i].Peer, planSer[i].Peer)
+			}
+			if planPar[i].Cohort != planSer[i].Cohort {
+				t.Fatalf("workers=%d tick %d msg %d (%s): cohort %d, serial %d",
+					workers, tick, i, planPar[i].Peer, planPar[i].Cohort, planSer[i].Cohort)
+			}
+			got, err := protocol.Encode(planPar[i].Msg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want, err := protocol.Encode(planSer[i].Msg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(got, want) {
+				t.Fatalf("workers=%d tick %d: frame to %s diverged from serial plan",
+					workers, tick, planPar[i].Peer)
+			}
+			compared++
+		}
+
+		// Mixed-cadence acks (peer index 0 never acks) keep several distinct
+		// ack baselines — and therefore several delta cohorts — live.
+		peerBuf = rSer.PeersAppend(peerBuf[:0])
+		for i, id := range peerBuf {
+			if i == 0 || tick%(i%5+2) != 0 {
+				continue
+			}
+			if err := rSer.Ack(id, sSer.Tick()); err != nil {
+				t.Fatal(err)
+			}
+			if err := rPar.Ack(id, sPar.Tick()); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if compared == 0 {
+		t.Fatal("test compared no messages")
+	}
+	for _, id := range rSer.Peers() {
+		ss, err := rSer.StatsOf(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sp, err := rPar.StatsOf(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ss != sp {
+			t.Fatalf("workers=%d: stats of %s diverged: parallel %+v, serial %+v", workers, id, sp, ss)
+		}
+	}
+}
+
+// TestParallelPlanMatchesSerial covers the deterministic-merge contract at
+// worker counts 1 (the exact legacy inline path), 2, and 8.
+func TestParallelPlanMatchesSerial(t *testing.T) {
+	for _, workers := range []int{1, 2, 8} {
+		t.Run(fmt.Sprintf("workers=%d", workers), func(t *testing.T) {
+			driveParallelVsSerial(t, workers, 240)
+		})
+	}
+}
+
+// TestParallelEncodeFailureLeaksNoFrames drives EncodePlan over a plan where
+// one cohort's payload exceeds protocol.MaxPayload: the failed cohort must
+// report nil per recipient (exactly like the lazy path), the healthy cohorts
+// must still share frames, and no pooled frame may leak.
+func TestParallelEncodeFailureLeaksNoFrames(t *testing.T) {
+	live0 := protocol.LiveFrames()
+	s := NewStore()
+	pool := work.New(4)
+	defer pool.Close()
+	r := NewReplicator(s, ReplConfig{Pool: pool})
+	// Peer "big" is filtered onto the oversized entity only, so its
+	// singleton cohort fails to encode while the broadcast cohort succeeds.
+	onlyBig := func(id protocol.ParticipantID, _ uint64) bool { return id == 999 }
+	notBig := func(id protocol.ParticipantID, _ uint64) bool { return id != 999 }
+	if err := r.AddPeer("big", onlyBig); err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range []string{"a", "b", "c"} {
+		if err := r.AddPeer(id, notBig); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	s.BeginTick()
+	s.Upsert(ent(1, 0))
+	huge := ent(999, 1)
+	huge.Expression = make([]byte, protocol.MaxPayload+1)
+	s.Upsert(huge)
+
+	plan := r.PlanTick()
+	if len(plan) != 4 {
+		t.Fatalf("planned %d messages, want 4", len(plan))
+	}
+	var cache FrameCache
+	cache.EncodePlan(plan, pool)
+	failed, sent := 0, 0
+	for _, pm := range plan {
+		f := cache.FrameFor(pm)
+		if pm.Peer == "big" {
+			if f != nil {
+				t.Fatal("oversized cohort encoded successfully")
+			}
+			failed++
+			continue
+		}
+		if f == nil {
+			t.Fatalf("healthy cohort for %s failed to encode", pm.Peer)
+		}
+		f.Release() // consume the recipient reference, as SendFrame would
+		sent++
+	}
+	if failed != 1 || sent != 3 {
+		t.Fatalf("failed=%d sent=%d, want 1/3", failed, sent)
+	}
+	cache.Reset()
+	if live := protocol.LiveFrames(); live != live0 {
+		t.Fatalf("%d frames leaked across a failed parallel encode", live-live0)
+	}
+}
+
+// TestParallelFanoutFramesMatchLazy encodes the same plan through EncodePlan
+// and through the lazy FrameFor-only path and checks the produced wire bytes
+// are identical frame for frame.
+func TestParallelFanoutFramesMatchLazy(t *testing.T) {
+	live0 := protocol.LiveFrames()
+	s := NewStore()
+	pool := work.New(4)
+	defer pool.Close()
+	r := NewReplicator(s, ReplConfig{Pool: pool})
+	evens := func(id protocol.ParticipantID, _ uint64) bool { return id%2 == 0 }
+	for i := 0; i < 6; i++ {
+		var f FilterFunc
+		if i%3 == 0 {
+			f = evens
+		}
+		if err := r.AddPeer(fmt.Sprintf("peer-%d", i), f); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s.BeginTick()
+	for i := 1; i <= 9; i++ {
+		s.Upsert(ent(protocol.ParticipantID(i), float64(i)))
+	}
+
+	plan := r.PlanTick()
+	var eager, lazy FrameCache
+	eager.EncodePlan(plan, pool)
+	for _, pm := range plan {
+		fe := eager.FrameFor(pm)
+		fl := lazy.FrameFor(pm)
+		if fe == nil || fl == nil {
+			t.Fatalf("encode failed for %s", pm.Peer)
+		}
+		if !bytes.Equal(fe.Bytes(), fl.Bytes()) {
+			t.Fatalf("parallel-encoded frame to %s differs from lazy encode", pm.Peer)
+		}
+		fe.Release()
+		fl.Release()
+	}
+	eager.Reset()
+	lazy.Reset()
+	if live := protocol.LiveFrames(); live != live0 {
+		t.Fatalf("%d frames leaked", live-live0)
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"sort"
 
 	"metaclass/internal/protocol"
+	"metaclass/internal/work"
 )
 
 // Replicator errors.
@@ -28,6 +29,18 @@ type ReplConfig struct {
 	// SnapshotEvery forces a periodic full snapshot even to healthy peers
 	// (0 disables). Keyframes bound the damage of undetected state skew.
 	SnapshotEvery uint64
+	// Pool shards PlanTick's independent builds — the filtered per-peer
+	// snapshots/deltas and the distinct ack-cohort deltas — across its
+	// workers, merging results back in sorted-peer order so the plan is
+	// byte-identical to the serial one. nil or a 1-worker pool runs the
+	// exact single-threaded legacy path.
+	//
+	// With a parallel pool, peer filters may be invoked concurrently across
+	// peers (never concurrently for the same peer): a filter must read only
+	// state that is immutable for the duration of PlanTick plus state owned
+	// by its own peer. The store itself is read-only inside PlanTick, as the
+	// existing contract already requires.
+	Pool *work.Pool
 }
 
 func (c *ReplConfig) applyDefaults() {
@@ -121,7 +134,35 @@ type Replicator struct {
 	// storm (E11 churn) reuses scratch snapshots, deltas, and filter
 	// closures instead of reallocating them per onboarding.
 	freePeers []*peerState
+
+	// Parallel-plan scratch (see planTickParallel): the distinct builds of
+	// the tick in first-encounter order, the hoisted job runner (built once
+	// so Run allocates nothing), and per-worker dirty-ring candidate buffers
+	// sized to the pool's width.
+	jobs        []planJob
+	runJob      func(worker, i int)
+	workerCands [][]protocol.ParticipantID
 }
+
+// planJob is one independent build of a parallel PlanTick: a shared
+// snapshot, a filtered peer's snapshot or delta, or a distinct ack-cohort
+// delta. Each job writes only its own target message (plus the per-worker
+// candidate buffer), so jobs are safe to execute concurrently.
+type planJob struct {
+	kind  jobKind
+	peer  *peerState      // jobPeerSnap, jobPeerDelta
+	base  uint64          // jobCohortDelta: the cohort's ack baseline
+	delta *protocol.Delta // jobCohortDelta: the cohort's scratch message
+}
+
+type jobKind uint8
+
+const (
+	jobSharedSnap jobKind = iota
+	jobPeerSnap
+	jobPeerDelta
+	jobCohortDelta
+)
 
 // NewReplicator creates a replicator over store.
 func NewReplicator(store *Store, cfg ReplConfig) *Replicator {
@@ -194,17 +235,24 @@ func (r *Replicator) sortedPeerIDs() []string {
 	return r.sortedIDs
 }
 
-// Peers returns registered peer IDs, sorted.
+// Peers returns registered peer IDs, sorted. Each call allocates a fresh
+// slice; hot paths should use PeersAppend with a reused buffer instead.
 func (r *Replicator) Peers() []string {
-	ids := r.sortedPeerIDs()
-	out := make([]string, len(ids))
-	copy(out, ids)
-	return out
+	return r.PeersAppend(nil)
+}
+
+// PeersAppend appends the registered peer IDs, sorted, to dst and returns
+// the extended slice. With a reused dst it allocates nothing, so per-tick
+// peer sweeps stay allocation-flat.
+func (r *Replicator) PeersAppend(dst []string) []string {
+	return append(dst, r.sortedPeerIDs()...)
 }
 
 // Ack records that peer has applied state up to tick. Regressions (acks
 // older than the recorded floor) are ignored — reordered ack packets must
-// not move the baseline backwards.
+// not move the baseline backwards. Only an ack that actually advances the
+// baseline can raise the prune floor, so ignored regressions do not
+// schedule a prune scan.
 func (r *Replicator) Ack(peer string, tick uint64) error {
 	p, ok := r.peers[peer]
 	if !ok {
@@ -213,8 +261,8 @@ func (r *Replicator) Ack(peer string, tick uint64) error {
 	if !p.acked || tick > p.ackTick {
 		p.ackTick = tick
 		p.acked = true
+		r.pruneDirty = true
 	}
-	r.pruneDirty = true
 	return nil
 }
 
@@ -264,11 +312,24 @@ type PeerMessage struct {
 //
 // The returned slice and the Messages it shares are valid until the next
 // PlanTick call; callers must not mutate shared Messages.
+//
+// With a parallel ReplConfig.Pool the independent builds are sharded across
+// workers and merged back in sorted-peer order; the result — message bytes,
+// cohort numbering, per-peer counters — is byte-identical to the serial
+// plan (see planTickParallel).
 func (r *Replicator) PlanTick() []PeerMessage {
 	tick := r.store.Tick()
 	r.planTick = tick
 	r.prune()
+	if r.cfg.Pool.Parallel() && len(r.peers) > 1 {
+		return r.planTickParallel(tick)
+	}
+	return r.planTickSerial(tick)
+}
 
+// planTickSerial is the single-threaded legacy plan: build and number each
+// message inline while walking peers in sorted order.
+func (r *Replicator) planTickSerial(tick uint64) []PeerMessage {
 	out := r.plan[:0]
 	var sharedSnap *protocol.Snapshot
 	sharedSnapCohort := 0
@@ -357,6 +418,178 @@ func (r *Replicator) nextCohortDelta() *protocol.Delta {
 	d := &protocol.Delta{}
 	r.cohortScratch = append(r.cohortScratch, d)
 	return d
+}
+
+// cohortSlot returns the i-th recycled shared-cohort Delta, growing the
+// scratch pool as needed. The parallel planner assigns one slot per distinct
+// ack baseline up front (emptiness is unknown until the build runs), so it
+// may touch more slots per tick than the serial path — slots, not messages:
+// empty builds never enter the plan, and the slot is reused next tick.
+func (r *Replicator) cohortSlot(i int) *protocol.Delta {
+	for len(r.cohortScratch) <= i {
+		r.cohortScratch = append(r.cohortScratch, &protocol.Delta{})
+	}
+	return r.cohortScratch[i]
+}
+
+// Sentinel cohort values used between the parallel planner's passes: a
+// cohort built but not yet numbered, and a cohort whose build came back
+// empty (no message planned for its members).
+const (
+	cohortUnnumbered = -1
+	cohortEmpty      = -2
+)
+
+// planTickParallel is PlanTick with the builds sharded across the
+// configured pool. It runs in three passes:
+//
+//	1 (serial)   walk sorted peers, decide snapshot-vs-delta exactly like
+//	             the serial plan, and collect the distinct builds — the
+//	             shared snapshot, each filtered peer's snapshot or delta,
+//	             and one delta per distinct ack baseline — as jobs.
+//	2 (parallel) execute the jobs on the pool. Each job writes only its own
+//	             target message plus a per-worker candidate buffer; the
+//	             store is read-only and its lazy sorted-ID cache is warmed
+//	             before the fan-out.
+//	3 (serial)   re-walk sorted peers, re-deriving the same snapshot-vs-
+//	             delta decisions (nothing they depend on moved in pass 2),
+//	             assigning cohort IDs in first-use order and bumping the
+//	             per-peer counters exactly where the serial plan would.
+//
+// Because pass 3 replays the serial walk over prebuilt messages, the
+// returned plan — ordering, message contents, cohort numbering, counters —
+// is byte-identical to planTickSerial's regardless of worker count or job
+// scheduling order.
+func (r *Replicator) planTickParallel(tick uint64) []PeerMessage {
+	// Pass 1: collect the distinct builds.
+	jobs := r.jobs[:0]
+	clear(r.deltaCohorts)
+	r.cohortsUsed = 0
+	cohortJobs := 0
+	sharedSnapQueued := false
+	for _, id := range r.sortedPeerIDs() {
+		p := r.peers[id]
+		wantSnapshot := !p.acked ||
+			tick-p.ackTick > r.cfg.MaxDeltaWindow ||
+			(r.cfg.SnapshotEvery > 0 && tick-p.lastSnapshot >= r.cfg.SnapshotEvery)
+		if wantSnapshot {
+			if p.filter != nil {
+				if p.snapScratch == nil {
+					p.snapScratch = &protocol.Snapshot{}
+				}
+				jobs = append(jobs, planJob{kind: jobPeerSnap, peer: p})
+			} else if !sharedSnapQueued {
+				sharedSnapQueued = true
+				if r.snapScratch == nil {
+					r.snapScratch = &protocol.Snapshot{}
+				}
+				jobs = append(jobs, planJob{kind: jobSharedSnap})
+			}
+			continue
+		}
+		if p.filter != nil {
+			if p.scratch == nil {
+				p.scratch = &protocol.Delta{}
+			}
+			jobs = append(jobs, planJob{kind: jobPeerDelta, peer: p})
+			continue
+		}
+		if _, ok := r.deltaCohorts[p.ackTick]; !ok {
+			slot := r.cohortSlot(cohortJobs)
+			cohortJobs++
+			r.deltaCohorts[p.ackTick] = deltaCohort{msg: slot, cohort: cohortUnnumbered}
+			jobs = append(jobs, planJob{kind: jobCohortDelta, base: p.ackTick, delta: slot})
+		}
+	}
+	r.jobs = jobs
+
+	// Pass 2: execute the builds on the pool. Warm the store's lazy
+	// sorted-ID cache first so concurrent scans only read it, and size the
+	// per-worker candidate buffers to the pool's width.
+	r.store.sortedIDs()
+	for len(r.workerCands) < r.cfg.Pool.Workers() {
+		r.workerCands = append(r.workerCands, nil)
+	}
+	if r.runJob == nil {
+		r.runJob = r.execJob
+	}
+	r.cfg.Pool.Run(len(jobs), r.runJob)
+
+	// Pass 3: merge in sorted-peer order, replaying the serial plan's cohort
+	// numbering and counter updates over the prebuilt messages.
+	out := r.plan[:0]
+	sharedSnapCohort := cohortUnnumbered
+	nextCohort := 0
+	for _, id := range r.sortedPeerIDs() {
+		p := r.peers[id]
+		wantSnapshot := !p.acked ||
+			tick-p.ackTick > r.cfg.MaxDeltaWindow ||
+			(r.cfg.SnapshotEvery > 0 && tick-p.lastSnapshot >= r.cfg.SnapshotEvery)
+		if wantSnapshot {
+			var snap *protocol.Snapshot
+			var cohort int
+			if p.filter != nil {
+				snap = p.snapScratch
+				cohort = nextCohort
+				nextCohort++
+			} else {
+				if sharedSnapCohort == cohortUnnumbered {
+					sharedSnapCohort = nextCohort
+					nextCohort++
+				}
+				snap = r.snapScratch
+				cohort = sharedSnapCohort
+			}
+			p.lastSnapshot = tick
+			p.snapshots++
+			out = append(out, PeerMessage{Peer: id, Msg: snap, Cohort: cohort})
+			continue
+		}
+		if p.filter != nil {
+			if len(p.scratch.Changed) == 0 && len(p.scratch.Removed) == 0 {
+				continue
+			}
+			p.deltas++
+			out = append(out, PeerMessage{Peer: id, Msg: p.scratch, Cohort: nextCohort})
+			nextCohort++
+			continue
+		}
+		dc := r.deltaCohorts[p.ackTick]
+		if dc.cohort == cohortUnnumbered {
+			if len(dc.msg.Changed) == 0 && len(dc.msg.Removed) == 0 {
+				dc.msg, dc.cohort = nil, cohortEmpty
+			} else {
+				dc.cohort = nextCohort
+				nextCohort++
+			}
+			r.deltaCohorts[p.ackTick] = dc
+		}
+		if dc.msg == nil {
+			continue
+		}
+		p.deltas++
+		out = append(out, PeerMessage{Peer: id, Msg: dc.msg, Cohort: dc.cohort})
+	}
+	r.plan = out
+	return out
+}
+
+// execJob runs one parallel-plan build. Jobs write only their own target
+// message and the executing worker's candidate buffer, honoring the pool's
+// ownership rules (see package work).
+func (r *Replicator) execJob(worker, i int) {
+	j := &r.jobs[i]
+	switch j.kind {
+	case jobSharedSnap:
+		r.store.SnapshotInto(nil, r.snapScratch)
+	case jobPeerSnap:
+		r.store.SnapshotInto(j.peer.boundFilter, j.peer.snapScratch)
+	case jobPeerDelta:
+		p := j.peer
+		r.workerCands[worker] = r.store.DeltaSinceCands(p.ackTick, p.boundFilter, p.scratch, r.workerCands[worker])
+	case jobCohortDelta:
+		r.workerCands[worker] = r.store.DeltaSinceCands(j.base, nil, j.delta, r.workerCands[worker])
+	}
 }
 
 // PeerStats reports replication counters for a peer.

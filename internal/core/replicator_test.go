@@ -2,6 +2,7 @@ package core
 
 import (
 	"errors"
+	"fmt"
 	"math/rand"
 	"testing"
 
@@ -117,6 +118,41 @@ func TestReplicatorAckRegression(t *testing.T) {
 	}
 	if st.AckTick != 8 {
 		t.Errorf("ack floor = %d, want 8", st.AckTick)
+	}
+}
+
+// TestAckRegressionDoesNotSchedulePrune: an ignored stale ack leaves the
+// baseline — and therefore the prune floor — untouched, so it must not mark
+// the removal log dirty (one reordered ack per tick would otherwise buy an
+// O(peers) min-scan for nothing).
+func TestAckRegressionDoesNotSchedulePrune(t *testing.T) {
+	s := NewStore()
+	r := NewReplicator(s, ReplConfig{})
+	_ = r.AddPeer("p", nil)
+	for i := 0; i < 10; i++ {
+		s.BeginTick()
+	}
+	if err := r.Ack("p", 8); err != nil {
+		t.Fatal(err)
+	}
+	if !r.pruneDirty {
+		t.Fatal("advancing ack did not schedule a prune")
+	}
+	_ = r.PlanTick() // runs and clears the pending prune
+	if r.pruneDirty {
+		t.Fatal("PlanTick left the prune pending")
+	}
+	if err := r.Ack("p", 3); err != nil { // ignored regression
+		t.Fatal(err)
+	}
+	if r.pruneDirty {
+		t.Error("ignored ack regression scheduled a prune scan")
+	}
+	if err := r.Ack("p", 9); err != nil {
+		t.Fatal(err)
+	}
+	if !r.pruneDirty {
+		t.Error("advancing ack after a regression did not schedule a prune")
 	}
 }
 
@@ -300,5 +336,34 @@ func BenchmarkPlanTick100Entities10Peers(b *testing.B) {
 		for _, m := range msgs {
 			_ = r.Ack(m.Peer, s.Tick())
 		}
+	}
+}
+
+// TestPeersAppendAllocationFree pins the PeersAppend contract: with a
+// reused buffer of sufficient capacity, a per-tick peer sweep costs zero
+// allocations (Peers, by contrast, copies per call).
+func TestPeersAppendAllocationFree(t *testing.T) {
+	s := NewStore()
+	r := NewReplicator(s, ReplConfig{})
+	for i := 0; i < 16; i++ {
+		if err := r.AddPeer(fmt.Sprintf("peer-%02d", i), nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	buf := r.PeersAppend(nil)
+	if len(buf) != 16 {
+		t.Fatalf("PeersAppend returned %d peers, want 16", len(buf))
+	}
+	for i := 1; i < len(buf); i++ {
+		if buf[i-1] >= buf[i] {
+			t.Fatalf("PeersAppend not sorted: %v", buf)
+		}
+	}
+	allocs := testing.AllocsPerRun(100, func() { buf = r.PeersAppend(buf[:0]) })
+	if allocs > 0 {
+		t.Errorf("PeersAppend allocated %v per call with a warm buffer, want 0", allocs)
+	}
+	if got := r.Peers(); len(got) != 16 {
+		t.Fatalf("Peers() returned %d, want 16", len(got))
 	}
 }

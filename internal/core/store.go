@@ -254,11 +254,23 @@ func (s *Store) DeltaSince(base uint64, filter func(protocol.ParticipantID) bool
 // ring's changed-ID union — O(changed in window) — instead of a scan of the
 // whole population; older baselines fall back to the full scan.
 func (s *Store) DeltaSinceInto(base uint64, filter func(protocol.ParticipantID) bool, msg *protocol.Delta) {
+	s.candScratch = s.DeltaSinceCands(base, filter, msg, s.candScratch)
+}
+
+// DeltaSinceCands is DeltaSinceInto with a caller-owned candidate buffer for
+// the dirty-ring walk, returned (possibly grown) for reuse. It exists for
+// concurrent delta builds — the parallel tick hands each worker its own
+// buffer — and is safe to call from multiple goroutines at once provided the
+// store is not mutated for the duration and the sorted-ID cache has been
+// materialized by the owner first (any Snapshot/Range/IDs call does; the
+// replicator warms it before fanning builds out).
+func (s *Store) DeltaSinceCands(base uint64, filter func(protocol.ParticipantID) bool, msg *protocol.Delta, buf []protocol.ParticipantID) []protocol.ParticipantID {
 	msg.BaseTick, msg.Tick = base, s.tick
 	msg.Changed = msg.Changed[:0]
 	msg.Removed = msg.Removed[:0]
 
-	if cands, ok := s.changedSince(base); ok {
+	if cands, ok := s.changedSince(base, buf); ok {
+		buf = cands
 		for _, id := range cands {
 			if filter == nil || filter(id) {
 				msg.Changed = append(msg.Changed, s.entities[id].state)
@@ -278,17 +290,18 @@ func (s *Store) DeltaSinceInto(base uint64, filter func(protocol.ParticipantID) 
 	for _, rm := range s.removals[first:] {
 		msg.Removed = append(msg.Removed, rm.id)
 	}
+	return buf
 }
 
 // changedSince returns the ascending IDs of live entities changed after base
-// via the dirty ring; ok is false when the ring does not cover (base, tick]
-// and the caller must fall back to a full scan. The returned slice is store
-// scratch, valid until the next changedSince call.
-func (s *Store) changedSince(base uint64) ([]protocol.ParticipantID, bool) {
+// via the dirty ring, built into the caller's buffer; ok is false when the
+// ring does not cover (base, tick] and the caller must fall back to a full
+// scan (buf is returned untouched so its capacity survives).
+func (s *Store) changedSince(base uint64, buf []protocol.ParticipantID) ([]protocol.ParticipantID, bool) {
 	if s.dirty == nil || base+1 < s.ringLo || base > s.tick {
-		return nil, false
+		return buf, false
 	}
-	cands := s.candScratch[:0]
+	cands := buf[:0]
 	for t := base + 1; t <= s.tick; t++ {
 		for _, id := range s.dirty[t%dirtyRingCap] {
 			// An entity appears in every slot it changed at; keep only the
@@ -302,7 +315,6 @@ func (s *Store) changedSince(base uint64) ([]protocol.ParticipantID, bool) {
 	slices.Sort(cands)
 	// A remove+re-add within one tick can duplicate an ID inside a slot.
 	cands = slices.Compact(cands)
-	s.candScratch = cands
 	return cands, true
 }
 

@@ -62,6 +62,8 @@ type Config struct {
 	Repl core.ReplConfig
 	// Fusion tunes per-participant sensor fusion.
 	Fusion fusion.Config
+	// Parallelism bounds the tick worker pool (see node.Config.Parallelism).
+	Parallelism int
 }
 
 func (c *Config) applyDefaults() {
@@ -114,6 +116,7 @@ func New(sim *vclock.Sim, tr endpoint.Transport, cfg Config) (*Server, error) {
 		Repl:        cfg.Repl,
 		CountRecv:   true,
 		AutoPong:    true,
+		Parallelism: cfg.Parallelism,
 	})
 	if err != nil {
 		return nil, err

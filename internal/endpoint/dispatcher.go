@@ -6,6 +6,7 @@ import (
 	"metaclass/internal/core"
 	"metaclass/internal/metrics"
 	"metaclass/internal/protocol"
+	"metaclass/internal/work"
 )
 
 // Config parameterizes a Dispatcher.
@@ -22,6 +23,10 @@ type Config struct {
 	// AutoPong answers Ping frames with a Pong echoing nonce and send time
 	// (server endpoints; clients count stray pings as unhandled instead).
 	AutoPong bool
+	// Pool, when parallel, pre-encodes Fanout's distinct cohort payloads
+	// across its workers before the in-order send walk. nil keeps the lazy
+	// single-threaded encode.
+	Pool *work.Pool
 }
 
 // Dispatcher is the shared receive/reply surface of every node: it owns the
@@ -248,9 +253,12 @@ func (d *Dispatcher) reply(to Addr, msg protocol.Message) {
 // Call once per tick with the node's PlanTick result. On a batching
 // transport the whole plan is queued and flushed with one vectored write per
 // touched connection — one flush per tick per conn — instead of one flush
-// per send.
+// per send. With a parallel Config.Pool the distinct cohort encodes run
+// across workers first; sends always stay in plan order on this goroutine,
+// so the wire traffic is identical at every worker count.
 func (d *Dispatcher) Fanout(plan []core.PeerMessage) {
 	d.frames.Reset()
+	d.frames.EncodePlan(plan, d.cfg.Pool)
 	if d.batcher != nil {
 		d.batcher.BeginBatch()
 	}

@@ -54,7 +54,7 @@ func TestE11CrossRunDeterminism(t *testing.T) {
 // one canonical string. The storms hit every teardown path the runtime
 // owns: replicator peer removal, interest-grid eviction, pooled client
 // reuse, and in-flight frame release on lossy and bandwidth-limited links.
-func churnFingerprint(t *testing.T, seed int64) string {
+func churnFingerprint(t *testing.T, seed int64, parallelism int) string {
 	t.Helper()
 	cloudLink := netsim.EdgeToCloud()
 	cloudLink.LossRate = 0.02
@@ -62,6 +62,7 @@ func churnFingerprint(t *testing.T, seed int64) string {
 	cloudLink.QueueLimit = 32 << 10
 	d, err := classroom.NewDeployment(classroom.Config{
 		Seed: seed, EnableInterest: true, CloudLink: &cloudLink,
+		Parallelism: parallelism,
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -172,11 +173,11 @@ func TestChurnLeaksNoFrames(t *testing.T) {
 		t.Skip("multi-second churn deployment; skipped in -short")
 	}
 	live0 := protocol.LiveFrames()
-	run1 := churnFingerprint(t, 17)
+	run1 := churnFingerprint(t, 17, 1)
 	if live := protocol.LiveFrames(); live != live0 {
 		t.Fatalf("%d frames leaked by churn run 1", live-live0)
 	}
-	run2 := churnFingerprint(t, 17)
+	run2 := churnFingerprint(t, 17, 1)
 	if live := protocol.LiveFrames(); live != live0 {
 		t.Fatalf("%d frames leaked by churn run 2", live-live0)
 	}
@@ -187,5 +188,26 @@ func TestChurnLeaksNoFrames(t *testing.T) {
 		if !strings.Contains(run1, want) {
 			t.Fatalf("churn fingerprint missing %q:\n%s", want, run1)
 		}
+	}
+}
+
+// TestParallelChurnStorm drives the same lossy join/leave storm with every
+// node's worker pool at width 8 and asserts the run leaks no frames and is
+// byte-identical to the serial run — the whole-system stress for the
+// parallel tick under membership churn (peer tables and interest grids
+// mutating between every parallel section). CI runs this under -race as the
+// dedicated parallel-tick smoke.
+func TestParallelChurnStorm(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-second churn deployment; skipped in -short")
+	}
+	live0 := protocol.LiveFrames()
+	serial := churnFingerprint(t, 17, 1)
+	wide := churnFingerprint(t, 17, 8)
+	if live := protocol.LiveFrames(); live != live0 {
+		t.Fatalf("%d frames leaked by the parallel churn storm", live-live0)
+	}
+	if serial != wide {
+		t.Fatalf("Parallelism=8 churn diverged from Parallelism=1:\n%s", diffLines(serial, wide))
 	}
 }

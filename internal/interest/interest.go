@@ -254,6 +254,11 @@ type Set struct {
 	allowed  map[protocol.ParticipantID]bool
 	allowAll bool
 	tick     uint64
+	// scratch is the set-owned neighbor buffer RefreshOwned queries into.
+	// Owning it here (instead of a buffer shared across receivers) is what
+	// lets the parallel tick refresh many clients' sets concurrently: each
+	// refresh touches only its own set's state and reads the shared grid.
+	scratch []protocol.ParticipantID
 }
 
 // NewSet returns an empty, ready-to-refresh set.
@@ -268,6 +273,16 @@ func (s *Set) Reset() {
 	clear(s.allowed)
 	s.allowAll = false
 	s.tick = 0
+}
+
+// RefreshOwned is Refresh using the set's own neighbor buffer. Distinct sets
+// may be refreshed concurrently (each touches only its own state; the grid
+// and policy are read-only), which is how the parallel tick shards per-client
+// classification across workers. Like Refresh it rebuilds at most once per
+// tick, so a set pre-refreshed on the pool answers the replication filter's
+// later call for the same tick from cache.
+func (s *Set) RefreshOwned(g *Grid, p *Policy, recv protocol.ParticipantID, tick uint64) {
+	s.scratch = s.Refresh(g, p, recv, tick, s.scratch)
 }
 
 // Refresh rebuilds the set for receiver recv at tick, at most once per tick

@@ -27,6 +27,7 @@ import (
 	"metaclass/internal/pose"
 	"metaclass/internal/protocol"
 	"metaclass/internal/vclock"
+	"metaclass/internal/work"
 )
 
 // Runtime errors. Node packages alias these so errors.Is keeps working at
@@ -53,6 +54,15 @@ type Config struct {
 	// CountRecv and AutoPong configure the dispatcher (see endpoint.Config).
 	CountRecv bool
 	AutoPong  bool
+	// Parallelism bounds the worker pool that shards the tick's three
+	// independent stages — per-client interest classification, the
+	// replicator's plan builds, and the fan-out's cohort encodes. Zero or
+	// negative means GOMAXPROCS; 1 runs the exact single-threaded legacy
+	// path. The node's external contract is unchanged at every width: the
+	// pool only runs inside the tick callback, Run is synchronous, and every
+	// stage merges deterministically, so plans, wire bytes, and metrics are
+	// identical to Parallelism=1.
+	Parallelism int
 }
 
 func (c *Config) applyDefaults() {
@@ -113,9 +123,15 @@ type Runtime struct {
 	onTick func()
 
 	// Per-tick scratch, reused so the tick path allocates nothing.
-	liveScratch     map[protocol.ParticipantID]bool
-	removeScratch   []protocol.ParticipantID
-	neighborScratch []protocol.ParticipantID
+	liveScratch   map[protocol.ParticipantID]bool
+	removeScratch []protocol.ParticipantID
+
+	// pool shards the tick's parallel stages; refreshScratch/refreshJob/
+	// refreshTick drive the interest pre-refresh stage (see refreshInterest).
+	pool           *work.Pool
+	refreshScratch []*Client
+	refreshJob     func(worker, i int)
+	refreshTick    uint64
 
 	cancel func()
 }
@@ -141,11 +157,19 @@ func New(sim *vclock.Sim, tr endpoint.Transport, cfg Config) (*Runtime, error) {
 
 		liveScratch: make(map[protocol.ParticipantID]bool),
 	}
+	r.pool = work.New(cfg.Parallelism)
+	if cfg.Repl.Pool == nil {
+		cfg.Repl.Pool = r.pool
+	}
 	r.repl = core.NewReplicator(r.store, cfg.Repl)
+	r.refreshJob = func(_, i int) {
+		r.refreshScratch[i].iset.RefreshOwned(r.grid, r.cfg.Interest, r.refreshScratch[i].ID, r.refreshTick)
+	}
 	ep, err := endpoint.NewDispatcher(tr, r.reg, endpoint.Config{
 		Now:       sim.Now,
 		CountRecv: cfg.CountRecv,
 		AutoPong:  cfg.AutoPong,
+		Pool:      r.pool,
 	})
 	if err != nil {
 		return nil, err
@@ -246,7 +270,10 @@ func (r *Runtime) Replicate(addr endpoint.Addr, filter core.FilterFunc) error {
 // squared-distance classification per client per tick through the client's
 // set, instead of an all-pairs sqrt test per (client, source). Built once
 // per pooled Client — it reads c.ID dynamically, so reuse across joins
-// allocates nothing.
+// allocates nothing. The refresh goes through the set's own neighbor
+// buffer, so concurrent filter calls for distinct clients (the parallel
+// plan) never share scratch; when refreshInterest already ran this tick the
+// refresh is a cached no-op.
 func (r *Runtime) clientFilter(c *Client) core.FilterFunc {
 	return func(id protocol.ParticipantID, tick uint64) bool {
 		if id == c.ID {
@@ -255,7 +282,7 @@ func (r *Runtime) clientFilter(c *Client) core.FilterFunc {
 		if r.cfg.Interest == nil {
 			return true // broadcast mode
 		}
-		r.neighborScratch = c.iset.Refresh(r.grid, r.cfg.Interest, c.ID, tick, r.neighborScratch)
+		c.iset.RefreshOwned(r.grid, r.cfg.Interest, c.ID, tick)
 		return c.iset.Allows(r.grid, id)
 	}
 }
@@ -384,14 +411,16 @@ func (r *Runtime) Start(onTick func()) error {
 // Started reports whether the tick loop is running.
 func (r *Runtime) Started() bool { return r.cancel != nil }
 
-// Stop halts the tick loop and releases the last tick's cohort frames. Safe
-// to call repeatedly.
+// Stop halts the tick loop, releases the last tick's cohort frames, and
+// parks the worker pool's helper goroutines (a later Start revives them
+// lazily). Safe to call repeatedly.
 func (r *Runtime) Stop() {
 	if r.cancel != nil {
 		r.cancel()
 		r.cancel = nil
 	}
 	r.ep.ReleaseFrames()
+	r.pool.Close()
 }
 
 func (r *Runtime) tick() {
@@ -399,5 +428,28 @@ func (r *Runtime) tick() {
 	if r.onTick != nil {
 		r.onTick()
 	}
+	r.refreshInterest()
 	r.ep.Fanout(r.repl.PlanTick())
+}
+
+// refreshInterest pre-refreshes every replicated client's interest set for
+// the tick across the pool's workers, so the plan's filter calls answer
+// from cache. Each refresh touches only its own set (plus the read-only
+// grid and policy), and Refresh is idempotent per tick, so this stage is
+// purely a parallel warm-up: skipping it (serial pools, broadcast mode,
+// too few clients) changes nothing but where the classification work runs.
+func (r *Runtime) refreshInterest() {
+	if !r.pool.Parallel() || r.cfg.Interest == nil || len(r.clients) < 2 {
+		return
+	}
+	r.refreshScratch = r.refreshScratch[:0]
+	for _, c := range r.clients {
+		if c.Replicated {
+			r.refreshScratch = append(r.refreshScratch, c)
+		}
+	}
+	r.refreshTick = r.store.Tick()
+	// Map-iteration order varies, but the jobs are commutative: each one
+	// only rebuilds its own client's set.
+	r.pool.Run(len(r.refreshScratch), r.refreshJob)
 }

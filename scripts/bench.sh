@@ -8,7 +8,7 @@
 # Usage:
 #   scripts/bench.sh [n]                      run the suite, write BENCH_<n>.json (default n=1)
 #   scripts/bench.sh [n] --compare OLD.json   ...then fail if E4Scale allocs/op
-#                                             regressed >5% versus OLD.json;
+#                                             or ns/op regressed >5% vs OLD.json;
 #                                             with n omitted the run goes to a
 #                                             temp file (no baseline clobbered)
 #   scripts/bench.sh --compare OLD.json NEW.json
@@ -21,6 +21,33 @@ cd "$(dirname "$0")/.."
 # allocs_of FILE NAME — extract NAME's allocs_per_op from a BENCH json.
 allocs_of() {
     sed -n 's|.*"name": "'"$2"'".*"allocs_per_op": \([0-9][0-9]*\).*|\1|p' "$1"
+}
+
+# ns_of FILE NAME — extract NAME's ns_per_op from a BENCH json.
+ns_of() {
+    sed -n 's|.*"name": "'"$2"'".*"ns_per_op": \([0-9][0-9.]*\).*|\1|p' "$1"
+}
+
+# gate_ns NAME OLD NEW — fail when NAME's ns/op regressed >5%. Wall-time
+# gates only make sense between files measured on comparable hardware, which
+# committed BENCH jsons are (the suite's own trajectory).
+gate_ns() {
+    local name="$1" old_file="$2" new_file="$3" old new
+    old="$(ns_of "$old_file" "$name")"
+    new="$(ns_of "$new_file" "$name")"
+    if [[ -z "$new" ]]; then
+        echo "bench.sh: missing $name ns_per_op in $new_file" >&2
+        exit 1
+    fi
+    if [[ -z "$old" ]]; then
+        echo "bench.sh: missing $name ns_per_op in $old_file" >&2
+        exit 1
+    fi
+    echo "$name ns/op: $old ($old_file) -> $new ($new_file)" >&2
+    if ! awk -v o="$old" -v n="$new" 'BEGIN { exit !(n <= o * 1.05) }'; then
+        echo "bench.sh: FAIL — $name ns/op regressed >5% ($old -> $new)" >&2
+        exit 1
+    fi
 }
 
 # gate_allocs NAME OLD NEW REQUIRED — fail when NAME's allocs/op regressed
@@ -55,7 +82,8 @@ gate_allocs() {
 compare_allocs() {
     gate_allocs "E4Scale" "$1" "$2" required
     gate_allocs "Onboard/storm=64" "$1" "$2" optional
-    echo "bench.sh: OK — within the 5% allocation budget" >&2
+    gate_ns "E4Scale" "$1" "$2"
+    echo "bench.sh: OK — within the 5% allocation and E4Scale wall-time budgets" >&2
 }
 
 N=""
@@ -98,7 +126,7 @@ fi
 RAW="$(mktemp)"
 trap 'rm -f "$RAW" $TMP_OUT' EXIT
 
-go test -bench 'BenchmarkE[0-9]|BenchmarkOnboard' -benchmem -run '^$' ${BENCHTIME:+-benchtime "$BENCHTIME"} . | tee "$RAW" >&2
+go test -bench 'BenchmarkE[0-9]|BenchmarkOnboard|BenchmarkPlanTick|BenchmarkFanout' -benchmem -run '^$' ${BENCHTIME:+-benchtime "$BENCHTIME"} . | tee "$RAW" >&2
 
 awk -v goversion="$(go version | awk '{print $3}')" '
 BEGIN { n = 0 }
@@ -130,7 +158,7 @@ END {
     print "{"
     printf "  \"suite\": \"E1-E11 + onboarding root benchmarks\",\n"
     printf "  \"go\": \"%s\",\n", goversion
-    printf "  \"command\": \"go test -bench BenchmarkE[0-9]|BenchmarkOnboard -benchmem -run ^$ .\",\n"
+    printf "  \"command\": \"go test -bench BenchmarkE[0-9]|BenchmarkOnboard|BenchmarkPlanTick|BenchmarkFanout -benchmem -run ^$ .\",\n"
     print  "  \"benchmarks\": ["
     for (i = 0; i < n; i++) print bench[i] (i < n - 1 ? "," : "")
     print "  ]"
