@@ -228,7 +228,14 @@ func benchOnboard(b *testing.B, storm int) {
 			}
 		}
 	}
-	cycle() // warm the onboarding pools
+	// Warm the onboarding pools to steady state. One cycle is not enough:
+	// session teardown drains through 5ms links, so a departing client's
+	// pooled state can return after the next storm already started, and the
+	// pools keep growing (allocating) for a few cycles before the population
+	// of in-flight departures settles.
+	for i := 0; i < 4; i++ {
+		cycle()
+	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		cycle()
@@ -297,6 +304,55 @@ func benchChurnScenario(b *testing.B) float64 {
 		d.Now().Seconds() / 1024
 	d.Stop()
 	return egress
+}
+
+// BenchmarkE12MegaEvent measures steady tiered fan-out for the mega-event
+// venue: 256 remote users on a 16x16 seat grid at 3.2 m pitch (nearly every
+// pair beyond NearRadius), the first user pinned focus as the performer,
+// fan-out ticking at the clients' 20 Hz upload rate. cloud-egress-KB/s is
+// the gated headline: it must stay at the decimated tier mix (far 1/4,
+// ambient 1/8 with per-source phase stagger), a fraction of the broadcast
+// cost E12's table reports — regressions that re-admit the crowd at full
+// rate move this number, not just ns/op.
+func BenchmarkE12MegaEvent(b *testing.B) {
+	d, err := classroom.NewDeployment(classroom.Config{
+		Seed: benchSeed, EnableInterest: true, TickHz: 20,
+		VRRows: 16, VRCols: 16, VRPitch: 3.2,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	link := netsim.ResidentialBroadband(25 * time.Millisecond)
+	var performer classroom.ParticipantID
+	for i := 0; i < 256; i++ {
+		_, id, err := d.AddRemoteLearner(fmt.Sprintf("crowd-%03d", i), trace.Seated{
+			Anchor: mathx.V3(float64(i%16)*3.2, 0, float64(i/16)*3.2), Phase: float64(i),
+		}, link)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			performer = id
+		}
+	}
+	d.Cloud().PinFocus(performer)
+	// Warm until everyone is seated and past their snapshot ramp, so the
+	// timed window measures steady decimated deltas only.
+	if err := d.Run(time.Second); err != nil {
+		b.Fatal(err)
+	}
+	egress0 := d.Cloud().Metrics().Counter("sync.bytes.sent").Value()
+	t0 := d.Now()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := d.Run(time.Second); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	egress := float64(d.Cloud().Metrics().Counter("sync.bytes.sent").Value()-egress0) /
+		(d.Now() - t0).Seconds() / 1024
+	b.ReportMetric(egress, "cloud-egress-KB/s")
 }
 
 // BenchmarkE6Render evaluates the full C3 plan/device/complexity grid.

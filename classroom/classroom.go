@@ -73,6 +73,12 @@ type Config struct {
 	// Interest enables interest-managed fan-out at the cloud (default
 	// policy if nil and EnableInterest is true).
 	EnableInterest bool
+	// VRRows/VRCols/VRPitch shape the cloud VR classroom's seating grid
+	// (defaults per cloud.Config: 40 x 25 at 1.2 m). Remote learners are
+	// seat-corrected into this grid, so it is the geometry interest tiers
+	// measure distances in — a mega-event venue needs a wider pitch.
+	VRRows, VRCols int
+	VRPitch        float64
 	// CloudLink overrides the edge<->cloud link profile.
 	CloudLink *netsim.LinkConfig
 	// HeadsetHz is the headset tracking rate (default 60).
@@ -106,6 +112,12 @@ type Deployment struct {
 	sim *vclock.Sim
 	net *netsim.Network
 
+	// interest is the deployment-wide fan-out policy (nil when interest
+	// management is disabled). Cloud, relays and edges share one instance so
+	// pins (educator focus) and tier radii agree everywhere a client may
+	// attach.
+	interest *interest.Policy
+
 	cloud    *cloud.Server
 	campuses map[ClassroomID]*Campus
 	relays   map[string]*cloud.Relay
@@ -131,6 +143,9 @@ func NewDeployment(cfg Config) (*Deployment, error) {
 	// deployments back them with the simulated fabric's adapter.
 	cl, err := cloud.New(sim, net.Endpoint("cloud"), cloud.Config{
 		TickHz:      cfg.TickHz,
+		VRRows:      cfg.VRRows,
+		VRCols:      cfg.VRCols,
+		VRPitch:     cfg.VRPitch,
 		InterpDelay: cfg.InterpDelay,
 		Interest:    pol,
 		Parallelism: cfg.Parallelism,
@@ -142,6 +157,7 @@ func NewDeployment(cfg Config) (*Deployment, error) {
 		cfg:      cfg,
 		sim:      sim,
 		net:      net,
+		interest: pol,
 		cloud:    cl,
 		campuses: make(map[ClassroomID]*Campus),
 		relays:   make(map[string]*cloud.Relay),
@@ -200,6 +216,7 @@ func (d *Deployment) AddCampus(name string, id ClassroomID) (*Campus, error) {
 		Classroom:   id,
 		TickHz:      d.cfg.TickHz,
 		InterpDelay: d.cfg.InterpDelay,
+		Interest:    d.interest,
 		Parallelism: d.cfg.Parallelism,
 	})
 	if err != nil {
@@ -348,6 +365,7 @@ func (d *Deployment) AddRelay(name string, link netsim.LinkConfig) (*cloud.Relay
 		Upstream:    d.cloud.Addr(),
 		TickHz:      d.cfg.TickHz,
 		InterpDelay: d.cfg.InterpDelay,
+		Interest:    d.interest,
 		Parallelism: d.cfg.Parallelism,
 	})
 	if err != nil {

@@ -1,0 +1,228 @@
+package core
+
+import (
+	"slices"
+	"sort"
+
+	"metaclass/internal/protocol"
+)
+
+// OwedSet tracks, for one interest-filtered peer, the entities whose latest
+// change the peer's filter suppressed. It closes the decimation hole in
+// plain delta replication: the replicator computes each delta against the
+// peer's single ack baseline, so once the peer acks any tick past an
+// entity's changedTick, that change can never reappear as a delta candidate
+// — if its only send opportunities were ticks where the tier filter rejected
+// it, the peer's replica would stay stale forever. An owed entry says "this
+// peer may not have the entity's latest state"; it is created whenever the
+// filter rejects a dirty entity (or a snapshot omits a live one) whose
+// change is newer than the last message planned for that peer that carried
+// it, and is dropped only when the peer acknowledges a message that actually
+// carried the entity — not when the message is merely planned, because
+// planned messages can be lost.
+//
+// Ownership rules (the determinism/parallelism contract):
+//   - One OwedSet per filtered peer, owned by that peer's state. The
+//     parallel tick may build many peers' messages concurrently, but never
+//     two builds for the same peer — so builds mutate their own OwedSet
+//     without synchronization.
+//   - Builds iterate owed IDs in ascending order (sortedIDs into the
+//     set-owned scratch), merged with the ascending delta candidates, so
+//     message bytes are identical across runs and worker counts.
+//   - The entry value is the tick of the newest planned message that
+//     included the entity (0 = none since it became owed). AckDrop removes
+//     entries only on an exact tick match: an ack for tick T proves receipt
+//     of the tick-T message, while an ack for a later tick proves nothing
+//     about T (the T message may have been lost on the way).
+//
+// keys mirrors the map's key set in ascending order, maintained
+// incrementally on insert/delete (a binary-search memmove on the handful of
+// entries that change per tick) so the per-tick sweep never pays a map
+// iteration or a sort.
+type OwedSet struct {
+	pending map[protocol.ParticipantID]uint64
+	keys    []protocol.ParticipantID
+	iter    []protocol.ParticipantID
+	sent    []sentRec
+}
+
+// sentRec is one owed entity carried by the message planned at tick,
+// awaiting that tick's exact ack. Plan ticks are monotonic, so the list is
+// tick-sorted by construction and AckDrop settles an ack with one binary
+// search over the handful of in-flight records instead of walking every
+// owed entry.
+type sentRec struct {
+	id   protocol.ParticipantID
+	tick uint64
+}
+
+// NewOwedSet returns an empty tracker. The slice capacities cover a typical
+// interest neighborhood up front so a pooled peer's early ticks don't pay a
+// doubling ramp.
+func NewOwedSet() *OwedSet {
+	return &OwedSet{
+		pending: make(map[protocol.ParticipantID]uint64, 16),
+		keys:    make([]protocol.ParticipantID, 0, 16),
+		iter:    make([]protocol.ParticipantID, 0, 16),
+		sent:    make([]sentRec, 0, 16),
+	}
+}
+
+// Len returns the number of entities currently owed.
+func (o *OwedSet) Len() int {
+	if o == nil {
+		return 0
+	}
+	return len(o.pending)
+}
+
+// Owes reports whether id is currently owed to the peer.
+func (o *OwedSet) Owes(id protocol.ParticipantID) bool {
+	if o == nil {
+		return false
+	}
+	_, ok := o.pending[id]
+	return ok
+}
+
+// Reset clears the set for reuse by another peer (peer state is pooled
+// across join/leave churn). The map and key slice keep their capacity.
+func (o *OwedSet) Reset() {
+	clear(o.pending)
+	o.keys = o.keys[:0]
+	o.sent = o.sent[:0]
+}
+
+// insertKey splices id into the sorted key mirror (no-op if present).
+func (o *OwedSet) insertKey(id protocol.ParticipantID) {
+	if i, found := slices.BinarySearch(o.keys, id); !found {
+		o.keys = slices.Insert(o.keys, i, id)
+	}
+}
+
+// removeKey splices id out of the sorted key mirror (no-op if absent).
+func (o *OwedSet) removeKey(id protocol.ParticipantID) {
+	if i, found := slices.BinarySearch(o.keys, id); found {
+		o.keys = slices.Delete(o.keys, i, i+1)
+	}
+}
+
+// owe records that the peer's filter suppressed id, whose latest change is
+// changedTick. Only a change strictly newer than the entry's last-included
+// tick is a new debt — a planned message at that tick already carried state
+// at least this fresh, so its ack may still settle the entry. The guard
+// matters because delta candidacy is measured against the peer's ack
+// baseline, which lags the send by a round trip: for a tick or two after an
+// entity's phase-tick send, the candidate walk re-surfaces the very change
+// that send carried, and unconditionally resetting the entry to zero would
+// make the owed sweep resend state the peer already holds on every tick
+// without fresh changes.
+func (o *OwedSet) owe(id protocol.ParticipantID, changedTick uint64) {
+	last, ok := o.pending[id]
+	if ok && (last == 0 || changedTick <= last) {
+		// Already owed-unsent, or the planned message at last covers this
+		// change. The first case is the hot one — a suppressed entity is a
+		// candidate on every tick until the ack floor passes its change, and
+		// skipping the redundant map write here keeps that loop read-only.
+		return
+	}
+	o.pending[id] = 0
+	if !ok {
+		o.insertKey(id)
+	}
+}
+
+// oweNew is owe for an id the caller knows is not yet tracked (the merge
+// walk's not-owed branch): insert straight away, no existence probe.
+func (o *OwedSet) oweNew(id protocol.ParticipantID) {
+	o.pending[id] = 0
+	o.insertKey(id)
+}
+
+// mark unconditionally (re)opens id's debt. Keyframes use this instead of
+// owe: a snapshot replaces the receiver's whole world, so an omitted entity
+// is erased there no matter what earlier message carried it — the ack of
+// that earlier message must no longer settle the entry.
+func (o *OwedSet) mark(id protocol.ParticipantID) {
+	if _, ok := o.pending[id]; !ok {
+		o.insertKey(id)
+	}
+	o.pending[id] = 0
+}
+
+// markSent records that the message planned at tick carries id's current
+// state. Only existing entries are updated — an admitted entity that was
+// never owed needs no tracking (a lost delta leaves the ack floor in place,
+// so the ordinary candidate walk re-includes it).
+func (o *OwedSet) markSent(id protocol.ParticipantID, tick uint64) {
+	if _, ok := o.pending[id]; ok {
+		o.pending[id] = tick
+		if n := len(o.sent); n >= 256 && n >= 4*len(o.pending) {
+			// A peer that stopped acking accumulates stale records (each
+			// re-send supersedes the previous one). Compact to the records
+			// that still match their entry's newest planned tick.
+			w := 0
+			for _, rec := range o.sent {
+				if o.pending[rec.id] == rec.tick {
+					o.sent[w] = rec
+					w++
+				}
+			}
+			o.sent = o.sent[:w]
+		}
+		o.sent = append(o.sent, sentRec{id: id, tick: tick})
+	}
+}
+
+// lastSent returns the tick of the newest planned message that included id
+// (0 if none since it became owed).
+func (o *OwedSet) lastSent(id protocol.ParticipantID) uint64 {
+	return o.pending[id]
+}
+
+// drop forgets id (it died; the unfiltered removal log or the replacing
+// snapshot tells the peer).
+func (o *OwedSet) drop(id protocol.ParticipantID) {
+	if _, ok := o.pending[id]; ok {
+		delete(o.pending, id)
+		o.removeKey(id)
+	}
+}
+
+// AckDrop settles every owed entry whose last-included tick exactly matches
+// the acknowledged tick: the peer provably received that message and with it
+// the entity's then-current state. Any newer change would have re-marked the
+// entry (value 0) or been re-included at a later tick, so an exact match
+// means the peer is up to date. Regressed or duplicate acks are fine —
+// receipt is receipt regardless of arrival order.
+func (o *OwedSet) AckDrop(tick uint64) {
+	if o == nil || tick == 0 || len(o.sent) == 0 {
+		return
+	}
+	lo := sort.Search(len(o.sent), func(i int) bool { return o.sent[i].tick >= tick })
+	hi := lo
+	for hi < len(o.sent) && o.sent[hi].tick == tick {
+		rec := o.sent[hi]
+		hi++
+		if o.pending[rec.id] == tick {
+			delete(o.pending, rec.id)
+			o.removeKey(rec.id)
+		}
+		// A mismatched record is stale: a newer change re-marked the entry
+		// (value 0) or a later message re-carried it (value > tick), and in
+		// either case this ack settles nothing.
+	}
+	// Drop every record at or below the ack floor. A regressed ack for an
+	// already-pruned tick then settles nothing — harmless: the entry stays
+	// owed and the retransmit gate re-includes it, which is only redundant
+	// traffic, never a wrong settle.
+	o.sent = o.sent[:copy(o.sent, o.sent[hi:])]
+}
+
+// sortedIDs returns the owed IDs ascending, copied into the set-owned
+// iteration scratch so the caller may walk it while owe/markSent/drop
+// mutate the live key mirror underneath. Valid until the next call.
+func (o *OwedSet) sortedIDs() []protocol.ParticipantID {
+	o.iter = append(o.iter[:0], o.keys...)
+	return o.iter
+}

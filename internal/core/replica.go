@@ -136,11 +136,15 @@ func (r *Replica) Apply(msg protocol.Message, now time.Duration) (uint64, bool) 
 			r.rejected++
 			return 0, false
 		}
-		for i := range m.Changed {
-			r.noteEntity(m.Changed[i], now)
-		}
+		// Removals first, mirroring ApplyDelta: an entity removed and
+		// re-added within the delta window is in both lists, and must end up
+		// present — with a fresh playout buffer (it left and rejoined; the
+		// old interpolation history must not bridge the gap).
 		for _, id := range m.Removed {
 			r.dropEntity(id)
+		}
+		for i := range m.Changed {
+			r.noteEntity(m.Changed[i], now)
 		}
 		r.expireRetained(now)
 		r.applied++

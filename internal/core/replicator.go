@@ -29,6 +29,15 @@ type ReplConfig struct {
 	// SnapshotEvery forces a periodic full snapshot even to healthy peers
 	// (0 disables). Keyframes bound the damage of undetected state skew.
 	SnapshotEvery uint64
+	// OwedSettleTicks is how long an entity must sit unchanged before a
+	// filtered peer's owed sweep delivers its suppressed change (default 8,
+	// the largest interest rate divisor). While an entity keeps changing,
+	// each phase-tick send supersedes the suppressed change, so an eager
+	// sweep would only duplicate traffic the candidate walk is about to
+	// carry anyway; the sweep exists to converge entities that went quiet
+	// with their last change unsent. Smaller values converge at-rest
+	// entities faster at the cost of redundant sends for moving ones.
+	OwedSettleTicks uint64
 	// Pool shards PlanTick's independent builds — the filtered per-peer
 	// snapshots/deltas and the distinct ack-cohort deltas — across its
 	// workers, merging results back in sorted-peer order so the plan is
@@ -46,6 +55,9 @@ type ReplConfig struct {
 func (c *ReplConfig) applyDefaults() {
 	if c.MaxDeltaWindow == 0 {
 		c.MaxDeltaWindow = 150
+	}
+	if c.OwedSettleTicks == 0 {
+		c.OwedSettleTicks = 8
 	}
 }
 
@@ -70,6 +82,11 @@ type peerState struct {
 	// snapScratch is the reusable per-peer Snapshot for filtered peers,
 	// with the same lifetime contract as scratch.
 	snapScratch *protocol.Snapshot
+	// owed tracks the entities whose latest change this peer's filter
+	// suppressed (nil for unfiltered peers: no filter, no suppression).
+	// Owned exclusively by this peer's builds and acks — see OwedSet for
+	// the ownership and determinism contract.
+	owed *OwedSet
 }
 
 // reset clears a peer's replication state for reuse while keeping its
@@ -85,6 +102,9 @@ func (p *peerState) reset() {
 	}
 	if p.snapScratch != nil {
 		p.snapScratch.Entities = p.snapScratch.Entities[:0]
+	}
+	if p.owed != nil {
+		p.owed.Reset()
 	}
 }
 
@@ -192,6 +212,9 @@ func (r *Replicator) AddPeer(id string, filter FilterFunc) error {
 		p.boundFilter = func(eid protocol.ParticipantID) bool { return p.filter(eid, r.planTick) }
 	}
 	p.filter = filter
+	if filter != nil && p.owed == nil {
+		p.owed = NewOwedSet()
+	}
 	r.peers[id] = p
 	r.idsDirty = true
 	return nil
@@ -258,6 +281,9 @@ func (r *Replicator) Ack(peer string, tick uint64) error {
 	if !ok {
 		return fmt.Errorf("%w: %s", ErrUnknownPeer, peer)
 	}
+	// Receipt is receipt regardless of ordering: even a regressed ack proves
+	// the tick's message arrived, settling any owed entities it carried.
+	p.owed.AckDrop(tick)
 	if !p.acked || tick > p.ackTick {
 		p.ackTick = tick
 		p.acked = true
@@ -349,7 +375,7 @@ func (r *Replicator) planTickSerial(tick uint64) []PeerMessage {
 				if p.snapScratch == nil {
 					p.snapScratch = &protocol.Snapshot{}
 				}
-				r.store.SnapshotInto(p.boundFilter, p.snapScratch)
+				r.store.SnapshotOwedInto(p.boundFilter, p.snapScratch, p.owed)
 				snap = p.snapScratch
 				cohort = nextCohort
 				nextCohort++
@@ -375,7 +401,7 @@ func (r *Replicator) planTickSerial(tick uint64) []PeerMessage {
 			if p.scratch == nil {
 				p.scratch = &protocol.Delta{}
 			}
-			r.store.DeltaSinceInto(p.ackTick, p.boundFilter, p.scratch)
+			r.store.DeltaSinceOwedInto(p.ackTick, p.boundFilter, p.scratch, p.owed, p.ackTick, r.cfg.OwedSettleTicks)
 			if len(p.scratch.Changed) == 0 && len(p.scratch.Removed) == 0 {
 				continue
 			}
@@ -583,10 +609,10 @@ func (r *Replicator) execJob(worker, i int) {
 	case jobSharedSnap:
 		r.store.SnapshotInto(nil, r.snapScratch)
 	case jobPeerSnap:
-		r.store.SnapshotInto(j.peer.boundFilter, j.peer.snapScratch)
+		r.store.SnapshotOwedInto(j.peer.boundFilter, j.peer.snapScratch, j.peer.owed)
 	case jobPeerDelta:
 		p := j.peer
-		r.workerCands[worker] = r.store.DeltaSinceCands(p.ackTick, p.boundFilter, p.scratch, r.workerCands[worker])
+		r.workerCands[worker] = r.store.DeltaSinceOwedCands(p.ackTick, p.boundFilter, p.scratch, r.workerCands[worker], p.owed, p.ackTick, r.cfg.OwedSettleTicks)
 	case jobCohortDelta:
 		r.workerCands[worker] = r.store.DeltaSinceCands(j.base, nil, j.delta, r.workerCands[worker])
 	}
@@ -598,6 +624,10 @@ type PeerStats struct {
 	Acked     bool
 	Snapshots uint64
 	Deltas    uint64
+	// Owed is the number of entities whose latest change the peer's interest
+	// filter has suppressed and that the peer has not yet acknowledged
+	// receiving (always 0 for unfiltered peers).
+	Owed int
 }
 
 // StatsOf returns counters for one peer.
@@ -606,5 +636,5 @@ func (r *Replicator) StatsOf(peer string) (PeerStats, error) {
 	if !ok {
 		return PeerStats{}, fmt.Errorf("%w: %s", ErrUnknownPeer, peer)
 	}
-	return PeerStats{AckTick: p.ackTick, Acked: p.acked, Snapshots: p.snapshots, Deltas: p.deltas}, nil
+	return PeerStats{AckTick: p.ackTick, Acked: p.acked, Snapshots: p.snapshots, Deltas: p.deltas, Owed: p.owed.Len()}, nil
 }

@@ -293,6 +293,132 @@ func (s *Store) DeltaSinceCands(base uint64, filter func(protocol.ParticipantID)
 	return buf
 }
 
+// DeltaSinceOwedInto is DeltaSinceOwedCands using the store-owned candidate
+// buffer (the serial plan path).
+func (s *Store) DeltaSinceOwedInto(base uint64, filter func(protocol.ParticipantID) bool, msg *protocol.Delta, owed *OwedSet, ackTick, settle uint64) {
+	s.candScratch = s.DeltaSinceOwedCands(base, filter, msg, s.candScratch, owed, ackTick, settle)
+}
+
+// DeltaSinceOwedCands builds an interest-filtered delta with owed-change
+// tracking: the decimation-safe variant of DeltaSinceCands for filtered
+// peers. filter and owed must be non-nil. Beyond the plain filtered build it
+//
+//   - marks a candidate the filter rejects as owed when its change is newer
+//     than the last planned message that carried it (the peer's ack can pass
+//     the change before the filter ever admits it; candidates the ack-lagged
+//     baseline merely re-surfaces after their send create no new debt);
+//   - sweeps the owed set, re-including an owed entity's current state once
+//     the filter admits it — even when its changedTick is at or before base
+//     — so a change suppressed on its only dirty tick is still delivered;
+//   - settle-gates the sweep: an owed entity is swept only after sitting
+//     unchanged for settle ticks. While it keeps changing, every phase-tick
+//     send supersedes the suppressed change via the candidate walk, so an
+//     eager sweep would only duplicate imminent traffic; the sweep's job is
+//     the entity that went quiet with its last change unsent;
+//   - retransmit-gates the sweep: an owed entity already included at tick L
+//     is re-included only after the peer's ack floor reaches L without the
+//     exact ack for L arriving (the tick-L message is then presumed lost).
+//     ackTick is that floor — for real peers it equals base.
+//
+// Candidates and owed IDs are merge-walked in ascending order (each entity
+// visited once, filter invoked once per entity), keeping Changed ascending
+// and byte-identical across runs and worker counts. Removals are never
+// filtered and never owed: the log reaches every peer. Owed entities that
+// died are forgotten during the sweep for the same reason.
+func (s *Store) DeltaSinceOwedCands(base uint64, filter func(protocol.ParticipantID) bool, msg *protocol.Delta, buf []protocol.ParticipantID, owed *OwedSet, ackTick, settle uint64) []protocol.ParticipantID {
+	msg.BaseTick, msg.Tick = base, s.tick
+	msg.Changed = msg.Changed[:0]
+	msg.Removed = msg.Removed[:0]
+
+	cands, ok := s.changedSince(base, buf)
+	if !ok {
+		cands = buf[:0]
+		for _, id := range s.sortedIDs() {
+			if s.entities[id].changedTick > base {
+				cands = append(cands, id)
+			}
+		}
+	}
+	buf = cands
+	owedIDs := owed.sortedIDs()
+	i, j := 0, 0
+	for i < len(cands) || j < len(owedIDs) {
+		var id protocol.ParticipantID
+		// The merge determines owed-membership for free: every mutation a
+		// step makes touches only that step's id, so the snapshot stays
+		// accurate for every id still ahead of the walk. The branches below
+		// exploit it to skip owed-map probes that could only be no-ops.
+		cand, wasOwed := false, false
+		switch {
+		case j >= len(owedIDs) || (i < len(cands) && cands[i] < owedIDs[j]):
+			id, cand = cands[i], true
+			i++
+		case i >= len(cands) || owedIDs[j] < cands[i]:
+			id = owedIDs[j]
+			j++
+		default: // dirty and owed: the candidate walk subsumes the sweep
+			id, cand, wasOwed = cands[i], true, true
+			i++
+			j++
+		}
+		if cand {
+			if r := s.entities[id]; filter(id) {
+				msg.Changed = append(msg.Changed, r.state)
+				if wasOwed {
+					owed.markSent(id, s.tick)
+				}
+			} else if wasOwed {
+				owed.owe(id, r.changedTick)
+			} else {
+				owed.oweNew(id)
+			}
+			continue
+		}
+		r, live := s.entities[id]
+		if !live {
+			owed.drop(id)
+			continue
+		}
+		if s.tick-r.changedTick < settle {
+			continue // still moving: the candidate walk will supersede this
+		}
+		if last := owed.lastSent(id); filter(id) && (last == 0 || ackTick >= last) {
+			msg.Changed = append(msg.Changed, r.state)
+			owed.markSent(id, s.tick)
+		}
+	}
+	first := sort.Search(len(s.removals), func(i int) bool { return s.removals[i].tick > base })
+	for _, rm := range s.removals[first:] {
+		msg.Removed = append(msg.Removed, rm.id)
+	}
+	return buf
+}
+
+// SnapshotOwedInto is SnapshotInto for an interest-filtered peer with owed
+// tracking (filter and owed non-nil). A snapshot resets the peer's baseline
+// to the current tick, so every live entity the filter omits becomes owed —
+// its changedTick, whatever it was, is now at or before the baseline and the
+// candidate walk will never surface it again. Included entities that were
+// owed become pending on the snapshot's tick; owed entries for dead entities
+// are forgotten (the snapshot conveys absence by omission).
+func (s *Store) SnapshotOwedInto(filter func(protocol.ParticipantID) bool, msg *protocol.Snapshot, owed *OwedSet) {
+	msg.Tick = s.tick
+	msg.Entities = msg.Entities[:0]
+	for _, id := range s.sortedIDs() {
+		if !filter(id) {
+			owed.mark(id)
+			continue
+		}
+		msg.Entities = append(msg.Entities, s.entities[id].state)
+		owed.markSent(id, s.tick)
+	}
+	for id := range owed.pending {
+		if _, live := s.entities[id]; !live {
+			delete(owed.pending, id)
+		}
+	}
+}
+
 // changedSince returns the ascending IDs of live entities changed after base
 // via the dirty ring, built into the caller's buffer; ok is false when the
 // ring does not cover (base, tick] and the caller must fall back to a full
@@ -362,6 +488,15 @@ func (s *Store) ApplyDelta(d *protocol.Delta) bool {
 	}
 	s.tick = d.Tick
 	s.ringLo = s.tick + 1 // tick jump: the ring no longer covers any window
+	// Removals first: an entity removed and re-added within the delta window
+	// appears in both lists (the removal log is never filtered, and the live
+	// entity is a change candidate), and the re-add must win.
+	for _, id := range d.Removed {
+		if _, ok := s.entities[id]; ok {
+			delete(s.entities, id)
+			s.idsDirty = true
+		}
+	}
 	for _, e := range d.Changed {
 		if rec, ok := s.entities[e.Participant]; ok {
 			// Reuse the existing record: replicas apply a delta per peer per
@@ -372,12 +507,6 @@ func (s *Store) ApplyDelta(d *protocol.Delta) bool {
 		}
 		s.entities[e.Participant] = &record{state: e, changedTick: d.Tick}
 		s.idsDirty = true
-	}
-	for _, id := range d.Removed {
-		if _, ok := s.entities[id]; ok {
-			delete(s.entities, id)
-			s.idsDirty = true
-		}
 	}
 	return true
 }

@@ -27,6 +27,7 @@ import (
 	"metaclass/internal/endpoint"
 	"metaclass/internal/expression"
 	"metaclass/internal/fusion"
+	"metaclass/internal/interest"
 	"metaclass/internal/mathx"
 	"metaclass/internal/metrics"
 	"metaclass/internal/node"
@@ -60,6 +61,10 @@ type Config struct {
 	StaleAfter time.Duration
 	// Repl tunes the replicator.
 	Repl core.ReplConfig
+	// Interest is the client fan-out policy (nil = broadcast). Edge servers
+	// replicate to server peers unfiltered either way; the policy takes
+	// effect only if VR clients are attached to this node directly.
+	Interest *interest.Policy
 	// Fusion tunes per-participant sensor fusion.
 	Fusion fusion.Config
 	// Parallelism bounds the tick worker pool (see node.Config.Parallelism).
@@ -114,6 +119,7 @@ func New(sim *vclock.Sim, tr endpoint.Transport, cfg Config) (*Server, error) {
 		TickHz:      cfg.TickHz,
 		InterpDelay: cfg.InterpDelay,
 		Repl:        cfg.Repl,
+		Interest:    cfg.Interest,
 		CountRecv:   true,
 		AutoPong:    true,
 		Parallelism: cfg.Parallelism,

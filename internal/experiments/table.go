@@ -84,5 +84,6 @@ func All() []Runner {
 		{"E9", E9DeadReckoning},
 		{"E10", E10Fusion},
 		{"E11", E11Churn},
+		{"E12", E12MegaEvent},
 	}
 }

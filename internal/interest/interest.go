@@ -20,6 +20,14 @@ type Grid struct {
 	cell float64
 	pos  map[protocol.ParticipantID]mathx.Vec3
 	grid map[[2]int32][]protocol.ParticipantID
+
+	// Occupied-cell bounding box, maintained incrementally so queries scan
+	// min(query square, occupied box) instead of the full query square — a
+	// 60m cull radius over 4m cells is a 31×31 = 961-cell square, while a
+	// classroom occupies ~16 cells. Inserts extend the box; deleting a
+	// boundary cell marks it dirty for lazy recomputation on the next query.
+	bmin, bmax  [2]int32
+	boundsDirty bool
 }
 
 // NewGrid creates a grid with the given cell size in meters (default 4).
@@ -51,6 +59,17 @@ func (g *Grid) Update(id protocol.ParticipantID, p mathx.Vec3) {
 	}
 	g.pos[id] = p
 	k := g.key(p)
+	if cell := g.grid[k]; len(cell) == 0 {
+		if len(g.grid) == 0 {
+			g.bmin, g.bmax = k, k
+			g.boundsDirty = false
+		} else {
+			g.bmin[0] = min(g.bmin[0], k[0])
+			g.bmin[1] = min(g.bmin[1], k[1])
+			g.bmax[0] = max(g.bmax[0], k[0])
+			g.bmax[1] = max(g.bmax[1], k[1])
+		}
+	}
 	g.grid[k] = append(g.grid[k], id)
 }
 
@@ -75,9 +94,37 @@ func (g *Grid) removeFromCell(k [2]int32, id protocol.ParticipantID) {
 	}
 	if len(cell) == 0 {
 		delete(g.grid, k)
+		if k[0] == g.bmin[0] || k[0] == g.bmax[0] || k[1] == g.bmin[1] || k[1] == g.bmax[1] {
+			g.boundsDirty = true
+		}
 	} else {
 		g.grid[k] = cell
 	}
+}
+
+// bounds returns the occupied-cell bounding box, recomputing it when a
+// boundary cell was emptied since the last query. ok is false for an empty
+// grid.
+func (g *Grid) bounds() (bmin, bmax [2]int32, ok bool) {
+	if len(g.grid) == 0 {
+		return bmin, bmax, false
+	}
+	if g.boundsDirty {
+		first := true
+		for k := range g.grid {
+			if first {
+				g.bmin, g.bmax = k, k
+				first = false
+				continue
+			}
+			g.bmin[0] = min(g.bmin[0], k[0])
+			g.bmin[1] = min(g.bmin[1], k[1])
+			g.bmax[0] = max(g.bmax[0], k[0])
+			g.bmax[1] = max(g.bmax[1], k[1])
+		}
+		g.boundsDirty = false
+	}
+	return g.bmin, g.bmax, true
 }
 
 // Len returns the number of indexed entities.
@@ -106,10 +153,18 @@ func (g *Grid) Neighbors(center mathx.Vec3, radius float64, buf []protocol.Parti
 	if radius < 0 {
 		return buf
 	}
+	bmin, bmax, ok := g.bounds()
+	if !ok {
+		return buf
+	}
 	base := len(buf)
 	r2 := radius * radius
 	lo := g.key(center.Sub(mathx.V3(radius, 0, radius)))
 	hi := g.key(center.Add(mathx.V3(radius, 0, radius)))
+	lo[0] = max(lo[0], bmin[0])
+	lo[1] = max(lo[1], bmin[1])
+	hi[0] = min(hi[0], bmax[0])
+	hi[1] = min(hi[1], bmax[1])
 	for cx := lo[0]; cx <= hi[0]; cx++ {
 		for cz := lo[1]; cz <= hi[1]; cz++ {
 			for _, id := range g.grid[[2]int32{cx, cz}] {
@@ -197,22 +252,12 @@ func (p *Policy) Pin(id protocol.ParticipantID) { p.Pinned[id] = true }
 func (p *Policy) Unpin(id protocol.ParticipantID) { delete(p.Pinned, id) }
 
 // Classify returns the tier of source for a receiver at the given distance.
+// It delegates to ClassifySq so the two can never disagree at a radius
+// boundary: comparing d against r and d*d against r*r round differently in
+// float64, and a source classified TierNear by one path and TierFar by the
+// other would decimate on different ticks depending on which caller asked.
 func (p *Policy) Classify(source protocol.ParticipantID, distance float64) Tier {
-	if p.Pinned[source] {
-		return TierFocus
-	}
-	switch {
-	case distance <= p.FocusRadius:
-		return TierFocus
-	case distance <= p.NearRadius:
-		return TierNear
-	case distance <= p.FarRadius:
-		return TierFar
-	case distance <= p.CullRadius:
-		return TierAmbient
-	default:
-		return TierCulled
-	}
+	return p.ClassifySq(source, distance*distance)
 }
 
 // ClassifySq is Classify taking the squared distance, letting hot fan-out
@@ -235,14 +280,32 @@ func (p *Policy) ClassifySq(source protocol.ParticipantID, distSq float64) Tier 
 	}
 }
 
-// ShouldSend reports whether a source in tier t should be included in the
-// update sent at the given tick.
-func ShouldSend(t Tier, tick uint64) bool {
+// Phase returns the deterministic decimation phase of a source: a fixed
+// integer hash of its ID (splitmix64 finalizer). A tier with divisor d sends
+// source id on ticks where tick % d == Phase(id) % d, so each tier's traffic
+// spreads evenly across the divisor's ticks instead of every Ambient source
+// bursting together on tick%8 == 0. The phase depends only on the ID — no
+// clock, no randomness — so replication stays byte-identical across runs and
+// worker counts.
+func Phase(source protocol.ParticipantID) uint64 {
+	x := uint64(source) + 0x9e3779b97f4a7c15
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// ShouldSend reports whether source (in tier t for some receiver) should be
+// included in the update sent at the given tick. Sends are decimated to the
+// tier's RateDivisor and phase-staggered per source by Phase.
+func ShouldSend(t Tier, source protocol.ParticipantID, tick uint64) bool {
 	d := t.RateDivisor()
 	if d == 0 {
 		return false
 	}
-	return tick%d == 0
+	return tick%d == Phase(source)%d
 }
 
 // Set is a per-receiver cache of the sources whose update is due at the
@@ -253,6 +316,7 @@ func ShouldSend(t Tier, tick uint64) bool {
 type Set struct {
 	allowed  map[protocol.ParticipantID]bool
 	allowAll bool
+	recv     protocol.ParticipantID
 	tick     uint64
 	// scratch is the set-owned neighbor buffer RefreshOwned queries into.
 	// Owning it here (instead of a buffer shared across receivers) is what
@@ -272,6 +336,7 @@ func NewSet() *Set {
 func (s *Set) Reset() {
 	clear(s.allowed)
 	s.allowAll = false
+	s.recv = 0
 	s.tick = 0
 }
 
@@ -288,9 +353,12 @@ func (s *Set) RefreshOwned(g *Grid, p *Policy, recv protocol.ParticipantID, tick
 // Refresh rebuilds the set for receiver recv at tick, at most once per tick
 // (ticks start at 1; zero means never built). While recv is not indexed in
 // g the set admits everything — a just-joined receiver needs the full world
-// until placed. scratch is the caller's reusable neighbor buffer; the grown
-// buffer is returned for the caller to keep.
+// until placed. The receiver itself is never admitted: `Allows(g, recv) ==
+// false` is part of the contract, even in admit-everything mode and even
+// when recv is pinned. scratch is the caller's reusable neighbor buffer;
+// the grown buffer is returned for the caller to keep.
 func (s *Set) Refresh(g *Grid, p *Policy, recv protocol.ParticipantID, tick uint64, scratch []protocol.ParticipantID) []protocol.ParticipantID {
+	s.recv = recv
 	if s.tick == tick {
 		return scratch
 	}
@@ -304,14 +372,21 @@ func (s *Set) Refresh(g *Grid, p *Policy, recv protocol.ParticipantID, tick uint
 	clear(s.allowed)
 	scratch = g.Neighbors(recvPos, p.CullRadius, scratch[:0])
 	for _, id := range scratch {
+		if id == recv { // Neighbors includes the query center
+			continue
+		}
 		pos, _ := g.Position(id)
 		dx, dz := pos.X-recvPos.X, pos.Z-recvPos.Z
-		if ShouldSend(p.ClassifySq(id, dx*dx+dz*dz), tick) {
+		if ShouldSend(p.ClassifySq(id, dx*dx+dz*dz), id, tick) {
 			s.allowed[id] = true
 		}
 	}
-	// Pinned sources are focus-tier regardless of distance.
+	// Pinned sources are focus-tier regardless of distance (divisor 1, so no
+	// decimation check). A pinned receiver still never receives itself.
 	for id := range p.Pinned {
+		if id == recv {
+			continue
+		}
 		if _, indexed := g.Position(id); indexed {
 			s.allowed[id] = true
 		}
@@ -319,10 +394,14 @@ func (s *Set) Refresh(g *Grid, p *Policy, recv protocol.ParticipantID, tick uint
 	return scratch
 }
 
-// Allows reports whether source id should be sent this tick. Sources not
-// indexed in g bypass interest management (the caller cannot place them).
-// Refresh must have been called for the current tick.
+// Allows reports whether source id should be sent this tick. The receiver
+// the set was last refreshed for is never allowed. Other sources not indexed
+// in g bypass interest management (the caller cannot place them). Refresh
+// must have been called for the current tick.
 func (s *Set) Allows(g *Grid, id protocol.ParticipantID) bool {
+	if id == s.recv {
+		return false
+	}
 	if s.allowAll {
 		return true
 	}
@@ -343,11 +422,14 @@ func Plan(g *Grid, p *Policy, recv protocol.ParticipantID, recvPos mathx.Vec3, t
 		}
 		pos, _ := g.Position(id)
 		dx, dz := pos.X-recvPos.X, pos.Z-recvPos.Z
-		if ShouldSend(p.ClassifySq(id, dx*dx+dz*dz), tick) {
+		if ShouldSend(p.ClassifySq(id, dx*dx+dz*dz), id, tick) {
 			out = append(out, id)
 		}
 	}
-	// Pinned sources are focus even outside the cull radius.
+	// Pinned sources are focus even outside the cull radius. A pinned source
+	// inside the cull radius already classified TierFocus above (divisor 1,
+	// sent every tick), so membership in the sorted candidates slice — not a
+	// scan of out — is the dedup test.
 	for id := range p.Pinned {
 		if id == recv {
 			continue
@@ -355,16 +437,10 @@ func Plan(g *Grid, p *Policy, recv protocol.ParticipantID, recvPos mathx.Vec3, t
 		if _, ok := g.Position(id); !ok {
 			continue
 		}
-		found := false
-		for _, c := range out {
-			if c == id {
-				found = true
-				break
-			}
+		if _, inRadius := slices.BinarySearch(candidates, id); inRadius {
+			continue
 		}
-		if !found && ShouldSend(TierFocus, tick) {
-			out = append(out, id)
-		}
+		out = append(out, id)
 	}
 	slices.Sort(out)
 	return out

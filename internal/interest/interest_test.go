@@ -1,6 +1,7 @@
 package interest
 
 import (
+	"math"
 	"math/rand"
 	"testing"
 
@@ -124,12 +125,49 @@ func TestTierRates(t *testing.T) {
 		t.Error("culled should never send")
 	}
 	for tick := uint64(0); tick < 100; tick++ {
-		if ShouldSend(TierCulled, tick) {
-			t.Fatal("culled sent")
+		for id := protocol.ParticipantID(0); id < 5; id++ {
+			if ShouldSend(TierCulled, id, tick) {
+				t.Fatal("culled sent")
+			}
+			if !ShouldSend(TierFocus, id, tick) {
+				t.Fatal("focus skipped a tick")
+			}
 		}
-		if !ShouldSend(TierFocus, tick) {
-			t.Fatal("focus skipped a tick")
+	}
+}
+
+func TestShouldSendPhaseStagger(t *testing.T) {
+	// Each source sends exactly once per divisor window, on the tick selected
+	// by its deterministic phase — and the phases spread across the window
+	// instead of bursting together on tick%d == 0.
+	for _, tier := range []Tier{TierNear, TierFar, TierAmbient} {
+		d := tier.RateDivisor()
+		buckets := make([]int, d)
+		for id := protocol.ParticipantID(0); id < 256; id++ {
+			sent := 0
+			var sentAt uint64
+			for tick := uint64(0); tick < d; tick++ {
+				if ShouldSend(tier, id, tick) {
+					sent++
+					sentAt = tick
+				}
+			}
+			if sent != 1 {
+				t.Fatalf("%v source %d sent %d times in one window, want 1", tier, id, sent)
+			}
+			if sentAt != Phase(id)%d {
+				t.Fatalf("%v source %d sent at tick %d, want phase %d", tier, id, sentAt, Phase(id)%d)
+			}
+			buckets[sentAt]++
 		}
+		for phase, n := range buckets {
+			if n == 0 {
+				t.Errorf("%v: no source out of 256 landed on phase %d — hash not spreading", tier, phase)
+			}
+		}
+	}
+	if Phase(7) != Phase(7) {
+		t.Error("Phase not deterministic")
 	}
 }
 
@@ -253,6 +291,112 @@ func TestClassifySqMatchesClassify(t *testing.T) {
 	for _, d := range []float64{0, 3, 8, 20, 60, 60.0001} {
 		if got, want := p.ClassifySq(1, d*d), p.Classify(1, d); got != want {
 			t.Fatalf("boundary %v: ClassifySq = %v, Classify = %v", d, got, want)
+		}
+	}
+	// Random radii, including distances engineered to sit on the boundary:
+	// d <= r and d*d <= r*r can round differently in float64, so Classify
+	// must delegate to ClassifySq rather than reimplement the comparison.
+	rng = rand.New(rand.NewSource(12))
+	for i := 0; i < 20000; i++ {
+		q := &Policy{Pinned: map[protocol.ParticipantID]bool{}}
+		q.FocusRadius = rng.Float64() * 10
+		q.NearRadius = q.FocusRadius + rng.Float64()*10
+		q.FarRadius = q.NearRadius + rng.Float64()*20
+		q.CullRadius = q.FarRadius + rng.Float64()*50
+		var d float64
+		switch rng.Intn(3) {
+		case 0:
+			d = rng.Float64() * q.CullRadius * 1.2
+		case 1: // exactly on a boundary
+			d = [4]float64{q.FocusRadius, q.NearRadius, q.FarRadius, q.CullRadius}[rng.Intn(4)]
+		case 2: // one ulp around a boundary
+			b := [4]float64{q.FocusRadius, q.NearRadius, q.FarRadius, q.CullRadius}[rng.Intn(4)]
+			d = math.Nextafter(b, b+float64(rng.Intn(3)-1))
+		}
+		if got, want := q.ClassifySq(1, d*d), q.Classify(1, d); got != want {
+			t.Fatalf("policy %+v d=%v: ClassifySq = %v, Classify = %v", q, d, got, want)
+		}
+	}
+}
+
+func TestRefreshExcludesReceiver(t *testing.T) {
+	g := NewGrid(4)
+	p := NewPolicy()
+	g.Update(1, mathx.V3(0, 0, 0)) // receiver
+	g.Update(2, mathx.V3(1, 0, 0)) // focus neighbor
+	s := NewSet()
+	s.RefreshOwned(g, p, 1, 1)
+	if s.Allows(g, 1) {
+		t.Error("receiver admitted into its own allowed set")
+	}
+	if !s.Allows(g, 2) {
+		t.Error("focus neighbor not admitted")
+	}
+
+	// A pinned receiver must still never receive itself: the pinned loop
+	// would otherwise re-add it regardless of the neighbors fix.
+	p.Pin(1)
+	s2 := NewSet()
+	s2.RefreshOwned(g, p, 1, 2)
+	if s2.Allows(g, 1) {
+		t.Error("pinned receiver admitted into its own allowed set")
+	}
+	if !s2.Allows(g, 2) {
+		t.Error("neighbor lost after pinning the receiver")
+	}
+
+	// Allows(g, recv) == false holds even in admit-everything mode (receiver
+	// not yet indexed in the grid).
+	s3 := NewSet()
+	s3.RefreshOwned(g, p, 99, 1)
+	if s3.Allows(g, 99) {
+		t.Error("unindexed receiver admitted by allow-all mode")
+	}
+	if !s3.Allows(g, 2) {
+		t.Error("allow-all mode rejected another source")
+	}
+}
+
+// TestPlanSetPinChurnAgreement drives Plan and Set.Refresh through the same
+// pin/unpin churn and random motion, asserting the two admission paths never
+// drift: for every indexed source, Set.Allows must equal membership in Plan's
+// output.
+func TestPlanSetPinChurnAgreement(t *testing.T) {
+	rng := rand.New(rand.NewSource(29))
+	g := NewGrid(4)
+	p := NewPolicy()
+	const n = 60
+	for i := 0; i < n; i++ {
+		g.Update(protocol.ParticipantID(i), mathx.V3(rng.Float64()*160-80, 0, rng.Float64()*160-80))
+	}
+	recv := protocol.ParticipantID(0)
+	s := NewSet()
+	for tick := uint64(1); tick <= 200; tick++ {
+		// Churn pins (sometimes pinning the receiver itself) and positions.
+		for j := 0; j < 3; j++ {
+			id := protocol.ParticipantID(rng.Intn(n))
+			if rng.Intn(2) == 0 {
+				p.Pin(id)
+			} else {
+				p.Unpin(id)
+			}
+		}
+		id := protocol.ParticipantID(rng.Intn(n))
+		g.Update(id, mathx.V3(rng.Float64()*160-80, 0, rng.Float64()*160-80))
+
+		recvPos, _ := g.Position(recv)
+		plan := Plan(g, p, recv, recvPos, tick)
+		inPlan := make(map[protocol.ParticipantID]bool, len(plan))
+		for _, id := range plan {
+			inPlan[id] = true
+		}
+		s.RefreshOwned(g, p, recv, tick)
+		for i := 0; i < n; i++ {
+			id := protocol.ParticipantID(i)
+			if got, want := s.Allows(g, id), inPlan[id]; got != want {
+				t.Fatalf("tick %d source %d: Set.Allows = %v, Plan membership = %v (pinned=%v)",
+					tick, id, got, want, p.Pinned[id])
+			}
 		}
 	}
 }

@@ -1,5 +1,5 @@
 #!/usr/bin/env bash
-# bench.sh — run the root E1–E10 benchmark suite with -benchmem and emit
+# bench.sh — run the root E1–E12 benchmark suite with -benchmem and emit
 # BENCH_<n>.json recording name, ns/op, B/op, allocs/op and each bench's
 # headline metric (e.g. cloud-egress-KB/s). The JSON files form the repo's
 # perf trajectory: BENCH_1.json is PR 1's floor; later perf PRs append
@@ -26,6 +26,39 @@ allocs_of() {
 # ns_of FILE NAME — extract NAME's ns_per_op from a BENCH json.
 ns_of() {
     sed -n 's|.*"name": "'"$2"'".*"ns_per_op": \([0-9][0-9.]*\).*|\1|p' "$1"
+}
+
+# metric_of FILE NAME METRIC — extract NAME's headline METRIC (from the
+# "metrics" object go test's extra ReportMetric units land in).
+metric_of() {
+    sed -n 's|.*"name": "'"$2"'".*"'"$3"'": \([0-9][0-9.]*\).*|\1|p' "$1"
+}
+
+# gate_metric NAME METRIC OLD NEW REQUIRED — fail when NAME's METRIC grew
+# >5% (headline metrics gated here are costs: egress bandwidth). With
+# REQUIRED=optional the gate is skipped when the old file predates the
+# benchmark.
+gate_metric() {
+    local name="$1" metric="$2" old_file="$3" new_file="$4" required="$5" old new
+    old="$(metric_of "$old_file" "$name" "$metric")"
+    new="$(metric_of "$new_file" "$name" "$metric")"
+    if [[ -z "$new" ]]; then
+        echo "bench.sh: missing $name $metric in $new_file" >&2
+        exit 1
+    fi
+    if [[ -z "$old" ]]; then
+        if [[ "$required" == "optional" ]]; then
+            echo "bench.sh: note — $old_file has no $name $metric baseline; gate skipped" >&2
+            return 0
+        fi
+        echo "bench.sh: missing $name $metric in $old_file" >&2
+        exit 1
+    fi
+    echo "$name $metric: $old ($old_file) -> $new ($new_file)" >&2
+    if ! awk -v o="$old" -v n="$new" 'BEGIN { exit !(n <= o * 1.05) }'; then
+        echo "bench.sh: FAIL — $name $metric regressed >5% ($old -> $new)" >&2
+        exit 1
+    fi
 }
 
 # gate_ns NAME OLD NEW — fail when NAME's ns/op regressed >5%. Wall-time
@@ -77,13 +110,17 @@ gate_allocs() {
 }
 
 # compare_allocs OLD NEW — fail when E4Scale or the onboarding storm bench
-# regressed >5% in allocs/op. (Onboard joined the suite with BENCH_5.json;
-# older baselines skip its gate.)
+# regressed >5% in allocs/op, or when the tiered mega-event's cloud egress
+# grew >5% (the decimation gate: re-admitting the far/ambient crowd at full
+# rate moves bandwidth, not allocations). (Onboard joined the suite with
+# BENCH_5.json, E12MegaEvent with BENCH_7.json; older baselines skip their
+# gates.)
 compare_allocs() {
     gate_allocs "E4Scale" "$1" "$2" required
     gate_allocs "Onboard/storm=64" "$1" "$2" optional
     gate_ns "E4Scale" "$1" "$2"
-    echo "bench.sh: OK — within the 5% allocation and E4Scale wall-time budgets" >&2
+    gate_metric "E12MegaEvent" "cloud-egress-KB/s" "$1" "$2" optional
+    echo "bench.sh: OK — within the 5% allocation, wall-time, and egress budgets" >&2
 }
 
 N=""
@@ -156,7 +193,7 @@ BEGIN { n = 0 }
 }
 END {
     print "{"
-    printf "  \"suite\": \"E1-E11 + onboarding root benchmarks\",\n"
+    printf "  \"suite\": \"E1-E12 + onboarding root benchmarks\",\n"
     printf "  \"go\": \"%s\",\n", goversion
     printf "  \"command\": \"go test -bench BenchmarkE[0-9]|BenchmarkOnboard|BenchmarkPlanTick|BenchmarkFanout -benchmem -run ^$ .\",\n"
     print  "  \"benchmarks\": ["
