@@ -459,9 +459,11 @@ func (d *Deployment) RemoveRemoteLearner(id ParticipantID) error {
 	if err := d.cloud.RemoveClient(id); err != nil {
 		return err
 	}
-	// Detach the learner's endpoint: late deliveries are discarded by the
-	// fabric and their frames released.
-	return d.net.Endpoint(netsim.Addr(v.Addr())).Close()
+	// Remove the learner's host from the fabric: its links and any deliveries
+	// still queued toward it are reclaimed eagerly (frames released exactly
+	// once, never leaked), so churn cannot grow the netsim tables without
+	// bound. Traffic the learner already put on the wire still arrives.
+	return d.net.RemoveHost(netsim.Addr(v.Addr()))
 }
 
 // Start launches every server, sensor and client. Run calls it implicitly.

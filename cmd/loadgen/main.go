@@ -8,8 +8,16 @@
 //
 // Usage:
 //
+// With -soak N, loadgen instead runs N compressed churn epochs — every
+// client joins, publishes for its stay, and leaves; then a forced GC and a
+// post-GC heap sample — and exits non-zero unless the final-quartile heap is
+// flat against the epoch-3 baseline. Combined with -serve the room runs
+// in-process, so the verdict covers server-side leaks too; against a remote
+// -addr it covers only the client side.
+//
 //	loadgen -addr 127.0.0.1:7480 -clients 50 -duration 30s -rate 20
 //	loadgen -serve -clients 20 -duration 10s -churn 2s   # self-hosted churn run
+//	loadgen -serve -clients 8 -soak 20 -churn 300ms      # compressed soak gate
 package main
 
 import (
@@ -17,6 +25,7 @@ import (
 	"fmt"
 	"math/rand"
 	"os"
+	"runtime"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -36,6 +45,7 @@ func main() {
 		rate     = flag.Float64("rate", 20, "pose publish rate per client (Hz)")
 		churn    = flag.Duration("churn", 0, "client stay duration before leaving and rejoining (0 = no churn)")
 		serve    = flag.Bool("serve", false, "host an in-process room on 127.0.0.1:0 and drive it (self-contained smoke)")
+		soak     = flag.Int("soak", 0, "run N compressed churn epochs with a post-GC heap sample each; exit non-zero unless flat")
 	)
 	flag.Parse()
 	target := *addr
@@ -49,10 +59,82 @@ func main() {
 		target = room.Addr()
 		fmt.Printf("loadgen: serving in-process room on %s\n", target)
 	}
+	if *soak > 0 {
+		if err := runSoak(target, *clients, *rate, *churn, *soak); err != nil {
+			fmt.Fprintln(os.Stderr, "loadgen:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if err := run(target, *clients, *duration, *rate, *churn); err != nil {
 		fmt.Fprintln(os.Stderr, "loadgen:", err)
 		os.Exit(1)
 	}
+}
+
+// runSoak is the compressed soak gate over real TCP: `epochs` rounds of the
+// full churn cycle — every client joins, publishes for `stay`, leaves — with
+// a forced GC and a post-GC HeapAlloc sample after each round. A deployment
+// that can run for a week shows a flat post-GC heap line; a per-session leak
+// of even a few KB climbs straight through the 10% tolerance.
+func runSoak(addr string, clients int, rate float64, stay time.Duration, epochs int) error {
+	if stay <= 0 {
+		stay = 300 * time.Millisecond
+	}
+	fmt.Printf("loadgen: soak %d epochs x %d clients (stay %v at %.0f Hz) -> %s\n",
+		epochs, clients, stay, rate, addr)
+	var (
+		age      metrics.SafeHistogram
+		onboard  metrics.SafeHistogram
+		received atomic.Uint64
+		errs     atomic.Uint64
+	)
+	start := time.Now()
+	heaps := make([]uint64, 0, epochs)
+	var ms runtime.MemStats
+	for e := 0; e < epochs; e++ {
+		var wg sync.WaitGroup
+		for i := 0; i < clients; i++ {
+			wg.Add(1)
+			go func(id int) {
+				defer wg.Done()
+				if err := runClient(addr, protocol.ParticipantID(id+1), rate, start,
+					time.Now().Add(stay), &age, &onboard, &received); err != nil {
+					errs.Add(1)
+				}
+			}(i)
+		}
+		wg.Wait()
+		runtime.GC()
+		runtime.ReadMemStats(&ms)
+		heaps = append(heaps, ms.HeapAlloc)
+		fmt.Printf("epoch %2d/%d: post-GC heap %5d KB\n", e+1, epochs, ms.HeapAlloc/1024)
+	}
+	fmt.Printf("done: sessions=%d updates=%d errors=%d\n",
+		uint64(epochs*clients), received.Load(), errs.Load())
+	if snap := onboard.Snapshot(); snap.Count() > 0 {
+		fmt.Printf("onboarding: p50=%v p95=%v max=%v\n",
+			snap.P50().Round(time.Millisecond), snap.P95().Round(time.Millisecond),
+			snap.Max().Round(time.Millisecond))
+	}
+	if len(heaps) < 4 {
+		fmt.Println("soak: too few epochs for a flatness verdict (need >= 4)")
+		return nil
+	}
+	base := heaps[2]
+	const slack = 512 << 10
+	lim := uint64(float64(base)*1.10) + slack
+	flat := true
+	for _, h := range heaps[len(heaps)-max(1, len(heaps)/4):] {
+		if h > lim {
+			flat = false
+		}
+	}
+	if !flat {
+		return fmt.Errorf("soak NOT FLAT: final-quartile post-GC heap exceeds epoch-3 baseline %d KB +10%%+512KB", base/1024)
+	}
+	fmt.Printf("soak FLAT: final-quartile post-GC heap within 10%%+512KB of epoch-3 baseline %d KB\n", base/1024)
+	return nil
 }
 
 func run(addr string, clients int, duration time.Duration, rate float64, churn time.Duration) error {

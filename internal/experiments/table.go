@@ -85,5 +85,6 @@ func All() []Runner {
 		{"E10", E10Fusion},
 		{"E11", E11Churn},
 		{"E12", E12MegaEvent},
+		{"E13", E13Soak},
 	}
 }

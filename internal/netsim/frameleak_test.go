@@ -119,8 +119,8 @@ func TestSendFrameReleasedOnQueueDrop(t *testing.T) {
 }
 
 // TestSendFrameReleasedOnClose: frames in flight when the network closes
-// are released (without delivery) as their events fire, and frames sent to
-// a closed network are released at Send.
+// are released eagerly (without delivery), and frames sent to a closed
+// network are released at Send.
 func TestSendFrameReleasedOnClose(t *testing.T) {
 	live0 := protocol.LiveFrames()
 	sim, n, delivered := leakNet(t, LinkConfig{Latency: 10 * time.Millisecond})

@@ -135,34 +135,82 @@ type delivery struct {
 	payload []byte
 	// frame is the refcounted owner of payload for SendFrame traffic (nil
 	// for raw Send). The delivery holds one reference, taken at frameGen,
-	// and releases it after the handler returns — or without delivering on
-	// the network-closed path.
+	// and releases it after the handler returns — or without delivering when
+	// the delivery is cancelled (host removal, link removal, network close).
 	frame    *protocol.Frame
 	frameGen uint32
 	sentAt   time.Duration
 	size     int
 	queued   bool // size was added to the link's serialization queue
+
+	// ev/evGen is the pooled timer behind this delivery and idx its slot in
+	// the network's in-flight index, so cancellation reclaims the timer, the
+	// frame reference, and the delivery object immediately — no waiting for
+	// the simulation to advance past the due time.
+	ev    *vclock.Event
+	evGen uint64
+	idx   int
 }
 
 // runDelivery is the shared pooled-event callback: a package-level function
 // (no capture), with the per-message state threaded through the argument.
 func runDelivery(a any) {
 	d := a.(*delivery)
+	n := d.n
+	n.untrack(d)
 	if d.queued {
 		d.l.queued -= d.size
 	}
-	n := d.n
 	n.deliver(d.src, d.dst, d.payload, d.frame, d.sentAt)
 	if d.frame != nil {
-		// The handler has returned (or the network is closed): the
+		// The handler has returned (or the destination is gone): the
 		// delivery's reference — and with it the payload bytes — goes back.
 		// A handler that retained the frame keeps it alive past this point.
 		d.frame.ReleaseGen(d.frameGen)
-		d.frame = nil
 	}
-	d.payload = nil // never retain message bytes in the pool
-	d.n, d.l = nil, nil
+	n.recycle(d)
+}
+
+// untrack removes d from the in-flight index (swap with the tail, O(1)).
+func (n *Network) untrack(d *delivery) {
+	last := len(n.inflight) - 1
+	tail := n.inflight[last]
+	n.inflight[d.idx] = tail
+	tail.idx = d.idx
+	n.inflight[last] = nil
+	n.inflight = n.inflight[:last]
+}
+
+// recycle clears a delivery's references and returns it to the freelist.
+func (n *Network) recycle(d *delivery) {
+	*d = delivery{} // never retain message bytes or frames in the pool
 	n.freeDeliveries = append(n.freeDeliveries, d)
+}
+
+// cancel reclaims one in-flight delivery without delivering it: the timer
+// event comes off the heap, the link's serialization queue is credited, and
+// the frame reference (if any) is released — exactly the once the SendFrame
+// contract owes. The destination handler is never invoked.
+func (n *Network) cancel(d *delivery) {
+	n.sim.CancelCall(d.ev, d.evGen)
+	n.untrack(d)
+	if d.queued {
+		d.l.queued -= d.size
+	}
+	if d.frame != nil {
+		d.frame.ReleaseGen(d.frameGen)
+	}
+	n.recycle(d)
+}
+
+// cancelMatching cancels every in-flight delivery for which match is true.
+// It walks backward so the swap-with-tail removal never skips an entry.
+func (n *Network) cancelMatching(match func(d *delivery) bool) {
+	for i := len(n.inflight) - 1; i >= 0; i-- {
+		if match(n.inflight[i]) {
+			n.cancel(n.inflight[i])
+		}
+	}
 }
 
 // Network is the simulated fabric. Not safe for concurrent use; all calls
@@ -175,7 +223,16 @@ type Network struct {
 	delivered metrics.Counter
 	latency   metrics.Histogram
 
+	// inflight indexes every scheduled delivery (d.idx is its slot) so host
+	// removal, link removal, and Close can reclaim queued traffic eagerly.
+	inflight       []*delivery
 	freeDeliveries []*delivery
+	allocated      int // deliveries ever allocated (pool accounting)
+
+	// Counters of links deleted by RemoveHost/Disconnect, so aggregate Stats
+	// remain monotonic after topology shrinks.
+	retiredDropped uint64
+	retiredBytes   uint64
 }
 
 // New creates an empty network on the given simulator.
@@ -283,9 +340,10 @@ func (n *Network) Send(src, dst Addr, payload []byte) error {
 // SendFrame transmits f's bytes from src to dst, consuming exactly one of
 // the caller's references: whether the message is delivered, lost at
 // ingress, tail-dropped at the serialization queue, refused (closed
-// network, unknown host, no route), or still in flight when the network
-// closes, the network releases that reference exactly once. Timing, loss,
-// and metrics behavior is identical to Send.
+// network, unknown host, no route), or cancelled in flight (destination
+// removed, link disconnected, network closed), the network releases that
+// reference exactly once. Timing, loss, and metrics behavior is identical
+// to Send.
 func (n *Network) SendFrame(src, dst Addr, f *protocol.Frame) error {
 	return n.send(src, dst, f.Bytes(), f, f.Gen())
 }
@@ -303,6 +361,14 @@ func (n *Network) send(src, dst Addr, payload []byte, f *protocol.Frame, gen uin
 			f.ReleaseGen(gen)
 		}
 		return fmt.Errorf("%w: %s", ErrUnknownHost, src)
+	}
+	if _, ok := n.hosts[dst]; !ok {
+		// A removed destination is unknown, not unrouted: the distinction
+		// lets senders tell a departed peer from a topology gap.
+		if f != nil {
+			f.ReleaseGen(gen)
+		}
+		return fmt.Errorf("%w: %s", ErrUnknownHost, dst)
 	}
 	l, ok := s.links[dst]
 	if !ok {
@@ -355,13 +421,16 @@ func (n *Network) send(src, dst Addr, payload []byte, f *protocol.Frame, gen uin
 		n.freeDeliveries = n.freeDeliveries[:k-1]
 	} else {
 		d = &delivery{}
+		n.allocated++
 	}
 	*d = delivery{
 		n: n, l: l, src: src, dst: dst, payload: payload,
 		frame: f, frameGen: gen,
 		sentAt: now, size: size, queued: l.cfg.Bandwidth > 0,
 	}
-	n.sim.AfterCall(delay, runDelivery, d)
+	d.ev, d.evGen = n.sim.AfterCallEvent(delay, runDelivery, d)
+	d.idx = len(n.inflight)
+	n.inflight = append(n.inflight, d)
 	return nil
 }
 
@@ -382,10 +451,73 @@ func (n *Network) deliver(src, dst Addr, payload []byte, f *protocol.Frame, sent
 	d.handler.HandleMessage(src, payload)
 }
 
-// Close stops all future deliveries. In-flight frames are not leaked: their
-// delivery events still fire as the simulation advances and release each
-// frame without invoking the destination handler.
-func (n *Network) Close() { n.closed = true }
+// retire folds a link's drop/byte counters into the network-level retired
+// totals before the link is deleted, so aggregate Stats stay monotonic across
+// host and link removal.
+func (n *Network) retire(l *link) {
+	n.retiredDropped += l.dropped.Value()
+	n.retiredBytes += l.bytes.Value()
+}
+
+// RemoveHost unregisters addr and reclaims everything the fabric holds for
+// it: every link to or from the host is deleted (their aggregate counters are
+// folded into the network totals), and every delivery still in flight *to*
+// the host is cancelled — its frame reference released exactly once, per the
+// SendFrame contract, without invoking the stale handler. Traffic the host
+// already put on the wire toward live destinations still arrives. The
+// address may be re-registered with AddHost afterwards; no ghost links
+// survive the removal.
+func (n *Network) RemoveHost(addr Addr) error {
+	h, ok := n.hosts[addr]
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrUnknownHost, addr)
+	}
+	n.cancelMatching(func(d *delivery) bool { return d.dst == addr })
+	for _, l := range h.links {
+		n.retire(l)
+	}
+	for _, other := range n.hosts {
+		if other == h {
+			continue
+		}
+		if l, ok := other.links[addr]; ok {
+			n.retire(l)
+			delete(other.links, addr)
+		}
+	}
+	delete(n.hosts, addr)
+	return nil
+}
+
+// Disconnect removes the unidirectional src->dst link, cancelling any
+// deliveries still in flight on it (frames released exactly once, handlers
+// not invoked) and folding the link's counters into the network totals.
+func (n *Network) Disconnect(src, dst Addr) error {
+	s, ok := n.hosts[src]
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrUnknownHost, src)
+	}
+	l, ok := s.links[dst]
+	if !ok {
+		return fmt.Errorf("%w: %s->%s", ErrNoRoute, src, dst)
+	}
+	n.cancelMatching(func(d *delivery) bool { return d.l == l })
+	n.retire(l)
+	delete(s.links, dst)
+	return nil
+}
+
+// Close stops all future deliveries and eagerly cancels every delivery still
+// in flight, releasing each frame reference immediately. A harness that
+// closes the network and never advances the simulation again therefore leaks
+// nothing — the release no longer waits for the delivery events to fire.
+func (n *Network) Close() {
+	if n.closed {
+		return
+	}
+	n.closed = true
+	n.cancelMatching(func(*delivery) bool { return true })
+}
 
 // Sim returns the simulator the network is scheduled on.
 func (n *Network) Sim() *vclock.Sim { return n.sim }
@@ -398,9 +530,15 @@ type Stats struct {
 	Latency   metrics.Histogram
 }
 
-// Stats returns aggregate counters across all links.
+// Stats returns aggregate counters across all links, including links since
+// removed by RemoveHost or Disconnect.
 func (n *Network) Stats() Stats {
-	st := Stats{Delivered: n.delivered.Value(), Latency: n.latency}
+	st := Stats{
+		Delivered: n.delivered.Value(),
+		Dropped:   n.retiredDropped,
+		SentBytes: n.retiredBytes,
+		Latency:   n.latency,
+	}
 	for _, h := range n.hosts {
 		for _, l := range h.links {
 			st.Dropped += l.dropped.Value()
@@ -408,6 +546,34 @@ func (n *Network) Stats() Stats {
 		}
 	}
 	return st
+}
+
+// Tables is a point-in-time snapshot of the network's internal table sizes.
+// Leak gates use it to assert a drained fabric returned to baseline: after
+// churn plus drain, Hosts/Links should match the pre-churn topology,
+// Inflight should be zero, and PooledDeliveries should equal
+// DeliveriesAllocated (every delivery object ever created is back in the
+// pool — none captive in the event queue or lost).
+type Tables struct {
+	Hosts               int
+	Links               int
+	Inflight            int
+	PooledDeliveries    int
+	DeliveriesAllocated int
+}
+
+// Tables returns the current table sizes.
+func (n *Network) Tables() Tables {
+	t := Tables{
+		Hosts:               len(n.hosts),
+		Inflight:            len(n.inflight),
+		PooledDeliveries:    len(n.freeDeliveries),
+		DeliveriesAllocated: n.allocated,
+	}
+	for _, h := range n.hosts {
+		t.Links += len(h.links)
+	}
+	return t
 }
 
 // LinkStats describes one link's counters.

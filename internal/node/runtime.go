@@ -337,6 +337,21 @@ func (r *Runtime) Client(id protocol.ParticipantID) (*Client, bool) {
 	return c, ok
 }
 
+// ClientByAddr returns the replicated client registered at addr — the
+// reverse lookup receive hooks use to resolve a sender to its session.
+func (r *Runtime) ClientByAddr(addr endpoint.Addr) (*Client, bool) {
+	c, ok := r.byAddr[addr]
+	return c, ok
+}
+
+// RangeClients calls fn for every registered client, in no particular order.
+// fn must not add or remove clients.
+func (r *Runtime) RangeClients(fn func(c *Client)) {
+	for _, c := range r.clients {
+		fn(c)
+	}
+}
+
 // RemoveClient tears a learner down: the replicator peer (and its scratch,
 // returned to the pool), the interest-grid entry, and the table slots all
 // go; the Client value is recycled for the next join. The client's former

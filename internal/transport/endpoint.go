@@ -38,6 +38,12 @@ type inbound struct {
 type Endpoint struct {
 	addr endpoint.Addr
 	ln   net.Listener
+	// anon accepts connections without the Hello/HelloAck name handshake:
+	// each accepted conn is registered under its remote TCP address and every
+	// inbound message — the application-level Hello included — reaches the
+	// bound receiver. Server endpoints whose peers are anonymous clients (the
+	// Room) listen this way and run their own admission policy on top.
+	anon bool
 
 	mu     sync.Mutex
 	conns  map[endpoint.Addr]*Conn
@@ -58,11 +64,32 @@ type Endpoint struct {
 	done      chan struct{}
 	wg        sync.WaitGroup
 	closeOnce sync.Once
+
+	// gone queues the addresses of registered peers whose connections died,
+	// drained by Pump (after the dead peer's already-received frames) on the
+	// owning goroutine — never from the read loop that observed the error —
+	// so teardown stays on the single-threaded node path.
+	goneMu      sync.Mutex
+	gone        []endpoint.Addr
+	goneScratch []endpoint.Addr
+	onGone      func(endpoint.Addr)
 }
 
 // ListenEndpoint binds a TCP listener (tcpAddr, e.g. "127.0.0.1:0") and
 // returns the transport endpoint named name.
 func ListenEndpoint(name endpoint.Addr, tcpAddr string) (*Endpoint, error) {
+	return listen(name, tcpAddr, false)
+}
+
+// ListenAnonymous binds a TCP listener that accepts connections without the
+// name handshake: each conn is registered under its remote TCP address and
+// all of its traffic (Hello included) is dispatched to the bound receiver.
+// Outbound Dial still handshakes as usual.
+func ListenAnonymous(name endpoint.Addr, tcpAddr string) (*Endpoint, error) {
+	return listen(name, tcpAddr, true)
+}
+
+func listen(name endpoint.Addr, tcpAddr string, anon bool) (*Endpoint, error) {
 	ln, err := net.Listen("tcp", tcpAddr)
 	if err != nil {
 		return nil, fmt.Errorf("transport: listen %s: %w", tcpAddr, err)
@@ -70,6 +97,7 @@ func ListenEndpoint(name endpoint.Addr, tcpAddr string) (*Endpoint, error) {
 	e := &Endpoint{
 		addr:  name,
 		ln:    ln,
+		anon:  anon,
 		conns: make(map[endpoint.Addr]*Conn),
 		all:   make(map[*Conn]struct{}),
 		dirty: make(map[endpoint.Addr]*Conn),
@@ -151,6 +179,15 @@ func (e *Endpoint) acceptLoop() {
 			return
 		}
 		e.wg.Add(1)
+		if e.anon {
+			from := endpoint.Addr(nc.RemoteAddr().String())
+			e.register(from, c)
+			go func() {
+				defer e.wg.Done()
+				e.readLoop(from, c)
+			}()
+			continue
+		}
 		go e.handshake(c)
 	}
 }
@@ -208,11 +245,69 @@ func (e *Endpoint) readLoop(from endpoint.Addr, c *Conn) {
 func (e *Endpoint) dropConn(from endpoint.Addr, c *Conn) {
 	_ = c.Close()
 	e.mu.Lock()
-	if e.conns[from] == c {
+	registered := e.conns[from] == c
+	if registered {
 		delete(e.conns, from)
 	}
 	delete(e.all, c)
+	notify := registered && !e.closed && e.onGone != nil
 	e.mu.Unlock()
+	if notify {
+		// Queue, don't call: the handler must run on the pumping goroutine,
+		// and only for the conn that actually held the registration (a
+		// replaced conn dying must not tear down its successor).
+		e.goneMu.Lock()
+		e.gone = append(e.gone, from)
+		e.goneMu.Unlock()
+	}
+}
+
+// OnPeerGone registers a handler for peer teardown: when a registered peer's
+// connection dies, its address is queued and the handler runs during a later
+// Pump, after the inbox has drained — so every frame the peer sent before
+// dying is dispatched before its teardown. Set before traffic starts.
+func (e *Endpoint) OnPeerGone(h func(peer endpoint.Addr)) {
+	e.mu.Lock()
+	e.onGone = h
+	e.mu.Unlock()
+}
+
+// ClosePeer closes the named peer's connection. The read loop observes the
+// close and the usual teardown (including the OnPeerGone notification)
+// follows. Unknown peers are a no-op.
+func (e *Endpoint) ClosePeer(peer endpoint.Addr) {
+	e.mu.Lock()
+	c := e.conns[peer]
+	e.mu.Unlock()
+	if c != nil {
+		_ = c.Close()
+	}
+}
+
+// drainGone runs the queued peer-gone notifications on the caller's
+// goroutine. Handlers may trigger further notifications (closing another
+// peer), so it loops until the queue stays empty.
+func (e *Endpoint) drainGone() {
+	e.mu.Lock()
+	h := e.onGone
+	e.mu.Unlock()
+	if h == nil {
+		return
+	}
+	for {
+		e.goneMu.Lock()
+		if len(e.gone) == 0 {
+			e.goneMu.Unlock()
+			return
+		}
+		batch := append(e.goneScratch[:0], e.gone...)
+		e.gone = e.gone[:0]
+		e.goneMu.Unlock()
+		for _, a := range batch {
+			h(a)
+		}
+		e.goneScratch = batch[:0]
+	}
 }
 
 // untrack closes and forgets a connection that never finished its handshake.
@@ -324,6 +419,7 @@ func (e *Endpoint) Pump() int {
 			n++
 		default:
 			_ = e.FlushBatch()
+			e.drainGone()
 			return n
 		}
 	}
@@ -343,6 +439,8 @@ func (e *Endpoint) PumpWait(timeout time.Duration) int {
 		e.dispatch(in)
 		return 1 + e.Pump()
 	case <-t.C:
+		// No traffic, but a quiet peer may still have died: run its teardown.
+		e.drainGone()
 		return 0
 	case <-e.done:
 		return 0

@@ -1,14 +1,14 @@
 package transport
 
 import (
-	"errors"
-	"fmt"
-	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
-	"metaclass/internal/core"
+	"metaclass/internal/endpoint"
+	"metaclass/internal/node"
 	"metaclass/internal/protocol"
+	"metaclass/internal/vclock"
 )
 
 // RoomConfig parameterizes a hosted classroom room.
@@ -33,83 +33,80 @@ func (c *RoomConfig) applyDefaults() {
 // Room is a real-TCP classroom sync server: clients Hello in, publish
 // PoseUpdate/ExpressionUpdate streams, and receive snapshot/delta
 // replication of everyone else — the cloud VR classroom of Fig. 3 reduced
-// to one process. All state mutations run on the tick goroutine via a
-// serialized command queue, keeping the sync core single-threaded exactly
-// as in simulation.
+// to one process.
+//
+// The Room is a thin admission policy over node.Runtime: the peer table,
+// replicator wiring, tick skeleton, cohort fan-out, and join/leave teardown
+// are all the runtime's (the same pooled, leak-gated lifecycle the cloud,
+// relay, and edge nodes run on), driven over an anonymous-accept TCP
+// endpoint. The Room itself only decides who gets in (Hello/HelloAck), which
+// publishes are honest (spoof checks), and how audio is relayed. All state
+// mutations run on the single driver goroutine that pumps the endpoint and
+// advances the tick clock, keeping the sync core single-threaded exactly as
+// in simulation.
 type Room struct {
 	cfg RoomConfig
-	ln  net.Listener
 
-	store        *core.Store
-	repl         *core.Replicator
-	conns        map[string]*client // keyed by peer key; tick-goroutine only
-	frames       core.FrameCache    // cohort frame table; tick-goroutine only
-	flushScratch []*client          // per-tick flush list; tick-goroutine only
+	ep  *Endpoint
+	sim *vclock.Sim
+	rt  *node.Runtime
 
-	allMu sync.Mutex
-	all   map[*Conn]struct{} // every open conn, for shutdown
-
-	cmds chan func()
 	done chan struct{}
 	wg   sync.WaitGroup
 
-	mu        sync.Mutex // guards counters below
-	joined    uint64
-	left      uint64
-	poses     uint64
-	closedMu  sync.Once
-	resetOnce sync.Once // post-shutdown cohort-frame release
-}
+	closeOnce sync.Once
+	closeErr  error
 
-type client struct {
-	conn        *Conn
-	participant protocol.ParticipantID
-	key         string
+	// Counters are atomics so Stats never blocks on (or races) the driver
+	// goroutine. entities mirrors the store's size after every driver step,
+	// so a closing room reports its last real value, never a fabricated zero.
+	joined   atomic.Uint64
+	left     atomic.Uint64
+	poses    atomic.Uint64
+	entities atomic.Int64
 }
 
 // ListenRoom starts a room server.
 func ListenRoom(cfg RoomConfig) (*Room, error) {
 	cfg.applyDefaults()
-	ln, err := net.Listen("tcp", cfg.Addr)
+	ep, err := ListenAnonymous("room", cfg.Addr)
 	if err != nil {
-		return nil, fmt.Errorf("transport: listen %s: %w", cfg.Addr, err)
+		return nil, err
 	}
-	r := &Room{
-		cfg:   cfg,
-		ln:    ln,
-		store: core.NewStore(),
-		conns: make(map[string]*client),
-		all:   make(map[*Conn]struct{}),
-		cmds:  make(chan func(), 1024),
-		done:  make(chan struct{}),
+	sim := vclock.New(0)
+	rt, err := node.New(sim, ep, node.Config{TickHz: cfg.TickHz, Parallelism: 1})
+	if err != nil {
+		_ = ep.Close()
+		return nil, err
 	}
-	r.repl = core.NewReplicator(r.store, core.ReplConfig{})
-	r.wg.Add(2)
-	go r.acceptLoop()
-	go r.tickLoop()
+	r := &Room{cfg: cfg, ep: ep, sim: sim, rt: rt, done: make(chan struct{})}
+	d := rt.Dispatcher()
+	d.OnPose(r.handlePose)
+	d.OnExpression(r.handleExpression)
+	d.OnFallback(r.handleOther)
+	ep.OnPeerGone(func(peer endpoint.Addr) { r.dropSession(peer) })
+	if err := rt.Start(nil); err != nil {
+		_ = ep.Close()
+		rt.Stop()
+		return nil, err
+	}
+	r.wg.Add(1)
+	go r.run()
 	return r, nil
 }
 
 // Addr returns the bound listen address.
-func (r *Room) Addr() string { return r.ln.Addr().String() }
+func (r *Room) Addr() string { return r.ep.TCPAddr() }
 
 // Close stops the server and waits for all goroutines to exit.
 func (r *Room) Close() error {
-	var err error
-	r.closedMu.Do(func() {
+	r.closeOnce.Do(func() {
 		close(r.done)
-		err = r.ln.Close()
-		// Closing client conns unblocks their read loops.
-		r.allMu.Lock()
-		for c := range r.all {
-			_ = c.Close()
-		}
-		r.allMu.Unlock()
+		r.wg.Wait()
+		r.closeErr = r.ep.Close()
+		r.rt.Stop()
 	})
-	r.wg.Wait()
-	// The tick goroutine has exited; release the last tick's cohort frames.
-	r.resetOnce.Do(r.frames.Reset)
-	return err
+	return r.closeErr
 }
 
 // RoomStats is a point-in-time server summary. Pose freshness is measured
@@ -120,95 +117,23 @@ type RoomStats struct {
 	Entities            int
 }
 
-// Stats snapshots server counters.
+// Stats snapshots server counters. Lock-free: safe from any goroutine, and
+// during (or after) Close it reports the room's final state rather than
+// racing the shutdown.
 func (r *Room) Stats() RoomStats {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	st := RoomStats{Joined: r.joined, Left: r.left, Poses: r.poses}
-	done := make(chan int, 1)
-	select {
-	case r.cmds <- func() { done <- r.store.Len() }:
-		select {
-		case st.Entities = <-done:
-		case <-r.done:
-		}
-	case <-r.done:
-	}
-	return st
-}
-
-func (r *Room) acceptLoop() {
-	defer r.wg.Done()
-	for {
-		nc, err := r.ln.Accept()
-		if err != nil {
-			select {
-			case <-r.done:
-				return
-			default:
-			}
-			if errors.Is(err, net.ErrClosed) {
-				return
-			}
-			continue
-		}
-		c := &client{conn: NewConn(nc), key: nc.RemoteAddr().String()}
-		r.allMu.Lock()
-		r.all[c.conn] = struct{}{}
-		r.allMu.Unlock()
-		r.wg.Add(1)
-		go r.serve(c)
+	return RoomStats{
+		Joined:   r.joined.Load(),
+		Left:     r.left.Load(),
+		Poses:    r.poses.Load(),
+		Entities: int(r.entities.Load()),
 	}
 }
 
-func (r *Room) serve(c *client) {
-	defer r.wg.Done()
-	defer func() {
-		_ = c.conn.Close()
-		r.allMu.Lock()
-		delete(r.all, c.conn)
-		r.allMu.Unlock()
-		r.enqueue(func() { r.dropClient(c) })
-	}()
-	for {
-		msg, err := c.conn.ReadMessage()
-		if err != nil {
-			return
-		}
-		switch m := msg.(type) {
-		case *protocol.Hello:
-			r.enqueue(func() { r.handleHello(c, m) })
-		case *protocol.PoseUpdate:
-			r.mu.Lock()
-			r.poses++
-			r.mu.Unlock()
-			r.enqueue(func() { r.handlePose(c, m) })
-		case *protocol.ExpressionUpdate:
-			r.enqueue(func() { r.handleExpression(c, m) })
-		case *protocol.AudioFrame:
-			// Audio rides the low-latency path: relayed to every other
-			// participant immediately rather than batched into the state
-			// tick (the paper's lip-sync requirement makes audio deadline-
-			// critical in a way pose state is not).
-			r.enqueue(func() { r.relayAudio(c, m) })
-		case *protocol.Ack:
-			r.enqueue(func() { _ = r.repl.Ack(c.key, m.Tick) })
-		case *protocol.Leave:
-			return
-		default:
-			// Ignore everything else; the room is pose-sync only.
-		}
-	}
-}
-
-func (r *Room) enqueue(fn func()) {
-	select {
-	case r.cmds <- fn:
-	case <-r.done:
-	}
-}
-
-func (r *Room) tickLoop() {
+// run is the room's driver: it pumps inbound traffic between ticks and
+// advances the virtual clock one interval per real interval, so the
+// runtime's Ticker fires the shared tick skeleton (BeginTick → plan →
+// cohort fan-out → one vectored flush per conn) at TickHz.
+func (r *Room) run() {
 	defer r.wg.Done()
 	interval := time.Duration(float64(time.Second) / r.cfg.TickHz)
 	ticker := time.NewTicker(interval)
@@ -217,37 +142,62 @@ func (r *Room) tickLoop() {
 		select {
 		case <-r.done:
 			return
-		case fn := <-r.cmds:
-			fn()
 		case <-ticker.C:
-			r.tick()
+			_ = r.sim.Run(r.sim.Now() + interval)
+		default:
+			r.ep.PumpWait(time.Millisecond)
 		}
+		r.entities.Store(int64(r.rt.Store().Len()))
 	}
 }
 
-// The methods below run only on the tick goroutine.
+// The handlers below run only on the driver goroutine (dispatch hooks).
 
-func (r *Room) handleHello(c *client, m *protocol.Hello) {
-	if c.participant != 0 {
-		return // duplicate hello
+func (r *Room) handleOther(from endpoint.Addr, payload []byte, msg protocol.Message) {
+	switch m := msg.(type) {
+	case *protocol.Hello:
+		r.handleHello(from, m)
+	case *protocol.AudioFrame:
+		// Audio rides the low-latency path: relayed to every other
+		// participant within the current pump rather than batched into the
+		// state tick (the paper's lip-sync requirement makes audio deadline-
+		// critical in a way pose state is not).
+		r.relayAudio(from, m, payload)
+	case *protocol.Leave:
+		r.ep.ClosePeer(from)
+	default:
+		// Everything else is unhandled; the room is pose-sync only.
+		r.rt.Dispatcher().CountUnhandled()
 	}
-	c.participant = m.Participant
-	r.conns[c.key] = c
-	_ = r.repl.AddPeer(c.key, func(id protocol.ParticipantID, _ uint64) bool {
-		return id != c.participant
-	})
-	r.mu.Lock()
-	r.joined++
-	r.mu.Unlock()
-	_ = c.conn.WriteMessage(&protocol.HelloAck{
+}
+
+func (r *Room) handleHello(from endpoint.Addr, m *protocol.Hello) {
+	if _, ok := r.rt.ClientByAddr(from); ok {
+		return // duplicate hello on a live session
+	}
+	if old, ok := r.rt.Client(m.Participant); ok {
+		// A stale session holds this seat (a churned client rejoining before
+		// its old connection's teardown landed): kick it so the new session
+		// owns the participant and always gets its ack.
+		oldAddr := old.Addr
+		r.dropSession(oldAddr)
+		r.ep.ClosePeer(oldAddr)
+	}
+	if err := r.rt.AddClient(m.Participant, from); err != nil {
+		return
+	}
+	r.joined.Add(1)
+	_ = r.rt.Dispatcher().Send(from, &protocol.HelloAck{
 		Participant: m.Participant,
 		TickRateHz:  uint16(r.cfg.TickHz),
-		ServerTick:  r.store.Tick(),
+		ServerTick:  r.rt.Store().Tick(),
 	})
 }
 
-func (r *Room) handlePose(c *client, m *protocol.PoseUpdate) {
-	if c.participant == 0 || m.Participant != c.participant {
+func (r *Room) handlePose(from endpoint.Addr, m *protocol.PoseUpdate) {
+	r.poses.Add(1)
+	c, ok := r.rt.ClientByAddr(from)
+	if !ok || c.ID == 0 || m.Participant != c.ID {
 		return // must hello first; no spoofing other participants
 	}
 	e := protocol.EntityState{
@@ -256,80 +206,59 @@ func (r *Room) handlePose(c *client, m *protocol.PoseUpdate) {
 		Pose:        m.Pose,
 		VelMMS:      m.VelMMS,
 	}
-	if old, ok := r.store.Get(m.Participant); ok {
+	st := r.rt.Store()
+	if old, ok := st.Get(m.Participant); ok {
 		e.Expression = old.Expression
 	}
-	r.store.Upsert(e)
+	st.Upsert(e)
 }
 
-func (r *Room) handleExpression(c *client, m *protocol.ExpressionUpdate) {
-	if c.participant == 0 || m.Participant != c.participant {
+func (r *Room) handleExpression(from endpoint.Addr, m *protocol.ExpressionUpdate) {
+	c, ok := r.rt.ClientByAddr(from)
+	if !ok || c.ID == 0 || m.Participant != c.ID {
 		return
 	}
-	if e, ok := r.store.Get(m.Participant); ok {
+	st := r.rt.Store()
+	if e, ok := st.Get(m.Participant); ok {
 		e.Expression = m.Weights
-		r.store.Upsert(e)
+		st.Upsert(e)
 	}
 }
 
-func (r *Room) relayAudio(c *client, m *protocol.AudioFrame) {
-	if c.participant == 0 || m.Participant != c.participant {
+func (r *Room) relayAudio(from endpoint.Addr, m *protocol.AudioFrame, payload []byte) {
+	c, ok := r.rt.ClientByAddr(from)
+	if !ok || c.ID == 0 || m.Participant != c.ID {
 		return
 	}
-	for key, other := range r.conns {
-		if key == c.key {
-			continue
+	d := r.rt.Dispatcher()
+	r.rt.RangeClients(func(other *node.Client) {
+		if other.Addr == from {
+			return
 		}
-		if err := other.conn.WriteMessage(m); err != nil {
-			_ = other.conn.Close()
-		}
-	}
+		// Forward retains the receive frame backing payload: the relay
+		// pushes the exact wire bytes onward, zero-copy.
+		_ = d.Forward(other.Addr, payload)
+	})
 }
 
-func (r *Room) dropClient(c *client) {
-	if _, ok := r.conns[c.key]; !ok {
-		return
+// dropSession tears down the client registered at addr: replicator peer,
+// interest entry, and pooled Client slot via the runtime, plus the entity it
+// authored. Reports whether a session was actually registered there (Leave
+// before Hello tears down nothing).
+func (r *Room) dropSession(addr endpoint.Addr) bool {
+	c, ok := r.rt.ClientByAddr(addr)
+	if !ok {
+		return false
 	}
-	delete(r.conns, c.key)
-	if r.repl.HasPeer(c.key) {
-		_ = r.repl.RemovePeer(c.key)
+	id := c.ID
+	if _, err := r.rt.RemoveClient(id); err != nil {
+		return false
 	}
-	if c.participant != 0 {
-		r.store.BeginTick()
-		r.store.Remove(c.participant)
+	if id != 0 {
+		st := r.rt.Store()
+		st.BeginTick()
+		st.Remove(id)
 	}
-	r.mu.Lock()
-	r.left++
-	r.mu.Unlock()
-}
-
-func (r *Room) tick() {
-	r.store.BeginTick()
-	r.frames.Reset()
-	flush := r.flushScratch[:0]
-	for _, pm := range r.repl.PlanTick() {
-		c, ok := r.conns[pm.Peer]
-		if !ok {
-			continue
-		}
-		frame := r.frames.FrameFor(pm)
-		if frame == nil {
-			// Encode failure (e.g. payload over MaxPayload): surface it the
-			// way the old per-message write path did — drop the client so
-			// the outage is observable and the client resyncs on rejoin.
-			_ = c.conn.Close()
-			continue
-		}
-		// The recipient reference transfers to the connection's write batch;
-		// the flush below shares the cohort frame's bytes straight to the
-		// socket (vectored write, no per-connection copy) and releases it.
-		c.conn.QueueFrame(frame)
-		flush = append(flush, c)
-	}
-	for _, c := range flush {
-		if err := c.conn.Flush(); err != nil {
-			_ = c.conn.Close() // read loop will observe and drop the client
-		}
-	}
-	r.flushScratch = flush[:0]
+	r.left.Add(1)
+	return true
 }

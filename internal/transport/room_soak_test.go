@@ -1,0 +1,114 @@
+package transport
+
+import (
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+
+	"metaclass/internal/protocol"
+)
+
+// soakSession is one loadgen-style client lifecycle: dial, hello, publish a
+// short pose burst while acking replication, leave, and wait for the server
+// to close the session.
+func soakSession(t *testing.T, addr string, id protocol.ParticipantID, epoch int) {
+	t.Helper()
+	c := hello(t, addr, id)
+	defer c.Close()
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			msg, err := c.ReadMessage()
+			if err != nil {
+				return // server closed the session after Leave
+			}
+			switch m := msg.(type) {
+			case *protocol.Snapshot:
+				_ = c.WriteMessage(&protocol.Ack{Participant: id, Tick: m.Tick})
+			case *protocol.Delta:
+				_ = c.WriteMessage(&protocol.Ack{Participant: id, Tick: m.Tick})
+			}
+		}
+	}()
+	for seq := uint32(1); seq <= 6; seq++ {
+		if err := c.WriteMessage(posePayload(id, uint32(epoch)*100+seq, float64(seq)*0.01)); err != nil {
+			return // session torn down under us; the stats wait will catch real losses
+		}
+		time.Sleep(3 * time.Millisecond)
+	}
+	_ = c.WriteMessage(&protocol.Leave{Participant: id})
+	wg.Wait()
+}
+
+// TestRoomSoakFlatness is the long-soak gate over the TCP backend: the
+// folded Room endures compressed churn epochs — 8 loadgen-style clients
+// joining, publishing, and leaving per epoch, participant IDs reused across
+// epochs exactly as cmd/loadgen's churn mode reuses them — with a forced GC
+// and post-GC HeapAlloc sample between epochs. The final-quartile heap must
+// stay within 10% (plus a small absolute slack for goroutine/socket noise)
+// of the epoch-3 baseline, every session must be torn down, and closing the
+// room must leave zero live frames.
+func TestRoomSoakFlatness(t *testing.T) {
+	live0 := protocol.LiveFrames()
+	r, err := ListenRoom(RoomConfig{Addr: "127.0.0.1:0", TickHz: 60})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+
+	epochs := 20
+	if testing.Short() {
+		epochs = 6
+	}
+	const clients = 8
+	heaps := make([]uint64, 0, epochs)
+	var ms runtime.MemStats
+	for e := 0; e < epochs; e++ {
+		var wg sync.WaitGroup
+		for i := 0; i < clients; i++ {
+			wg.Add(1)
+			go func(id protocol.ParticipantID) {
+				defer wg.Done()
+				soakSession(t, r.Addr(), id, e)
+			}(protocol.ParticipantID(i + 1))
+		}
+		wg.Wait()
+		// Drain: every session of this epoch torn down, no entities left.
+		want := uint64((e + 1) * clients)
+		st := waitStats(r, 5*time.Second, func(st RoomStats) bool {
+			return st.Left == want && st.Entities == 0
+		})
+		if st.Left != want || st.Entities != 0 {
+			t.Fatalf("epoch %d did not drain: %+v (want Left %d, Entities 0)", e+1, st, want)
+		}
+		runtime.GC()
+		runtime.ReadMemStats(&ms)
+		heaps = append(heaps, ms.HeapAlloc)
+	}
+
+	base := heaps[2]
+	const slack = 512 << 10
+	q := len(heaps) - max(1, len(heaps)/4)
+	for i, h := range heaps[q:] {
+		if lim := uint64(float64(base)*1.10) + slack; h > lim {
+			t.Logf("heaps (KB): %v", func() []uint64 {
+				kb := make([]uint64, len(heaps))
+				for j, v := range heaps {
+					kb[j] = v / 1024
+				}
+				return kb
+			}())
+			t.Fatalf("epoch %d heap %d KB exceeds baseline %d KB +10%%+slack", q+i+1, h/1024, base/1024)
+		}
+	}
+
+	if err := r.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if live := protocol.LiveFrames(); live != live0 {
+		t.Fatalf("%d frames still live after the soak", live-live0)
+	}
+}

@@ -175,6 +175,26 @@ func (s *Sim) AfterCall(delay time.Duration, fn func(any), arg any) {
 	s.AtCall(s.now+delay, fn, arg)
 }
 
+// AfterCallEvent schedules fn(arg) like AfterCall but returns the pooled
+// event together with its generation, so the caller can CancelCall it before
+// it fires (the network simulator cancels in-flight deliveries to removed
+// hosts this way). The handle is only meaningful paired with the returned
+// generation: once the event fires or is cancelled it recycles, and a stale
+// (event, gen) pair is silently ignored by CancelCall.
+func (s *Sim) AfterCallEvent(delay time.Duration, fn func(any), arg any) (*Event, uint64) {
+	if delay < 0 {
+		delay = 0
+	}
+	e := s.schedule(s.now+delay, nil, fn, arg, true)
+	return e, e.gen
+}
+
+// CancelCall cancels a pooled event scheduled with AfterCallEvent, recycling
+// it immediately. Stale handles — the event already fired, was cancelled, or
+// has been recycled into a new timer (generation mismatch) — are no-ops, so
+// cancellation is always safe.
+func (s *Sim) CancelCall(e *Event, gen uint64) { s.cancelPooled(e, gen) }
+
 // Cancel removes a scheduled event. Cancelling an already-fired or
 // already-cancelled event is a no-op.
 func (s *Sim) Cancel(e *Event) {

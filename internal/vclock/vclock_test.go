@@ -214,3 +214,43 @@ func BenchmarkScheduleAndFire(b *testing.B) {
 		s.Step()
 	}
 }
+
+func TestAfterCallEventCancel(t *testing.T) {
+	s := New(1)
+	fired := 0
+	ev, gen := s.AfterCallEvent(10*time.Millisecond, func(any) { fired++ }, nil)
+	s.CancelCall(ev, gen)
+	if err := s.RunAll(); err != nil {
+		t.Fatal(err)
+	}
+	if fired != 0 {
+		t.Fatalf("cancelled event fired %d times", fired)
+	}
+	// Cancelling again with the stale handle must be a no-op even after the
+	// event slot has been recycled into a new timer.
+	ev2, gen2 := s.AfterCallEvent(10*time.Millisecond, func(any) { fired++ }, nil)
+	if ev2 != ev {
+		t.Fatalf("expected the cancelled event to be recycled")
+	}
+	s.CancelCall(ev, gen) // stale generation: must not cancel ev2
+	if err := s.RunAll(); err != nil {
+		t.Fatal(err)
+	}
+	if fired != 1 {
+		t.Fatalf("recycled timer fired %d times, want 1", fired)
+	}
+	s.CancelCall(ev2, gen2) // already fired: no-op
+}
+
+func TestAfterCallEventFiresWithArg(t *testing.T) {
+	s := New(1)
+	var got any
+	arg := new(int)
+	_, _ = s.AfterCallEvent(5*time.Millisecond, func(a any) { got = a }, arg)
+	if err := s.RunAll(); err != nil {
+		t.Fatal(err)
+	}
+	if got != arg {
+		t.Fatalf("callback arg = %v, want %v", got, arg)
+	}
+}
