@@ -244,6 +244,80 @@ func benchOnboard(b *testing.B, storm int) {
 	b.ReportMetric(float64(storm), "joins/op")
 }
 
+// BenchmarkColdJoin measures the receiver-side cold path: each iteration
+// joins one fresh client into an already-populated interest-managed
+// classroom, runs the clock until the newcomer applies its first replication
+// update (client.VR.FirstSyncAt), and leaves again. The headline metric is
+// the mean join-to-first-sync latency; the allocation count covers the
+// client's first full world apply — the path the pose.InterpPool exists for
+// (one pooled playout buffer per visible entity instead of one allocation
+// each). Migration re-joins make both numbers load-bearing: every geo
+// handoff that falls back to a snapshot pays exactly this path.
+// scripts/bench.sh gates cold-join-ms alongside the alloc/ns floors.
+func BenchmarkColdJoin(b *testing.B) {
+	d, err := classroom.NewDeployment(classroom.Config{Seed: benchSeed, EnableInterest: true})
+	if err != nil {
+		b.Fatal(err)
+	}
+	// A sizeable resident world: the cold join's first snapshot carries all
+	// of it, so the buffer-per-entity cost is visible.
+	for i := 0; i < 48; i++ {
+		if _, _, err := d.AddRemoteLearner("u", trace.Seated{
+			Anchor: mathx.V3(float64(i%8)*1.2, 0, float64(i/8)*1.2), Phase: float64(i),
+		}, netsim.ResidentialBroadband(5*time.Millisecond)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if err := d.Run(2 * time.Second); err != nil {
+		b.Fatal(err)
+	}
+	link := netsim.ResidentialBroadband(5 * time.Millisecond)
+	tick := time.Second / 30
+	var total time.Duration
+	joins := 0
+	coldJoin := func() {
+		v, id, err := d.AddRemoteLearner("cold", trace.Seated{
+			Anchor: mathx.V3(9.6, 0, 9.6), Phase: 99,
+		}, link)
+		if err != nil {
+			b.Fatal(err)
+		}
+		joined := d.Now()
+		for i := 0; i < 60; i++ {
+			if _, ok := v.FirstSyncAt(); ok {
+				break
+			}
+			if err := d.Run(tick); err != nil {
+				b.Fatal(err)
+			}
+		}
+		first, ok := v.FirstSyncAt()
+		if !ok {
+			b.Fatal("cold join never synced")
+		}
+		total += first - joined
+		joins++
+		if err := d.RemoveRemoteLearner(id); err != nil {
+			b.Fatal(err)
+		}
+		if err := d.Run(tick); err != nil { // drain the departure
+			b.Fatal(err)
+		}
+	}
+	// Warm the replica/interp pools to steady state (same rationale as
+	// benchOnboard: pooled state returns a few cycles behind the joins).
+	for i := 0; i < 4; i++ {
+		coldJoin()
+	}
+	total, joins = 0, 0
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		coldJoin()
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(total)/float64(joins)/1e6, "cold-join-ms")
+}
+
 // BenchmarkE11Churn measures one complete churn scenario per iteration: a
 // fresh class with a base population warms up, rides 6 join/leave storm
 // events (4 joins per event; each batch leaves two events later), and

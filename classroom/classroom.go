@@ -34,6 +34,7 @@ import (
 	"metaclass/internal/avatar"
 	"metaclass/internal/client"
 	"metaclass/internal/cloud"
+	"metaclass/internal/core"
 	"metaclass/internal/edge"
 	"metaclass/internal/endpoint"
 	"metaclass/internal/expression"
@@ -434,6 +435,87 @@ func (d *Deployment) addRemote(name string, script trace.MotionScript, link nets
 		}
 	}
 	return v, id, nil
+}
+
+// MigrateRemoteLearner hands a live remote learner off to a different server
+// mid-session: to a regional relay, or back to the cloud when relay is nil,
+// over the given access link. The handoff is the geo deployment's
+// drain-transfer-adopt sequence — the old server exports the learner's
+// replication baseline (ack floor plus owed debt), the old access path is cut
+// (in-flight frames cancelled, never leaked), the new path comes up, and the
+// new server adopts the session seeded from the baseline — so no update is
+// lost or duplicated across the cut. Synchronous: call it between Run slices
+// so no tick interleaves with the cut. A no-op when the learner is already
+// served there.
+func (d *Deployment) MigrateRemoteLearner(id ParticipantID, relay *cloud.Relay, link netsim.LinkConfig) error {
+	v, ok := d.clients[id]
+	if !ok {
+		return fmt.Errorf("classroom: unknown remote learner %d", id)
+	}
+	old := d.relayOf[id]
+	if old == relay {
+		return nil
+	}
+	oldAddr, newAddr := d.cloud.Addr(), d.cloud.Addr()
+	if old != nil {
+		oldAddr = old.Addr()
+	}
+	if relay != nil {
+		newAddr = relay.Addr()
+	}
+
+	// 1. Export the replication baseline and retire the old server's route.
+	// The cloud keeps seat and authored entity either way — only the
+	// replication route changes hands (DemoteClient also records the relay
+	// route, so edge ingest keeps reaching the learner).
+	var b core.PeerBaseline
+	var err error
+	if old == nil {
+		b, err = d.cloud.DemoteClient(id, newAddr)
+	} else {
+		b, err = old.ReleaseClient(id)
+	}
+	if err != nil {
+		return err
+	}
+
+	// 2. Cut the old access path: deliveries in flight on the pair are
+	// cancelled (frames released, handlers not invoked) — which is exactly
+	// why the baseline flattens in-flight sends back to owed debt.
+	addr := netsim.Addr(v.Addr())
+	for _, dir := range [2][2]netsim.Addr{{addr, netsim.Addr(oldAddr)}, {netsim.Addr(oldAddr), addr}} {
+		if err := d.net.Disconnect(dir[0], dir[1]); err != nil {
+			return err
+		}
+	}
+
+	// 3. Bring up the new access path before the new server plans a tick.
+	if err := d.net.ConnectBoth(addr, netsim.Addr(newAddr), link); err != nil {
+		return err
+	}
+
+	// 4. Adopt the session at the new server, seeding its replicator from
+	// the transferred baseline (plus the conservative re-owe).
+	if relay == nil {
+		if err := d.cloud.PromoteClient(id, endpoint.Addr(addr), b); err != nil {
+			return err
+		}
+		delete(d.relayOf, id)
+	} else {
+		if err := relay.AdoptClient(id, endpoint.Addr(addr), b); err != nil {
+			return err
+		}
+		if old != nil { // relay -> relay: the cloud tracks the new route
+			if err := d.cloud.RetargetClient(id, newAddr); err != nil {
+				return err
+			}
+		}
+		d.relayOf[id] = relay
+	}
+
+	// 5. Repoint the client: publishes, pings, and auto-acks follow.
+	v.Retarget(newAddr)
+	return nil
 }
 
 // RemoveRemoteLearner withdraws a remote VR learner mid-session: their

@@ -268,6 +268,79 @@ func TestRelayPathDelivers(t *testing.T) {
 	}
 }
 
+func TestRemoteLearnerMigration(t *testing.T) {
+	d, teacher, _, _, _ := buildUnitCase(t, 8)
+	relay, err := d.AddRelay("us-east", netsim.LinkConfig{
+		Latency: 40 * time.Millisecond, Jitter: 2 * time.Millisecond, Bandwidth: 1e9,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, rid, err := d.AddRemoteLearner("roamer", trace.Seated{Anchor: mathx.V3(4, 0, 1)},
+		netsim.ResidentialBroadband(30*time.Millisecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Run(5 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	recvBefore := v.Metrics().Counter("recv.updates").Value()
+
+	// Cloud -> relay: a live handoff mid-session.
+	if err := d.MigrateRemoteLearner(rid, relay, netsim.ResidentialBroadband(10*time.Millisecond)); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Run(5 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if relay.ClientCount() != 1 {
+		t.Errorf("relay clients = %d after migration, want 1", relay.ClientCount())
+	}
+	if got := v.Metrics().Counter("recv.updates").Value(); got <= recvBefore {
+		t.Errorf("no updates received after migration (%d -> %d)", recvBefore, got)
+	}
+	p, ok := v.DisplayedPose(teacher, d.Now())
+	if !ok || !p.IsFinite() {
+		t.Fatal("migrated learner cannot see the teacher via the relay")
+	}
+	if _, ok := d.Cloud().World().Get(rid); !ok {
+		t.Error("migrated learner's own pose no longer reaches the cloud")
+	}
+
+	// Migrating to the current server is a no-op.
+	if err := d.MigrateRemoteLearner(rid, relay, netsim.ResidentialBroadband(10*time.Millisecond)); err != nil {
+		t.Fatal(err)
+	}
+	if relay.ClientCount() != 1 {
+		t.Errorf("no-op migration changed relay clients to %d", relay.ClientCount())
+	}
+
+	// Relay -> cloud: hand the session back.
+	if err := d.MigrateRemoteLearner(rid, nil, netsim.ResidentialBroadband(30*time.Millisecond)); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Run(5 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if relay.ClientCount() != 0 {
+		t.Errorf("relay clients = %d after handing back to the cloud, want 0", relay.ClientCount())
+	}
+	if p, ok := v.DisplayedPose(teacher, d.Now()); !ok || !p.IsFinite() {
+		t.Fatal("learner lost the teacher after migrating back to the cloud")
+	}
+
+	// Full teardown still works after two handoffs.
+	if err := d.RemoveRemoteLearner(rid); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Run(3 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := d.Cloud().World().Get(rid); ok {
+		t.Error("departed learner still in the cloud world after migration churn")
+	}
+}
+
 func TestDeterministicDeployment(t *testing.T) {
 	run := func() uint64 {
 		d, _, gz, _, _ := buildUnitCase(t, 42)

@@ -15,9 +15,17 @@
 // in-process, so the verdict covers server-side leaks too; against a remote
 // -addr it covers only the client side.
 //
+// With -geo, loadgen instead replays the geo deployment schedule — staggered
+// joins across three regions, k-center relay placement, a live roam of both
+// far cohorts (session handoff over real sockets), and a relay drain — on an
+// in-process TCP fabric, then exits non-zero unless every client replica
+// converged byte-for-byte to the cloud world, the expected migrations all
+// happened, and no frame is left alive.
+//
 //	loadgen -addr 127.0.0.1:7480 -clients 50 -duration 30s -rate 20
 //	loadgen -serve -clients 20 -duration 10s -churn 2s   # self-hosted churn run
 //	loadgen -serve -clients 8 -soak 20 -churn 300ms      # compressed soak gate
+//	loadgen -geo                                         # geo handoff verdict over TCP
 package main
 
 import (
@@ -46,8 +54,16 @@ func main() {
 		churn    = flag.Duration("churn", 0, "client stay duration before leaving and rejoining (0 = no churn)")
 		serve    = flag.Bool("serve", false, "host an in-process room on 127.0.0.1:0 and drive it (self-contained smoke)")
 		soak     = flag.Int("soak", 0, "run N compressed churn epochs with a post-GC heap sample each; exit non-zero unless flat")
+		geoMode  = flag.Bool("geo", false, "replay the geo placement/roam/drain schedule over an in-process TCP fabric; exit non-zero unless converged and leak-free")
 	)
 	flag.Parse()
+	if *geoMode {
+		if err := runGeo(); err != nil {
+			fmt.Fprintln(os.Stderr, "loadgen:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	target := *addr
 	if *serve {
 		room, err := transport.ListenRoom(transport.RoomConfig{Addr: "127.0.0.1:0"})

@@ -19,7 +19,7 @@ import (
 
 func main() {
 	var (
-		exp  = flag.String("exp", "", "experiment to run (E1..E12); empty runs all")
+		exp  = flag.String("exp", "", "experiment to run (E1..E14); empty runs all")
 		seed = flag.Int64("seed", 42, "simulation seed")
 		list = flag.Bool("list", false, "list experiments and exit")
 	)

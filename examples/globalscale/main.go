@@ -1,7 +1,11 @@
 // Globalscale: the paper's "thousands of remote users scattered worldwide"
-// scenario — a lecture fanned out to hundreds of VR auditors across regions,
-// comparing a single cloud against greedy regional relay placement, with
-// interest-managed replication.
+// scenario, driven end to end through the geo deployment layer — a global
+// classroom first served from a single Hong Kong cloud, then geo-sharded
+// live: greedy k-center placement stands relays up, every far cohort roams
+// onto its placed relay mid-run (live session handoff), and one relay later
+// drains back to the cloud. The program prints each region's worst p95
+// avatar staleness before and after the roam, which is the paper's C2
+// remedy measured end to end.
 package main
 
 import (
@@ -9,15 +13,15 @@ import (
 	"log"
 	"time"
 
-	"metaclass/classroom"
-	"metaclass/internal/cloud"
-	"metaclass/internal/mathx"
+	"metaclass/internal/geo"
+	"metaclass/internal/metrics"
 	"metaclass/internal/netsim"
+	"metaclass/internal/protocol"
 	"metaclass/internal/region"
-	"metaclass/internal/trace"
+	"metaclass/internal/vclock"
 )
 
-const usersPerRegion = 25
+const usersPerRegion = 6
 
 func main() {
 	if err := run(); err != nil {
@@ -29,105 +33,128 @@ func run() error {
 	topo := region.GlobalCampus()
 	clientRegions := []region.ID{"kr", "jp", "us-east", "eu-west", "sa-poor"}
 
-	// Greedy k-center relay placement over the measured RTT matrix.
-	counts := map[region.ID]int{}
+	sim := vclock.New(3)
+	d, err := geo.New(sim, &geo.NetsimFabric{Net: netsim.New(sim)}, geo.Config{
+		Topology:    topo,
+		CloudRegion: "hk",
+	})
+	if err != nil {
+		return err
+	}
+
+	// Everyone joins the single cloud first: no relays are deployed yet, so
+	// bestServer routes every session to Hong Kong over its access link.
+	id := protocol.ParticipantID(1)
+	byRegion := map[region.ID][]protocol.ParticipantID{}
 	for _, r := range clientRegions {
-		counts[r] = usersPerRegion
-	}
-	relays, err := topo.PlaceRelays(3, counts)
-	if err != nil {
-		return err
-	}
-	assign, err := topo.Assign(relays, clientRegions)
-	if err != nil {
-		return err
-	}
-	fmt.Printf("relay placement (greedy k-center, k=3): %v\n", relays)
-	for _, r := range clientRegions {
-		lat, _ := topo.Latency(r, assign[r])
-		fmt.Printf("  %-8s -> relay %-8s (%v one-way)\n", r, assign[r], lat)
-	}
-
-	d, err := classroom.NewDeployment(classroom.Config{Seed: 3, EnableInterest: true})
-	if err != nil {
-		return err
-	}
-	gz, err := d.AddCampus("gz", 1)
-	if err != nil {
-		return err
-	}
-	if _, err := gz.AddEducator("Prof. Wang", trace.Lecturer{
-		Left: mathx.V3(-3, 0, 0), Right: mathx.V3(3, 0, 0),
-	}); err != nil {
-		return err
-	}
-
-	// Stand up the chosen relays (cloud lives in hk).
-	relayHandles := map[region.ID]*cloud.Relay{}
-	for _, rr := range relays {
-		lat, err := topo.Latency("hk", rr)
-		if err != nil {
-			return err
-		}
-		if lat == 0 {
-			lat = 2 * time.Millisecond // same-region datacenter hop
-		}
-		rel, err := d.AddRelay(string(rr), netsim.LinkConfig{
-			Latency: lat, Jitter: 2 * time.Millisecond, Bandwidth: 10e9,
-		})
-		if err != nil {
-			return err
-		}
-		relayHandles[rr] = rel
-	}
-
-	// Join users through their assigned relay.
-	joined := 0
-	for ri, r := range clientRegions {
-		rel := relayHandles[assign[r]]
 		for i := 0; i < usersPerRegion; i++ {
-			script := trace.Seated{
-				Anchor: mathx.V3(float64(i%5)*1.2, 0, float64(ri*6+i/5)*1.2),
-				Phase:  float64(ri*100 + i),
-			}
-			_, _, err := d.AddRemoteLearnerVia(rel, string(r), script,
-				netsim.ResidentialBroadband(12*time.Millisecond))
-			if err != nil {
+			if _, err := d.Join(id, r); err != nil {
 				return err
 			}
-			joined++
+			byRegion[r] = append(byRegion[r], id)
+			id++
 		}
 	}
-	fmt.Printf("joined %d remote learners across %d regions\n\n", joined, len(clientRegions))
+	if err := d.Start(); err != nil {
+		return err
+	}
+	fmt.Printf("joined %d remote learners across %d regions, all served by the hk cloud\n\n",
+		int(id)-1, len(clientRegions))
 
-	if err := d.Run(15 * time.Second); err != nil {
+	run := func(dt time.Duration) error { return sim.Run(sim.Now() + dt) }
+
+	// worstP95 measures each region's worst p95 pose age over a 3 s window
+	// (histogram deltas against cuts taken here).
+	worstP95 := func() (map[region.ID]time.Duration, error) {
+		cuts := map[protocol.ParticipantID]metrics.Histogram{}
+		for _, r := range clientRegions {
+			for _, cid := range byRegion[r] {
+				s, _ := d.Session(cid)
+				cuts[cid] = *s.VR.Metrics().Histogram("pose.age")
+			}
+		}
+		if err := run(3 * time.Second); err != nil {
+			return nil, err
+		}
+		out := map[region.ID]time.Duration{}
+		for _, r := range clientRegions {
+			for _, cid := range byRegion[r] {
+				s, _ := d.Session(cid)
+				cut := cuts[cid]
+				w := s.VR.Metrics().Histogram("pose.age").Delta(&cut)
+				if p := w.P95(); p > out[r] {
+					out[r] = p
+				}
+			}
+		}
+		return out, nil
+	}
+
+	if err := run(2 * time.Second); err != nil { // warm up
+		return err
+	}
+	before, err := worstP95()
+	if err != nil {
 		return err
 	}
 
-	// Report per-region staleness and the fan-out economics.
-	fmt.Println("per-client avatar staleness (p95) by region:")
-	byRegion := map[string][]time.Duration{}
-	for id, v := range d.Clients() {
-		name := d.NameOf(id)
-		byRegion[name] = append(byRegion[name], v.Metrics().Histogram("pose.age").P95())
+	// Geo-shard live: place relays by greedy k-center over the census, then
+	// roam every session whose placed relay beats the cloud by more than the
+	// hysteresis — each move is a live handoff (baseline transfer, link cut,
+	// adoption) with zero lost or duplicated updates.
+	placed, err := d.Deploy(3)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("relay placement (greedy k-center, k=3): %v\n", placed)
+	moved, err := d.Roam()
+	if err != nil {
+		return err
 	}
 	for _, r := range clientRegions {
-		ps := byRegion[string(r)]
-		var worst time.Duration
-		for _, p := range ps {
-			if p > worst {
-				worst = p
-			}
+		s, _ := d.Session(byRegion[r][0])
+		serverRegion, label := region.ID("hk"), "hk cloud"
+		if served := s.ServedBy(); served != "" {
+			serverRegion, label = served, "relay "+string(served)
 		}
-		fmt.Printf("  %-8s worst p95 = %v over %d clients\n", r, worst.Round(time.Millisecond), len(ps))
+		lat, _ := topo.Latency(r, serverRegion)
+		fmt.Printf("  %-8s -> %-14s (%v one-way access)\n", r, label, lat)
 	}
-	cloudBytes := d.Cloud().Metrics().Counter("sync.bytes.sent").Value()
-	fmt.Printf("\ncloud egress: %.0f KB/s for %d users (relays absorb the per-client fan-out)\n",
-		float64(cloudBytes)/d.Now().Seconds()/1024, joined)
-	for rr, h := range relayHandles {
-		b := h.Metrics().Counter("sync.bytes.sent").Value()
-		fmt.Printf("  relay %-8s egress: %.0f KB/s, %d clients\n",
-			rr, float64(b)/d.Now().Seconds()/1024, h.ClientCount())
+	fmt.Printf("roamed %d sessions onto their placed relays (live handoffs)\n\n", moved)
+
+	if err := run(2 * time.Second); err != nil { // settle across the cut
+		return err
 	}
+	after, err := worstP95()
+	if err != nil {
+		return err
+	}
+
+	// Administrative drain: retire the us-east relay — its sessions migrate
+	// to their next-best server live, then the endpoint is reclaimed.
+	if _, ok := d.Relay("us-east"); ok {
+		if err := d.Drain("us-east"); err != nil {
+			return err
+		}
+		fmt.Println("drained the us-east relay: its sessions migrated to their next-best server")
+		if err := run(time.Second); err != nil {
+			return err
+		}
+	}
+
+	fmt.Println("\nworst p95 avatar staleness by region (single cloud -> geo-sharded):")
+	for _, r := range clientRegions {
+		b, a := before[r], after[r]
+		improve := "-"
+		if b > 0 && a < b {
+			improve = fmt.Sprintf("-%.0f%%", 100*(1-float64(a)/float64(b)))
+		}
+		fmt.Printf("  %-8s %7v -> %-7v %s  (%d clients)\n",
+			r, b.Round(time.Millisecond), a.Round(time.Millisecond), improve, len(byRegion[r]))
+	}
+	fmt.Printf("\nmigrations: %d (roams %d, drains %d)\n",
+		d.Metrics().Counter("geo.migrations").Value(),
+		d.Metrics().Counter("geo.roams").Value(),
+		d.Metrics().Counter("geo.drains").Value())
 	return nil
 }

@@ -136,6 +136,16 @@ func NewVR(sim *vclock.Sim, tr endpoint.Transport, cfg VRConfig) (*VR, error) {
 // Addr returns the client's endpoint address.
 func (v *VR) Addr() endpoint.Addr { return v.addr }
 
+// Server returns the address the client currently publishes to.
+func (v *VR) Server() endpoint.Addr { return v.cfg.Server }
+
+// Retarget repoints the client at a new server mid-session — the client
+// half of a relay handoff. Publishes, pings, and (via the dispatcher's
+// reply-to-sender auto-acks) replication acks all follow the new address
+// from the next event on; the replica and its playout buffers carry over
+// untouched, so remote avatars keep interpolating across the cut.
+func (v *VR) Retarget(server endpoint.Addr) { v.cfg.Server = server }
+
 // Metrics exposes the client's registry. The "pose.age" histogram is the
 // capture-to-apply staleness of remote entities — the quantity the paper's
 // 100 ms budget constrains.
@@ -215,6 +225,10 @@ func (v *VR) VisibleParticipants() []protocol.ParticipantID {
 
 // ReplicaStats exposes the client's replication apply/buffer-churn counters.
 func (v *VR) ReplicaStats() core.ReplicaStats { return v.replica.Stats() }
+
+// ReplicaStore exposes the replicated entity table — convergence gates
+// compare it entity-by-entity against the serving world after quiescing.
+func (v *VR) ReplicaStore() *core.Store { return v.replica.Store() }
 
 // FirstSyncAt returns the virtual time the client applied its first
 // replication update (false before that). Join-to-FirstSyncAt is the

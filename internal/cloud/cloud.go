@@ -160,6 +160,13 @@ func (s *Server) AddRelay(addr endpoint.Addr) error {
 	return s.rt.Replicate(addr, nil)
 }
 
+// RemoveRelay unlinks a draining regional relay's replication peer. Clients
+// it served must have been migrated (or removed) first; the relay's mirror
+// simply stops receiving updates.
+func (s *Server) RemoveRelay(addr endpoint.Addr) error {
+	return s.rt.Replicator().RemovePeer(string(addr))
+}
+
 // AddClient registers a remote VR learner served directly by this cloud.
 // addr is the address replication should be sent to — the client itself, or
 // nothing extra is needed for relay-served clients (their relay replicates
@@ -173,6 +180,42 @@ func (s *Server) AddClient(id protocol.ParticipantID, addr endpoint.Addr) error 
 // directly (its relay does).
 func (s *Server) RegisterRelayClient(id protocol.ParticipantID, relay endpoint.Addr) error {
 	return s.rt.RegisterClient(id, relay)
+}
+
+// DemoteClient hands a directly-served learner off to a relay: its
+// replication baseline is exported, the replicator peer is torn down, and
+// the learner re-registers as relay-routed — seat, authored entity, and
+// session identity all stay. The returned baseline seeds the adopting
+// relay's replicator (see Relay.AdoptClient) so replication resumes
+// incrementally instead of with a full snapshot.
+func (s *Server) DemoteClient(id protocol.ParticipantID, relay endpoint.Addr) (core.PeerBaseline, error) {
+	b, err := s.rt.ExportClientBaseline(id)
+	if err != nil {
+		return core.PeerBaseline{}, err
+	}
+	if _, err := s.rt.RemoveClient(id); err != nil {
+		return core.PeerBaseline{}, err
+	}
+	return b, s.rt.RegisterClient(id, relay)
+}
+
+// PromoteClient is the inverse handoff: a relay-routed learner becomes
+// directly served by the cloud at addr, its replication position seeded from
+// the baseline its former relay exported.
+func (s *Server) PromoteClient(id protocol.ParticipantID, addr endpoint.Addr, b core.PeerBaseline) error {
+	if _, err := s.rt.RemoveClient(id); err != nil {
+		return err
+	}
+	if err := s.rt.AddClient(id, addr); err != nil {
+		return err
+	}
+	return s.rt.ImportClientBaseline(id, b)
+}
+
+// RetargetClient updates which relay a relay-routed learner is recorded
+// under (relay-to-relay handoff: the cloud only tracks the route).
+func (s *Server) RetargetClient(id protocol.ParticipantID, relay endpoint.Addr) error {
+	return s.rt.RetargetClient(id, relay)
 }
 
 // RemoveClient drops a remote learner: the runtime tears down the

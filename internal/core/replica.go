@@ -61,6 +61,12 @@ type Replica struct {
 	knownScratch  map[protocol.ParticipantID]bool
 	retainedIDs   map[protocol.ParticipantID]bool
 	retainScratch []protocol.EntityState
+
+	// bufPool recycles playout buffers (slab-allocated) so a cold join into a
+	// large world costs a few slab allocations instead of one buffer + ring
+	// per entity, and churn after the join recycles instead of reallocating.
+	// Built lazily on the first entity so an idle replica allocates nothing.
+	bufPool *pose.InterpPool
 }
 
 // NewReplica creates a replica whose playout buffers render delay behind
@@ -158,7 +164,10 @@ func (r *Replica) Apply(msg protocol.Message, now time.Duration) (uint64, bool) 
 func (r *Replica) noteEntity(e protocol.EntityState, now time.Duration) {
 	buf, ok := r.buffers[e.Participant]
 	if !ok {
-		buf = pose.NewInterpBuffer(r.delay, 64, r.extrap)
+		if r.bufPool == nil {
+			r.bufPool = pose.NewInterpPool(r.delay, 64, r.extrap, 64)
+		}
+		buf = r.bufPool.Get()
 		r.buffers[e.Participant] = buf
 		r.bufCreates++
 		if r.OnNew != nil {
@@ -188,9 +197,11 @@ func (r *Replica) noteEntity(e protocol.EntityState, now time.Duration) {
 }
 
 func (r *Replica) dropEntity(id protocol.ParticipantID) {
-	if _, ok := r.buffers[id]; !ok {
+	buf, ok := r.buffers[id]
+	if !ok {
 		return
 	}
+	r.bufPool.Put(buf)
 	delete(r.buffers, id)
 	delete(r.lastCaptured, id)
 	delete(r.retainedIDs, id)

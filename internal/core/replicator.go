@@ -38,6 +38,22 @@ type ReplConfig struct {
 	// with their last change unsent. Smaller values converge at-rest
 	// entities faster at the cost of redundant sends for moving ones.
 	OwedSettleTicks uint64
+	// LossRepair closes the lost-carrier hole in delta replication. State
+	// authored between a tick's plan and the next is stamped with the
+	// already-planned tick, so exactly one delta — the next tick's, whose
+	// base still lies below the stamp — carries it. If that one frame is
+	// lost, later deltas exclude the change (their base has passed its
+	// stamp) yet still apply cleanly at the replica, the ack floor sails
+	// past it, and the content is never sent again: silent divergence with
+	// zero recorded gaps. With LossRepair on, the replicator keeps a
+	// per-peer log of outstanding sends and, when an ack skips past unacked
+	// deltas, advances the baseline only to the oldest skipped delta's base
+	// — re-opening exactly the window the lost frame carried, which the
+	// next delta then re-covers. Acks arriving in order leave behavior
+	// byte-identical to the flag being off; reordered acks cost at worst a
+	// redundant partial re-send. Off by default: deployments gate it where
+	// replica convergence is audited (the geo handoff layer).
+	LossRepair bool
 	// Pool shards PlanTick's independent builds — the filtered per-peer
 	// snapshots/deltas and the distinct ack-cohort deltas — across its
 	// workers, merging results back in sorted-peer order so the plan is
@@ -87,6 +103,80 @@ type peerState struct {
 	// Owned exclusively by this peer's builds and acks — see OwedSet for
 	// the ownership and determinism contract.
 	owed *OwedSet
+	// sent is the outstanding send log (LossRepair only): one record per
+	// planned message not yet resolved by an ack, ascending by tick.
+	sent []sentRecord
+}
+
+// sentRecord is one outstanding planned message in a peer's send log: the
+// message tick, the delta baseline it was built against (unused for
+// snapshots), and whether it was a full snapshot.
+type sentRecord struct {
+	tick uint64
+	base uint64
+	snap bool
+}
+
+// maxSentLog bounds a peer's outstanding send log. A peer silent this long
+// is far past MaxDeltaWindow and receiving snapshots; dropping the oldest
+// records costs nothing because any snapshot ack restores total coverage.
+const maxSentLog = 512
+
+// noteSent appends a record to the outstanding send log.
+func (p *peerState) noteSent(tick, base uint64, snap bool) {
+	if len(p.sent) >= maxSentLog {
+		copy(p.sent, p.sent[1:])
+		p.sent = p.sent[:len(p.sent)-1]
+	}
+	p.sent = append(p.sent, sentRecord{tick: tick, base: base, snap: snap})
+}
+
+// resolveAck pops the send log through tick and returns the baseline the
+// ack actually proves, plus whether a possible loss was detected. An ack of
+// a snapshot proves everything below its tick. An ack of a delta proves the
+// current floor plus that delta's window — contiguous only if no unacked
+// delta with an older base was skipped on the way; if one was, its window
+// may be lost in flight, so the baseline falls back to the skipped delta's
+// base and the next plan re-covers the window. The fallback may lie BELOW
+// the current floor: content authored between a tick's plan and the next is
+// stamped with the already-planned tick, so the in-order ack of tick T
+// proves delivery only through stamp T-1 while the floor reads T — a lost
+// T+1 strands stamp-T content behind a floor that already passed it, and
+// only a regression re-opens the window. Skipped deltas sharing the acked
+// message's base need no repair: the acked message carried their whole
+// window again.
+func (p *peerState) resolveAck(tick uint64) (uint64, bool) {
+	n := 0
+	matched, matchedSnap := false, false
+	var matchedBase uint64
+	skipped, skippedBase := false, uint64(0)
+	for n < len(p.sent) && p.sent[n].tick <= tick {
+		rec := p.sent[n]
+		n++
+		if rec.tick == tick {
+			matched, matchedSnap, matchedBase = true, rec.snap, rec.base
+			break
+		}
+		if !rec.snap && !skipped {
+			// Bases ascend with the log, so the first skipped delta's base
+			// is the oldest — the only one the repair needs.
+			skipped, skippedBase = true, rec.base
+		}
+	}
+	if n > 0 {
+		copy(p.sent, p.sent[n:])
+		p.sent = p.sent[:len(p.sent)-n]
+	}
+	switch {
+	case matched && matchedSnap:
+		return tick, false
+	case matched && skipped && skippedBase < matchedBase:
+		return skippedBase, true
+	case !matched && skipped:
+		return skippedBase, true
+	default:
+		return tick, false
+	}
 }
 
 // reset clears a peer's replication state for reuse while keeping its
@@ -106,6 +196,7 @@ func (p *peerState) reset() {
 	if p.owed != nil {
 		p.owed.Reset()
 	}
+	p.sent = p.sent[:0]
 }
 
 // deltaCohort memoizes one distinct delta built during a PlanTick. A nil msg
@@ -149,6 +240,12 @@ type Replicator struct {
 	// record their tick, so a fully-acking classroom costs O(peers) per tick
 	// instead of O(peers²) (one O(peers) min-scan per Ack).
 	pruneDirty bool
+
+	// prunedTo is the highest tick the removal log has been pruned below.
+	// ImportBaseline refuses to honor an ack floor under it: removals at or
+	// below a pruned tick are gone from the log, so a delta from such a
+	// baseline could silently skip them and leave ghosts on the peer.
+	prunedTo uint64
 
 	// freePeers pools peer states released by RemovePeer so a join/leave
 	// storm (E11 churn) reuses scratch snapshots, deltas, and filter
@@ -284,10 +381,26 @@ func (r *Replicator) Ack(peer string, tick uint64) error {
 	// Receipt is receipt regardless of ordering: even a regressed ack proves
 	// the tick's message arrived, settling any owed entities it carried.
 	p.owed.AckDrop(tick)
-	if !p.acked || tick > p.ackTick {
-		p.ackTick = tick
+	floor, repair := tick, false
+	if r.cfg.LossRepair {
+		// Advance only to what the send log proves delivered: an ack that
+		// skips unacked deltas re-opens the oldest skipped window instead of
+		// sailing past content that may have died in flight. A detected skip
+		// is the one case allowed to move the baseline BACKWARDS — the
+		// existing floor came from acks that prove delivery only through
+		// stamp floor-1, so the lost window can sit beneath it (see
+		// resolveAck). Spurious regressions from mere ack reorder cost only
+		// redundant delta content; deltas carry latest state, so re-applying
+		// them never rolls a replica back.
+		floor, repair = p.resolveAck(tick)
+	}
+	switch {
+	case !p.acked || floor > p.ackTick:
+		p.ackTick = floor
 		p.acked = true
 		r.pruneDirty = true
+	case repair && floor < p.ackTick:
+		p.ackTick = floor
 	}
 	return nil
 }
@@ -311,7 +424,102 @@ func (r *Replicator) prune() {
 			min = p.ackTick
 		}
 	}
+	if min > r.prunedTo {
+		r.prunedTo = min
+	}
 	r.store.PruneRemovals(min)
+}
+
+// PeerBaseline is one peer's portable replication position: its delta
+// baseline (ack floor) plus the owed-set debt — the entities whose latest
+// change the exporter's filter suppressed and the peer has not acknowledged.
+// It is what session handoff carries between relays so the importer resumes
+// exactly where the exporter stopped instead of opening with a full snapshot.
+type PeerBaseline struct {
+	AckTick uint64
+	Acked   bool
+	// Owed lists the owed entity IDs ascending. The exporter's in-flight
+	// "sent but unacked" records are flattened back to owed-unsent debt:
+	// the frames carrying them may die with the old link, so the importer
+	// must treat them as undelivered.
+	Owed []protocol.ParticipantID
+}
+
+// ExportBaseline captures peer's replication position for handoff. The
+// returned slices are freshly allocated (handoff is off the per-tick hot
+// path); the peer's live state is not modified, so export can precede the
+// RemovePeer that retires the old route.
+func (r *Replicator) ExportBaseline(peer string) (PeerBaseline, error) {
+	p, ok := r.peers[peer]
+	if !ok {
+		return PeerBaseline{}, fmt.Errorf("%w: %s", ErrUnknownPeer, peer)
+	}
+	b := PeerBaseline{AckTick: p.ackTick, Acked: p.acked}
+	if p.owed != nil && p.owed.Len() > 0 {
+		b.Owed = append([]protocol.ParticipantID(nil), p.owed.sortedIDs()...)
+	}
+	return b, nil
+}
+
+// ImportBaseline seeds peer's replication position from a baseline exported
+// on another node. The ack floor is honored only when this replicator's
+// history provably covers it: the floor must lie between the removal-log
+// prune horizon and the current store tick, within MaxDeltaWindow. Anything
+// else — a floor under pruned removals, a floor ahead of a lagging mirror,
+// a floor too old to delta from — falls back to unacked, so the next
+// PlanTick opens with a full snapshot (correct, just not incremental).
+//
+// Owed IDs are re-marked as owed-unsent debt on the importing peer (which
+// must be filtered, i.e. registered with a non-nil FilterFunc). Tick domains
+// are node-local, so an owed ID whose entity is absent here is marked anyway:
+// the owed sweep forgets debts of dead entities on its own.
+func (r *Replicator) ImportBaseline(peer string, b PeerBaseline) error {
+	p, ok := r.peers[peer]
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrUnknownPeer, peer)
+	}
+	tick := r.store.Tick()
+	coversFloor := b.Acked && b.AckTick >= r.prunedTo && b.AckTick <= tick &&
+		tick-b.AckTick <= r.cfg.MaxDeltaWindow
+	// An unfiltered importer has no owed set to carry the debt, and the
+	// suppressed changes sit below the floor where no delta resurfaces them;
+	// only a snapshot covers that combination.
+	if coversFloor && len(b.Owed) > 0 && p.owed == nil {
+		coversFloor = false
+	}
+	if coversFloor {
+		p.ackTick, p.acked = b.AckTick, true
+		r.pruneDirty = true
+	} else {
+		p.ackTick, p.acked = 0, false
+	}
+	if p.owed != nil {
+		for _, id := range b.Owed {
+			p.owed.mark(id)
+		}
+	}
+	// The send log describes the exporter's traffic; whatever of it was in
+	// flight died with the old route, and this node's sends start fresh.
+	p.sent = p.sent[:0]
+	return nil
+}
+
+// Owe records entity id as owed-unsent debt to a filtered peer, (re)opening
+// the debt even if a send was already in flight. Handoff uses it to mark
+// state the importing node cannot prove delivered — tick domains are
+// node-local, so the transferred floor covers the exporter's history, not
+// content skew between the two stores. The owed sweep then converges exactly
+// the entities whose delta walk never surfaces them. No-op for unfiltered
+// peers (they are always sent everything).
+func (r *Replicator) Owe(peer string, id protocol.ParticipantID) error {
+	p, ok := r.peers[peer]
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrUnknownPeer, peer)
+	}
+	if p.owed != nil {
+		p.owed.mark(id)
+	}
+	return nil
 }
 
 // PeerMessage is one planned transmission. Cohort identifies the distinct
@@ -394,6 +602,9 @@ func (r *Replicator) planTickSerial(tick uint64) []PeerMessage {
 			}
 			p.lastSnapshot = tick
 			p.snapshots++
+			if r.cfg.LossRepair {
+				p.noteSent(tick, p.ackTick, true)
+			}
 			out = append(out, PeerMessage{Peer: id, Msg: snap, Cohort: cohort})
 			continue
 		}
@@ -406,6 +617,9 @@ func (r *Replicator) planTickSerial(tick uint64) []PeerMessage {
 				continue
 			}
 			p.deltas++
+			if r.cfg.LossRepair {
+				p.noteSent(tick, p.ackTick, false)
+			}
 			out = append(out, PeerMessage{Peer: id, Msg: p.scratch, Cohort: nextCohort})
 			nextCohort++
 			continue
@@ -428,6 +642,9 @@ func (r *Replicator) planTickSerial(tick uint64) []PeerMessage {
 			continue
 		}
 		p.deltas++
+		if r.cfg.LossRepair {
+			p.noteSent(tick, p.ackTick, false)
+		}
 		out = append(out, PeerMessage{Peer: id, Msg: dc.msg, Cohort: dc.cohort})
 	}
 	r.plan = out
@@ -568,6 +785,9 @@ func (r *Replicator) planTickParallel(tick uint64) []PeerMessage {
 			}
 			p.lastSnapshot = tick
 			p.snapshots++
+			if r.cfg.LossRepair {
+				p.noteSent(tick, p.ackTick, true)
+			}
 			out = append(out, PeerMessage{Peer: id, Msg: snap, Cohort: cohort})
 			continue
 		}
@@ -576,6 +796,9 @@ func (r *Replicator) planTickParallel(tick uint64) []PeerMessage {
 				continue
 			}
 			p.deltas++
+			if r.cfg.LossRepair {
+				p.noteSent(tick, p.ackTick, false)
+			}
 			out = append(out, PeerMessage{Peer: id, Msg: p.scratch, Cohort: nextCohort})
 			nextCohort++
 			continue
@@ -594,6 +817,9 @@ func (r *Replicator) planTickParallel(tick uint64) []PeerMessage {
 			continue
 		}
 		p.deltas++
+		if r.cfg.LossRepair {
+			p.noteSent(tick, p.ackTick, false)
+		}
 		out = append(out, PeerMessage{Peer: id, Msg: dc.msg, Cohort: dc.cohort})
 	}
 	r.plan = out

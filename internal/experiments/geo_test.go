@@ -1,0 +1,58 @@
+package experiments
+
+import (
+	"os"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// TestE14CrossRunDeterminism extends the golden determinism gate to the
+// geo-sharded deployment: same-seed runs must produce byte-identical tables,
+// and the seed-42 table must match the committed golden (regenerate with
+// `go run ./cmd/metaclass -seed 42 -exp E14 > internal/experiments/testdata/e14_seed42.golden`
+// when the workload intentionally changes). On top of byte equality the test
+// asserts the row-level guarantees the experiment exists to demonstrate:
+// every mode converges (no update lost or duplicated across the handoffs),
+// no frames leak on either backend path, and the geo-sharded row cuts the
+// sa-poor cohort's worst p95 pose age by at least 30%.
+func TestE14CrossRunDeterminism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-second geo deployment; skipped in -short")
+	}
+	t1, t2 := E14Geo(42), E14Geo(42)
+	run1, run2 := t1.String(), t2.String()
+	if run1 != run2 {
+		t.Fatalf("same-seed E14 runs diverged:\n%s", diffLines(run1, run2))
+	}
+	golden, err := os.ReadFile("testdata/e14_seed42.golden")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := strings.TrimRight(string(golden), "\n")
+	if got := strings.TrimRight(run1, "\n"); got != want {
+		t.Fatalf("E14 table diverged from committed golden:\n%s", diffLines(want, got))
+	}
+	if len(t1.Rows) != 2 {
+		t.Fatalf("E14 produced %d rows, want 2:\n%s", len(t1.Rows), run1)
+	}
+	for _, row := range t1.Rows {
+		if conv := row[len(row)-2]; conv != "yes" {
+			t.Fatalf("E14 %s row did not converge: %v", row[0], row)
+		}
+		if leaked := row[len(row)-1]; leaked != "0" {
+			t.Fatalf("E14 %s row leaked frames: %v", row[0], row)
+		}
+	}
+	geo := t1.Rows[1]
+	improve, err := strconv.Atoi(strings.TrimSuffix(geo[5], "%"))
+	if err != nil {
+		t.Fatalf("E14 geo row improvement %q: %v", geo[5], err)
+	}
+	if improve < 30 {
+		t.Fatalf("E14 geo row improved sa-poor worst p95 by %d%%, want >= 30%%:\n%s", improve, run1)
+	}
+	if geo[2] == "0" {
+		t.Fatalf("E14 geo row performed no migrations:\n%s", run1)
+	}
+}

@@ -86,5 +86,6 @@ func All() []Runner {
 		{"E11", E11Churn},
 		{"E12", E12MegaEvent},
 		{"E13", E13Soak},
+		{"E14", E14Geo},
 	}
 }

@@ -1,0 +1,204 @@
+package geo
+
+import (
+	"fmt"
+	"sort"
+
+	"metaclass/internal/endpoint"
+	"metaclass/internal/netsim"
+	"metaclass/internal/transport"
+)
+
+// Fabric abstracts the network substrate a Deployment stands its topology on:
+// named transport endpoints plus point-to-point links between them. The two
+// implementations — NetsimFabric over the deterministic simulated fabric and
+// TCPFabric over real loopback sockets — make the same deployment code run
+// identically on both backends, which is what the cross-backend parity gate
+// exercises.
+//
+// Link configurations carry netsim semantics (latency, jitter, loss); the
+// TCP fabric ignores them — a real network imposes its own — but accepts
+// them so callers stay backend-agnostic.
+type Fabric interface {
+	// Transport returns (creating if needed) the named endpoint.
+	Transport(name endpoint.Addr) (endpoint.Transport, error)
+	// Link establishes bidirectional connectivity between two endpoints.
+	// Linking an already-linked pair reconfigures it rather than failing.
+	Link(a, b endpoint.Addr, cfg netsim.LinkConfig) error
+	// Unlink cuts connectivity between two endpoints, cancelling whatever the
+	// fabric still holds in flight between them (netsim releases the frames
+	// eagerly; TCP closes the connection and lets the sockets drain). Unknown
+	// pairs are a no-op: handoff teardown must be idempotent.
+	Unlink(a, b endpoint.Addr) error
+	// Remove reclaims an endpoint and every link touching it (relay drain).
+	Remove(name endpoint.Addr) error
+}
+
+// NetsimFabric adapts a netsim.Network to the Fabric surface.
+type NetsimFabric struct {
+	Net *netsim.Network
+}
+
+// Transport returns the simulated host's endpoint (registered on first Bind).
+func (f *NetsimFabric) Transport(name endpoint.Addr) (endpoint.Transport, error) {
+	return f.Net.Endpoint(netsim.Addr(name)), nil
+}
+
+// Link connects (or reconfigures) both directions of a<->b.
+func (f *NetsimFabric) Link(a, b endpoint.Addr, cfg netsim.LinkConfig) error {
+	for _, dir := range [2][2]netsim.Addr{{netsim.Addr(a), netsim.Addr(b)}, {netsim.Addr(b), netsim.Addr(a)}} {
+		if _, err := f.Net.LinkConfigOf(dir[0], dir[1]); err == nil {
+			if err := f.Net.SetLink(dir[0], dir[1], cfg); err != nil {
+				return err
+			}
+			continue
+		}
+		if err := f.Net.Connect(dir[0], dir[1], cfg); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Unlink disconnects both directions, cancelling in-flight deliveries.
+// Directions that do not exist are skipped.
+func (f *NetsimFabric) Unlink(a, b endpoint.Addr) error {
+	for _, dir := range [2][2]netsim.Addr{{netsim.Addr(a), netsim.Addr(b)}, {netsim.Addr(b), netsim.Addr(a)}} {
+		if _, err := f.Net.LinkConfigOf(dir[0], dir[1]); err != nil {
+			continue
+		}
+		if err := f.Net.Disconnect(dir[0], dir[1]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Remove reclaims the host: links retired, in-flight deliveries cancelled.
+func (f *NetsimFabric) Remove(name endpoint.Addr) error {
+	if !f.Net.HasHost(netsim.Addr(name)) {
+		return nil // never bound (or already removed): nothing to reclaim
+	}
+	return f.Net.RemoveHost(netsim.Addr(name))
+}
+
+// TCPFabric is the real-socket Fabric: every Transport is a
+// transport.ListenEndpoint on a loopback port, and Link dials the mesh
+// connection between two endpoints. Link configurations are accepted and
+// ignored — latency here is whatever the kernel provides.
+//
+// TCP endpoints deliver into inboxes, so the owning goroutine must call
+// Pump() to dispatch inbound traffic — the same single-threaded discipline
+// the rest of the node stack runs under.
+type TCPFabric struct {
+	eps    map[endpoint.Addr]*transport.Endpoint
+	tcp    map[endpoint.Addr]string
+	linked map[[2]endpoint.Addr]bool
+}
+
+// NewTCPFabric creates an empty TCP fabric.
+func NewTCPFabric() *TCPFabric {
+	return &TCPFabric{
+		eps:    make(map[endpoint.Addr]*transport.Endpoint),
+		tcp:    make(map[endpoint.Addr]string),
+		linked: make(map[[2]endpoint.Addr]bool),
+	}
+}
+
+// Transport returns (listening on first use) the named endpoint.
+func (f *TCPFabric) Transport(name endpoint.Addr) (endpoint.Transport, error) {
+	if ep, ok := f.eps[name]; ok {
+		return ep, nil
+	}
+	ep, err := transport.ListenEndpoint(name, "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	f.eps[name] = ep
+	f.tcp[name] = ep.TCPAddr()
+	return ep, nil
+}
+
+func pairKey(a, b endpoint.Addr) [2]endpoint.Addr {
+	if b < a {
+		a, b = b, a
+	}
+	return [2]endpoint.Addr{a, b}
+}
+
+// Link dials the mesh connection a->b once; the handshake makes the pair
+// mutually routable before Link returns. Re-linking an existing pair is a
+// no-op (the connection is already up; latency shaping does not apply here).
+func (f *TCPFabric) Link(a, b endpoint.Addr, _ netsim.LinkConfig) error {
+	if f.linked[pairKey(a, b)] {
+		return nil
+	}
+	ea, ok := f.eps[a]
+	if !ok {
+		return fmt.Errorf("geo: tcp fabric: unknown endpoint %s", a)
+	}
+	addr, ok := f.tcp[b]
+	if !ok {
+		return fmt.Errorf("geo: tcp fabric: unknown endpoint %s", b)
+	}
+	if err := ea.Dial(b, addr); err != nil {
+		return err
+	}
+	f.linked[pairKey(a, b)] = true
+	return nil
+}
+
+// Unlink closes the pair's connection from both sides (ClosePeer tolerates
+// peers that are already gone; teardown completes asynchronously).
+func (f *TCPFabric) Unlink(a, b endpoint.Addr) error {
+	if ea, ok := f.eps[a]; ok {
+		ea.ClosePeer(b)
+	}
+	if eb, ok := f.eps[b]; ok {
+		eb.ClosePeer(a)
+	}
+	delete(f.linked, pairKey(a, b))
+	return nil
+}
+
+// Remove closes the named endpoint and forgets its links.
+func (f *TCPFabric) Remove(name endpoint.Addr) error {
+	ep, ok := f.eps[name]
+	if !ok {
+		return nil
+	}
+	delete(f.eps, name)
+	delete(f.tcp, name)
+	for k := range f.linked {
+		if k[0] == name || k[1] == name {
+			delete(f.linked, k)
+		}
+	}
+	return ep.Close()
+}
+
+// Pump dispatches every endpoint's queued inbound traffic (ascending name
+// order, so cross-run behavior is reproducible) and returns the number of
+// messages handled.
+func (f *TCPFabric) Pump() int {
+	names := make([]endpoint.Addr, 0, len(f.eps))
+	for n := range f.eps {
+		names = append(names, n)
+	}
+	sort.Slice(names, func(i, j int) bool { return names[i] < names[j] })
+	total := 0
+	for _, n := range names {
+		total += f.eps[n].Pump()
+	}
+	return total
+}
+
+// Close tears every endpoint down.
+func (f *TCPFabric) Close() {
+	for name, ep := range f.eps {
+		_ = ep.Close()
+		delete(f.eps, name)
+		delete(f.tcp, name)
+	}
+	clear(f.linked)
+}

@@ -1,0 +1,53 @@
+package geo
+
+import (
+	"time"
+
+	"metaclass/internal/netsim"
+)
+
+// poorPeering is the one-way latency above which an access path is modeled
+// as poorly peered (the paper's badly-interconnected participant): beyond
+// it, jitter and loss grow with the detour instead of staying residential.
+const poorPeering = 180 * time.Millisecond
+
+// AccessLink models a client's last-mile path for a given one-way backbone
+// latency. Near paths behave like residential broadband — small jitter,
+// light loss. Past poorPeering the model switches to the paper's
+// poorly-peered profile: congested exchange detours add jitter up to twice
+// the propagation delay itself and drop over a tenth of the packets,
+// which is exactly the pathology regional relays exist to cut — after a
+// roam, the client keeps only a short local access hop and the long haul
+// rides the clean provisioned backbone instead.
+func AccessLink(oneWay time.Duration) netsim.LinkConfig {
+	if oneWay < 2*time.Millisecond {
+		oneWay = 2 * time.Millisecond // same-region hop still crosses a metro
+	}
+	cfg := netsim.LinkConfig{
+		Latency:   oneWay,
+		Jitter:    oneWay/8 + 2*time.Millisecond,
+		LossRate:  0.005,
+		Bandwidth: 50e6,
+	}
+	if oneWay >= poorPeering {
+		cfg.Jitter = 2 * oneWay
+		cfg.LossRate = 0.12
+		cfg.Bandwidth = 8e6
+	}
+	return cfg
+}
+
+// BackboneLink models a provisioned datacenter-to-datacenter path: the
+// propagation delay is whatever geography dictates, but jitter and loss stay
+// negligible at any distance.
+func BackboneLink(oneWay time.Duration) netsim.LinkConfig {
+	if oneWay < 2*time.Millisecond {
+		oneWay = 2 * time.Millisecond
+	}
+	return netsim.LinkConfig{
+		Latency:   oneWay,
+		Jitter:    2 * time.Millisecond,
+		LossRate:  0.0005,
+		Bandwidth: 1e9,
+	}
+}

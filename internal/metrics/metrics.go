@@ -148,6 +148,44 @@ func (h *Histogram) Merge(other *Histogram) {
 // Reset clears all samples.
 func (h *Histogram) Reset() { *h = Histogram{} }
 
+// Delta returns the distribution of samples observed since prev, where prev
+// is an earlier copy of h (histograms are value types, so `w := *h` takes a
+// cut point). Buckets and count/sum subtract exactly; min/max cannot be
+// recovered per-window, so they are approximated from the occupied buckets
+// (lower bound of the first and last non-empty bucket), clamped into the
+// cumulative [min, max]. Quantiles of the result are therefore as accurate
+// as the buckets — exactly what windowed before/after comparisons need.
+func (h *Histogram) Delta(prev *Histogram) Histogram {
+	var d Histogram
+	lo, hi := -1, -1
+	for i := range h.buckets {
+		c := h.buckets[i] - prev.buckets[i]
+		d.buckets[i] = c
+		if c > 0 {
+			if lo < 0 {
+				lo = i
+			}
+			hi = i
+		}
+	}
+	d.count = h.count - prev.count
+	d.sum = h.sum - prev.sum
+	if d.count == 0 {
+		return Histogram{}
+	}
+	d.min, d.max = bucketLower(lo), bucketLower(hi)
+	if d.min < h.min {
+		d.min = h.min
+	}
+	if d.max > h.max {
+		d.max = h.max
+	}
+	if d.min > d.max {
+		d.min = d.max
+	}
+	return d
+}
+
 // String summarizes the distribution.
 func (h *Histogram) String() string {
 	if h.count == 0 {

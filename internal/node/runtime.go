@@ -378,6 +378,85 @@ func (r *Runtime) RemoveClient(id protocol.ParticipantID) (endpoint.Addr, error)
 // passively registered).
 func (r *Runtime) ClientCount() int { return len(r.clients) }
 
+// RetargetClient updates a client's address without touching its replication
+// state: the table entry (and, for replicated clients, the byAddr lookup and
+// the replicator peer key) move to the new address. Session handoff uses it
+// on the node that keeps serving the client when only the route changed —
+// e.g. the cloud retargeting a relay-routed learner to its new relay.
+//
+// For replicated clients the replicator peer is re-keyed by baseline
+// export/re-add/import, so the interest set, ack floor, and owed debt all
+// survive the rename; only the peer's pooled scratch is re-acquired.
+func (r *Runtime) RetargetClient(id protocol.ParticipantID, addr endpoint.Addr) error {
+	c, ok := r.clients[id]
+	if !ok {
+		return fmt.Errorf("%w: %d", ErrUnknownClient, id)
+	}
+	if c.Addr == addr {
+		return nil
+	}
+	if c.Replicated {
+		b, err := r.repl.ExportBaseline(string(c.Addr))
+		if err != nil {
+			return err
+		}
+		if err := r.repl.AddPeer(string(addr), c.filter); err != nil {
+			return err
+		}
+		_ = r.repl.RemovePeer(string(c.Addr))
+		_ = r.repl.ImportBaseline(string(addr), b)
+		delete(r.byAddr, c.Addr)
+		r.byAddr[addr] = c
+	}
+	c.Addr = addr
+	return nil
+}
+
+// ExportClientBaseline captures a replicated client's replication position
+// (ack floor + owed debt) for session handoff. The client stays registered;
+// callers remove it separately once the new node has adopted the session.
+func (r *Runtime) ExportClientBaseline(id protocol.ParticipantID) (core.PeerBaseline, error) {
+	c, ok := r.clients[id]
+	if !ok {
+		return core.PeerBaseline{}, fmt.Errorf("%w: %d", ErrUnknownClient, id)
+	}
+	if !c.Replicated {
+		return core.PeerBaseline{}, fmt.Errorf("node: client %d not replicated here", id)
+	}
+	return r.repl.ExportBaseline(string(c.Addr))
+}
+
+// ImportClientBaseline seeds a freshly added replicated client's position
+// from a baseline exported on another node, then conservatively re-opens
+// owed debt for every entity in this node's store except the client's own
+// (its filter never admits it): tick domains are node-local and the two
+// stores' content is skewed by their differing upstream latencies, so the
+// transferred floor proves delivery only of the exporter's history. The
+// owed sweep converges exactly what the floor's delta walk cannot —
+// entities that sat still across the cut — while moving entities ride the
+// candidate walk as usual. Cheaper than a full snapshot (settled, filtered,
+// ack-gated) and never lossy.
+func (r *Runtime) ImportClientBaseline(id protocol.ParticipantID, b core.PeerBaseline) error {
+	c, ok := r.clients[id]
+	if !ok {
+		return fmt.Errorf("%w: %d", ErrUnknownClient, id)
+	}
+	if !c.Replicated {
+		return fmt.Errorf("node: client %d not replicated here", id)
+	}
+	peer := string(c.Addr)
+	if err := r.repl.ImportBaseline(peer, b); err != nil {
+		return err
+	}
+	for _, eid := range r.store.IDs() {
+		if eid == id {
+			continue
+		}
+		_ = r.repl.Owe(peer, eid)
+	}
+	return nil
+}
+
 // MirrorPeers folds every sync partner's replicated store into the
 // runtime's own store (the cloud's world merge, a relay's mirror), keeping
 // the interest grid in step. Entities present in the store but absent from

@@ -138,3 +138,92 @@ func (b *InterpBuffer) PruneBefore(t time.Duration) {
 		b.samples = b.samples[:len(b.samples)-i]
 	}
 }
+
+// Reset clears the buffer's samples and counters for reuse, keeping its ring
+// capacity, delay, and extrapolator. It is the pooling hook: a recycled
+// buffer must carry no motion history or stats from its previous entity.
+func (b *InterpBuffer) Reset() {
+	b.samples = b.samples[:0]
+	b.interpolated, b.extrapolated = 0, 0
+}
+
+// InterpPool recycles InterpBuffers for one receiver's cold-join path. A
+// client first seeing an N-entity world otherwise allocates N buffers plus N
+// sample rings one at a time; the pool carves both from slab allocations
+// (one []InterpBuffer, one shared []Pose backing) so a cold join costs a few
+// slab allocations instead of O(entities), and entity churn after the join
+// (interest flicker, seat reuse, migration re-joins) recycles buffers
+// instead of minting garbage.
+//
+// All buffers from one pool share the pool's delay and extrapolator. Not
+// safe for concurrent use — single-goroutine, like the Replica that owns it.
+type InterpPool struct {
+	delay  time.Duration
+	cap    int
+	extrap Extrapolator
+	free   []*InterpBuffer
+}
+
+// NewInterpPool creates a pool of buffers equivalent to
+// NewInterpBuffer(delay, capacity, extrap). slab is the number of buffers
+// carved per slab allocation (min 8; default 64 when <= 0).
+func NewInterpPool(delay time.Duration, capacity int, extrap Extrapolator, slab int) *InterpPool {
+	if capacity < 2 {
+		capacity = 64
+	}
+	if extrap == nil {
+		extrap = Linear{}
+	}
+	if slab <= 0 {
+		slab = 64
+	}
+	if slab < 8 {
+		slab = 8
+	}
+	p := &InterpPool{delay: delay, cap: capacity, extrap: extrap}
+	p.free = make([]*InterpBuffer, 0, slab)
+	return p
+}
+
+// Get returns a reset buffer, growing the pool by one slab when empty.
+func (p *InterpPool) Get() *InterpBuffer {
+	if n := len(p.free); n > 0 {
+		b := p.free[n-1]
+		p.free[n-1] = nil
+		p.free = p.free[:n-1]
+		return b
+	}
+	p.grow()
+	return p.Get()
+}
+
+// Put returns a buffer to the pool. Only buffers obtained from this pool may
+// be returned (they share its configuration); the buffer is reset
+// immediately so pooled buffers never pin old sample data semantically.
+func (p *InterpPool) Put(b *InterpBuffer) {
+	if b == nil {
+		return
+	}
+	b.Reset()
+	p.free = append(p.free, b)
+}
+
+// grow carves one slab of buffers: a single []InterpBuffer allocation plus a
+// single shared []Pose backing array sliced into per-buffer rings (cap+1
+// each, matching NewInterpBuffer's spare-slot trick).
+func (p *InterpPool) grow() {
+	n := cap(p.free)
+	if n < 8 {
+		n = 8
+	}
+	bufs := make([]InterpBuffer, n)
+	ring := make([]Pose, n*(p.cap+1))
+	for i := range bufs {
+		b := &bufs[i]
+		b.samples = ring[i*(p.cap+1) : i*(p.cap+1) : (i+1)*(p.cap+1)]
+		b.cap = p.cap
+		b.delay = p.delay
+		b.extrap = p.extrap
+		p.free = append(p.free, b)
+	}
+}

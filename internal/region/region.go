@@ -205,6 +205,48 @@ func (t *Topology) Assign(relays []ID, clientRegions []ID) (map[ID]ID, error) {
 	return out, nil
 }
 
+// Replan diffs a fresh k-center placement for the given census against the
+// currently deployed relay set: add lists regions that should gain a relay,
+// retire lists deployed relays the new placement drops, and assign maps
+// every census region to its relay under the new placement. Both lists are
+// sorted ascending, so a deployment layer applying them (stand up adds,
+// migrate clients, drain retires) stays deterministic. A region present in
+// both placements appears in neither list.
+func (t *Topology) Replan(current []ID, k int, census map[ID]int) (add, retire []ID, assign map[ID]ID, err error) {
+	placed, err := t.PlaceRelays(k, census)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	regions := make([]ID, 0, len(census))
+	for r := range census {
+		regions = append(regions, r)
+	}
+	sort.Slice(regions, func(i, j int) bool { return regions[i] < regions[j] })
+	assign, err = t.Assign(placed, regions)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	have := make(map[ID]bool, len(current))
+	for _, r := range current {
+		have[r] = true
+	}
+	want := make(map[ID]bool, len(placed))
+	for _, r := range placed {
+		want[r] = true
+		if !have[r] {
+			add = append(add, r)
+		}
+	}
+	for _, r := range current {
+		if !want[r] {
+			retire = append(retire, r)
+		}
+	}
+	sort.Slice(add, func(i, j int) bool { return add[i] < add[j] })
+	sort.Slice(retire, func(i, j int) bool { return retire[i] < retire[j] })
+	return add, retire, assign, nil
+}
+
 // WorstClientLatency returns the maximum client-to-assigned-relay one-way
 // latency under an assignment.
 func (t *Topology) WorstClientLatency(assign map[ID]ID) (time.Duration, error) {

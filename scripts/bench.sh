@@ -110,17 +110,21 @@ gate_allocs() {
 }
 
 # compare_allocs OLD NEW — fail when E4Scale or the onboarding storm bench
-# regressed >5% in allocs/op, or when the tiered mega-event's cloud egress
-# grew >5% (the decimation gate: re-admitting the far/ambient crowd at full
-# rate moves bandwidth, not allocations). (Onboard joined the suite with
-# BENCH_5.json, E12MegaEvent with BENCH_7.json; older baselines skip their
-# gates.)
+# regressed >5% in allocs/op, when the tiered mega-event's cloud egress grew
+# >5% (the decimation gate: re-admitting the far/ambient crowd at full rate
+# moves bandwidth, not allocations), or when the cold-join first-sync
+# latency grew >5% (the receiver-side pooling gate: geo handoffs that fall
+# back to a snapshot pay exactly this path). (Onboard joined the suite with
+# BENCH_5.json, E12MegaEvent with BENCH_7.json, ColdJoin with BENCH_9.json;
+# older baselines skip their gates.)
 compare_allocs() {
     gate_allocs "E4Scale" "$1" "$2" required
     gate_allocs "Onboard/storm=64" "$1" "$2" optional
+    gate_allocs "ColdJoin" "$1" "$2" optional
     gate_ns "E4Scale" "$1" "$2"
     gate_metric "E12MegaEvent" "cloud-egress-KB/s" "$1" "$2" optional
-    echo "bench.sh: OK — within the 5% allocation, wall-time, and egress budgets" >&2
+    gate_metric "ColdJoin" "cold-join-ms" "$1" "$2" optional
+    echo "bench.sh: OK — within the 5% allocation, wall-time, egress, and cold-join budgets" >&2
 }
 
 N=""
@@ -163,7 +167,7 @@ fi
 RAW="$(mktemp)"
 trap 'rm -f "$RAW" $TMP_OUT' EXIT
 
-go test -bench 'BenchmarkE[0-9]|BenchmarkOnboard|BenchmarkPlanTick|BenchmarkFanout' -benchmem -run '^$' ${BENCHTIME:+-benchtime "$BENCHTIME"} . | tee "$RAW" >&2
+go test -bench 'BenchmarkE[0-9]|BenchmarkOnboard|BenchmarkColdJoin|BenchmarkPlanTick|BenchmarkFanout' -benchmem -run '^$' ${BENCHTIME:+-benchtime "$BENCHTIME"} . | tee "$RAW" >&2
 
 awk -v goversion="$(go version | awk '{print $3}')" '
 BEGIN { n = 0 }
@@ -195,7 +199,7 @@ END {
     print "{"
     printf "  \"suite\": \"E1-E12 + onboarding root benchmarks\",\n"
     printf "  \"go\": \"%s\",\n", goversion
-    printf "  \"command\": \"go test -bench BenchmarkE[0-9]|BenchmarkOnboard|BenchmarkPlanTick|BenchmarkFanout -benchmem -run ^$ .\",\n"
+    printf "  \"command\": \"go test -bench BenchmarkE[0-9]|BenchmarkOnboard|BenchmarkColdJoin|BenchmarkPlanTick|BenchmarkFanout -benchmem -run ^$ .\",\n"
     print  "  \"benchmarks\": ["
     for (i = 0; i < n; i++) print bench[i] (i < n - 1 ? "," : "")
     print "  ]"
